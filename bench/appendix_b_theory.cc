@@ -1,0 +1,92 @@
+// Appendix B: theoretical analysis of the candidate filter, verified numerically.
+//
+// B.1 — mean-value vs max-value CIT estimators: closed-form variances (T0^2/3n vs
+//       T0^2/(n(n+2))) checked against Monte-Carlo simulation.
+// B.2 — promotion efficiency E(n): closed form (n-1)/n^2 for the uniform density
+//       (maximized at n=2), plus numeric integration of E_h(n) for the paper's density
+//       family h(x, alpha) across alpha (Fig. B2) — two-round filtering wins throughout
+//       the realistic range.
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/core/estimator.h"
+
+namespace ct = chronotier;
+
+namespace {
+
+void VerifyEstimators() {
+  ct::PrintBanner("Appendix B.1: estimator variance (closed form vs Monte-Carlo)");
+  constexpr double kT0 = 10.0;
+  constexpr int kTrials = 200000;
+  ct::Rng rng(20250330);
+
+  ct::TextTable table({"n", "Var(mean) theory", "Var(mean) MC", "Var(max) theory",
+                       "Var(max) MC", "max/mean variance"});
+  for (int n : {1, 2, 3, 4, 8, 16}) {
+    const ct::EstimatorMoments mean_mc = ct::SimulateMeanEstimator(kT0, n, kTrials, rng);
+    const ct::EstimatorMoments max_mc = ct::SimulateMaxEstimator(kT0, n, kTrials, rng);
+    table.AddRow({ct::TextTable::Int(n),
+                  ct::TextTable::Num(ct::MeanEstimatorVariance(kT0, n), 3),
+                  ct::TextTable::Num(mean_mc.variance, 3),
+                  ct::TextTable::Num(ct::MaxEstimatorVariance(kT0, n), 3),
+                  ct::TextTable::Num(max_mc.variance, 3),
+                  ct::TextTable::Num(ct::MaxEstimatorVariance(kT0, n) /
+                                         ct::MeanEstimatorVariance(kT0, n),
+                                     3)});
+  }
+  table.Print();
+  std::printf("Both estimators are unbiased; the max-value estimator (the candidate filter)\n"
+              "has strictly lower variance for n >= 2 — it is the MVUE (Lehmann-Scheffe).\n");
+}
+
+void VerifyUniformEfficiency() {
+  ct::PrintBanner("Appendix B.2 (eq. 12): E(n) = (n-1)/n^2 for the uniform density");
+  ct::TextTable table({"rounds n", "E(n) closed form", "E(n) numeric"});
+  const auto uniform = [](double) { return 1.0; };
+  for (int n = 1; n <= 7; ++n) {
+    const double closed = ct::UniformSelectionEfficiency(n);
+    // The closed form's integral runs to infinity; match the numeric cutoff's tail.
+    const double numeric = n >= 2 ? ct::SelectionEfficiency(uniform, n, 4096.0) : 0.0;
+    table.AddRow({ct::TextTable::Int(n), ct::TextTable::Num(closed, 4),
+                  n >= 2 ? ct::TextTable::Num(numeric, 4) : std::string("divergent")});
+  }
+  table.Print();
+  std::printf("Maximum at n = 2: two-round filtering is optimal for random distributions.\n");
+}
+
+void VerifyDensityFamily() {
+  ct::PrintBanner("Fig B2: promotion efficiency E_h(n) across the h(x, alpha) family");
+  const std::vector<double> alphas = {0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  ct::TextTable table({"alpha", "n=2", "n=3", "n=4", "n=5", "n=6", "n=7", "best n"});
+  for (double alpha : alphas) {
+    const ct::HotnessDensity h(alpha);
+    std::vector<std::string> row = {ct::TextTable::Num(alpha, 2)};
+    int best_n = 2;
+    double best_e = 0;
+    for (int n = 2; n <= 7; ++n) {
+      const double e = ct::SelectionEfficiency([&h](double x) { return h(x); }, n, 64.0);
+      row.push_back(ct::TextTable::Num(e, 4));
+      if (e > best_e) {
+        best_e = e;
+        best_n = n;
+      }
+    }
+    row.push_back(ct::TextTable::Int(best_n));
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("Expected: n = 2 achieves the highest efficiency across realistic alpha.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Appendix B: candidate-filter theory, reproduced numerically.\n");
+  VerifyEstimators();
+  VerifyUniformEfficiency();
+  VerifyDensityFamily();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared scaffolding for the figure/table reproduction benches.
+//
+// Scaling story (documented in EXPERIMENTS.md): the paper's testbed is 256 GB (64 GB DRAM +
+// 192 GB Optane PM) with a 60 s scan period. The benches run a 1/1024-scale miniature —
+// 256 MB of physical memory with copy-engine bandwidth scaled by the same factor so that
+// migration pressure relative to capacity matches — and compress time 12x (5 s scan period)
+// so placement dynamics converge within affordable simulated windows. All capacity *ratios*
+// (25% DRAM, working set : DRAM) and the relative parameter geometry are preserved; absolute
+// throughputs are not comparable to the paper's, orderings and trends are.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/core/standard_policies.h"
+#include "src/harness/experiment.h"
+#include "src/policies/scan_policy_base.h"
+#include "src/workloads/kvstore.h"
+#include "src/workloads/pmbench.h"
+
+namespace chronotier {
+
+// Miniature-machine factor: 256 GB testbed / 256 MB simulated.
+inline constexpr double kBenchBandwidthScale = 1024.0;
+// Time compression: 60 s paper scan period -> 5 s bench scan period.
+inline constexpr SimDuration kBenchScanPeriod = 5 * kSecond;
+// Scan step scaled so one step covers ~4% of a standard working set (paper: 256 MB of
+// 250 GB per step).
+inline constexpr uint64_t kBenchScanStepPages = 1024;
+
+inline ScanGeometry BenchGeometry() {
+  ScanGeometry geometry;
+  geometry.scan_period = kBenchScanPeriod;
+  geometry.scan_step_pages = kBenchScanStepPages;
+  return geometry;
+}
+
+// The standard bench machine: 256 MB physical, 25% DRAM.
+inline ExperimentConfig BenchMachine(uint64_t total_mb = 256, double fast_fraction = 0.25) {
+  ExperimentConfig config;
+  config.total_pages = (total_mb << 20) / kBasePageSize;
+  config.fast_fraction = fast_fraction;
+  config.bandwidth_scale = kBenchBandwidthScale;
+  config.warmup = 35 * kSecond;
+  config.measure = 30 * kSecond;
+  return config;
+}
+
+// A pmbench process spec with the paper's normal_ih stride-2 pattern.
+inline ProcessSpec BenchPmbenchProc(uint64_t working_set_mb, double read_ratio,
+                                    SimDuration per_op_delay = 2 * kMicrosecond) {
+  PmbenchConfig w;
+  w.working_set_bytes = working_set_mb << 20;
+  w.read_ratio = read_ratio;
+  w.pattern = PmbenchPattern::kGaussian;
+  w.stride = 2;
+  w.per_op_delay = per_op_delay;
+  w.sequential_init = true;
+  return ProcessSpec{"pmbench", [w] { return std::make_unique<PmbenchStream>(w); }};
+}
+
+// KV-store process spec (the Memcached/Redis stand-ins differ in value size).
+inline ProcessSpec BenchKvProc(const std::string& name, uint64_t num_items,
+                               uint64_t value_bytes, double set_fraction) {
+  KvStoreConfig w;
+  w.num_items = num_items;
+  w.value_bytes = value_bytes;
+  w.set_fraction = set_fraction;
+  w.per_op_delay = 2 * kMicrosecond;
+  return ProcessSpec{name, [w] { return std::make_unique<KvStoreStream>(w); }};
+}
+
+// Row label helpers for the R/W ratio sweeps.
+inline const std::vector<std::pair<std::string, double>>& RwRatios() {
+  static const std::vector<std::pair<std::string, double>> kRatios = {
+      {"95:5", 0.95}, {"70:30", 0.70}, {"30:70", 0.30}, {"5:95", 0.05}};
+  return kRatios;
+}
+
+}  // namespace chronotier
+
+#endif  // BENCH_BENCH_COMMON_H_

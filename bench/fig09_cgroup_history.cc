@@ -1,0 +1,92 @@
+// Figure 9: DRAM-page-percentage history of multi-process benchmarks with different hotness
+// levels.
+//
+// The paper runs 50 cgroups, each one pmbench process with random access pattern and an
+// artificial per-access delay of i x 50 cycles for the i-th process, and plots each cgroup's
+// DRAM residency share over time. Expected shape: under Linux-NB (and the baselines) every
+// process converges to roughly the same DRAM share (~ the machine's fast-tier fraction);
+// under Chrono the hottest processes end up almost fully DRAM-resident while the coldest
+// gradually surrender their DRAM pages.
+//
+// Scaled here to 8 processes with delays of i x 600 ns (same 1:8 spread of access rates).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/patterns.h"
+
+namespace ct = chronotier;
+
+namespace {
+
+void RunPolicy(const ct::NamedPolicyFactory& named) {
+  ct::PrintBanner("Fig 9: DRAM page % history under " + named.name);
+  constexpr int kProcs = 8;
+
+  ct::ExperimentConfig config = ct::BenchMachine();
+  config.warmup = 0;
+  config.measure = 100 * ct::kSecond;
+  config.residency_sample_interval = 10 * ct::kSecond;
+  config.page_kind = ct::PageSizeKind::kBase;  // Residency shares comparable across systems.
+
+  std::vector<ct::ProcessSpec> procs;
+  for (int i = 0; i < kProcs; ++i) {
+    ct::UniformConfig w;  // Paper: random access pattern per cgroup.
+    w.working_set_bytes = 24ull << 20;
+    w.read_ratio = 0.95;
+    w.per_op_delay = 2 * ct::kMicrosecond;
+    w.sequential_init = true;
+    ct::ProcessSpec spec{"cgroup-" + std::to_string(i),
+                         [w] { return std::make_unique<ct::UniformStream>(w); }};
+    // The i-th process stalls i extra delay units per access (paper: i x 50 cycles); the
+    // spread is ~3x hottest-to-coldest, matching the paper's 2.8x cgroup-0 : cgroup-49.
+    spec.access_delay = static_cast<ct::SimDuration>(i) * 600 * ct::kNanosecond;
+    procs.push_back(spec);
+  }
+
+  const ct::ExperimentResult result = ct::Experiment::Run(config, named.make, procs);
+
+  std::vector<std::string> header = {"time"};
+  for (int i = 0; i < kProcs; ++i) {
+    header.push_back("cg-" + std::to_string(i));
+  }
+  ct::TextTable table(header);
+  for (size_t s = 0; s < result.sample_times.size(); ++s) {
+    std::vector<std::string> row = {ct::FormatDuration(result.sample_times[s])};
+    for (int p = 0; p < kProcs; ++p) {
+      row.push_back(ct::TextTable::Num(result.residency_percent[static_cast<size_t>(p)][s], 1));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  // Summary: spread between the hottest and coldest cgroup at the end of the run, plus the
+  // migration churn spent reaching that placement.
+  const auto& last = result.sample_times;
+  if (!last.empty()) {
+    const size_t end = last.size() - 1;
+    std::printf("final DRAM%%: hottest (cg-0) = %.1f%%, coldest (cg-%d) = %.1f%%; "
+                "migrated pages = %llu\n",
+                result.residency_percent[0][end], kProcs - 1,
+                result.residency_percent[kProcs - 1][end],
+                static_cast<unsigned long long>(result.promoted_pages +
+                                                result.demoted_pages));
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 9: per-cgroup DRAM residency under graded access rates.\n");
+  for (const auto& named : ct::StandardPolicySet(ct::BenchGeometry())) {
+    RunPolicy(named);
+  }
+  std::printf(
+      "\nExpected: Linux-NB separates the hotness grades weakly (MRU promotion cannot rank\n"
+      "frequencies); Chrono gives the hottest cgroups nearly all their pages in DRAM and\n"
+      "drains the coldest, at low migration churn. Note: at miniature scale the\n"
+      "recency-based baselines separate more than in the paper, because the compressed\n"
+      "reclaim timescale can discriminate the (also compressed) rate spread.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the mechanisms whose low overhead the paper's
+// design leans on: CIT bookkeeping is "timestamp recording and basic arithmetic", the
+// candidate XArray is "low-latency access and minimal memory consumption", and the DCSC
+// heat maps are simple bucket updates.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/xarray.h"
+#include "src/core/candidate_filter.h"
+#include "src/core/cit.h"
+#include "src/core/estimator.h"
+#include "src/core/promotion_queue.h"
+#include "src/vm/address_space.h"
+#include "src/vm/scanner.h"
+
+namespace ct = chronotier;
+
+namespace {
+
+void BM_CitStampAndCompute(benchmark::State& state) {
+  ct::PageInfo page;
+  ct::SimTime now = 0;
+  for (auto _ : state) {
+    now += 7 * ct::kMillisecond;
+    ct::StampScanTimestamp(page, now);
+    benchmark::DoNotOptimize(ct::ComputeCitMillis(page, now + 3 * ct::kMillisecond));
+  }
+}
+BENCHMARK(BM_CitStampAndCompute);
+
+void BM_XArrayStoreLoadErase(benchmark::State& state) {
+  ct::XArray<uint32_t> xa;
+  ct::Rng rng(1);
+  for (auto _ : state) {
+    const uint64_t key = rng.NextBelow(1u << 20);
+    xa.Store(key, 1);
+    benchmark::DoNotOptimize(xa.Load(key));
+    xa.Erase(key);
+  }
+}
+BENCHMARK(BM_XArrayStoreLoadErase);
+
+void BM_XArrayLookupDense(benchmark::State& state) {
+  ct::XArray<uint32_t> xa;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    xa.Store(0x100000 + i, static_cast<uint32_t>(i));
+  }
+  ct::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xa.Load(0x100000 + rng.NextBelow(4096)));
+  }
+}
+BENCHMARK(BM_XArrayLookupDense);
+
+void BM_CandidateFilterRound(benchmark::State& state) {
+  ct::CandidateFilter filter(2);
+  std::vector<ct::PageInfo> pages(1024);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    pages[i].vpn = 0x1000 + i;
+    pages[i].owner = 1;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    ct::PageInfo& page = pages[i++ & 1023];
+    benchmark::DoNotOptimize(filter.RecordQualifyingCit(page, 5));
+  }
+}
+BENCHMARK(BM_CandidateFilterRound);
+
+void BM_PromotionQueue(benchmark::State& state) {
+  ct::PromotionQueue queue;
+  std::vector<ct::PageInfo> pages(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    ct::PageInfo& page = pages[i++ & 255];
+    queue.Enqueue(page);
+    benchmark::DoNotOptimize(queue.Pop());
+  }
+}
+BENCHMARK(BM_PromotionQueue);
+
+void BM_HeatMapAdd(benchmark::State& state) {
+  ct::Log2Histogram map(28);
+  ct::Rng rng(3);
+  for (auto _ : state) {
+    map.Add(rng.NextBelow(1u << 20));
+  }
+  benchmark::DoNotOptimize(map.total());
+}
+BENCHMARK(BM_HeatMapAdd);
+
+void BM_ScannerChunk(benchmark::State& state) {
+  ct::AddressSpace aspace(0);
+  aspace.MapRegion(64ull << 20);  // 16k pages.
+  ct::RangeScanner scanner(&aspace);
+  for (auto _ : state) {
+    scanner.ScanChunk(1024, [](ct::Vma&, ct::PageInfo& unit) { unit.Set(ct::kPageProtNone); });
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ScannerChunk);
+
+void BM_ReservoirAdd(benchmark::State& state) {
+  ct::ReservoirSampler sampler(65536);
+  double x = 0;
+  for (auto _ : state) {
+    sampler.Add(x += 1.0);
+  }
+}
+BENCHMARK(BM_ReservoirAdd);
+
+void BM_RngGaussian(benchmark::State& state) {
+  ct::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextGaussian());
+  }
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_SelectionEfficiencyNumeric(benchmark::State& state) {
+  const ct::HotnessDensity h(0.6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ct::SelectionEfficiency([&h](double x) { return h(x); }, 2, 64.0));
+  }
+}
+BENCHMARK(BM_SelectionEfficiencyNumeric);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Table 1: characteristics of the tiering systems, including a *measured* placement probe.
+//
+// The static columns restate each system's design (type, migration criterion, default page
+// size). The measured column runs a two-class workload (25% of pages take 90% of accesses)
+// under every policy and reports the genuinely-hot share of the fast tier ("selectivity";
+// 25% would mean no discrimination). At miniature scale this coarse 50x contrast is
+// resolvable by every mechanism (even pure recency), so the column validates that each
+// implementation places an obvious hot set; the systems' *frequency-resolution* differences
+// — the point of the paper's Table 1 — are exercised where the contrast is fine-grained:
+// Fig. 2a (F1/PPR), Fig. 8 (FMAR) and Fig. 9 (graded rates).
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench/bench_common.h"
+#include "src/workloads/patterns.h"
+
+namespace ct = chronotier;
+
+namespace {
+
+// Two-class workload: 25% of pages take 90% of accesses; the rest still get touched
+// several times per scan period.
+double MeasureSelectivity(const ct::PolicyFactory& make_policy) {
+  ct::ExperimentConfig config = ct::BenchMachine();
+  config.measure = 25 * ct::kSecond;
+  config.page_kind = ct::PageSizeKind::kBase;  // Equal footing for the probe.
+
+  auto streams = std::make_shared<std::vector<ct::HotsetStream*>>();
+  ct::HotsetConfig w;
+  w.working_set_bytes = 96ull << 20;
+  w.hot_fraction = 0.25;
+  w.hot_access_fraction = 0.9;
+  w.per_op_delay = 2 * ct::kMicrosecond;
+  w.sequential_init = true;
+  std::vector<ct::ProcessSpec> procs;
+  for (int p = 0; p < 2; ++p) {
+    procs.push_back({"probe", [w, streams] {
+                       auto stream = std::make_unique<ct::HotsetStream>(w);
+                       streams->push_back(stream.get());
+                       return stream;
+                     }});
+  }
+
+  double selectivity = 0;
+  ct::Experiment::Run(config, make_policy, procs, nullptr,
+                      [&](ct::Machine& machine, ct::ExperimentResult&) {
+    uint64_t fast_pages = 0;
+    uint64_t fast_hot_pages = 0;
+    for (size_t p = 0; p < machine.processes().size(); ++p) {
+      ct::HotsetStream* stream = (*streams)[p];
+      const uint64_t hot_lo = stream->region_start_vpn() + stream->current_hot_base();
+      const uint64_t hot_hi = hot_lo + stream->hot_pages();
+      machine.processes()[p]->aspace().ForEachPage([&](ct::Vma& vma, ct::PageInfo& page) {
+        ct::PageInfo& unit = vma.HotnessUnit(page.vpn);
+        if (unit.present() && unit.node == ct::kFastNode) {
+          ++fast_pages;
+          if (page.vpn >= hot_lo && page.vpn < hot_hi) {
+            ++fast_hot_pages;
+          }
+        }
+      });
+    }
+    selectivity = fast_pages == 0
+                      ? 0.0
+                      : static_cast<double>(fast_hot_pages) / static_cast<double>(fast_pages);
+  });
+  return selectivity;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 1: design characteristics + measured frequency discrimination.\n");
+  ct::PrintBanner("Table 1: characteristics of recent tiered-memory systems");
+
+  struct StaticRow {
+    const char* name;
+    const char* type;
+    const char* criterion;
+    const char* scale;
+    const char* page_size;
+  };
+  const StaticRow rows[] = {
+      {"Linux-NB", "System-wide", "MRU on hint fault", "recency only", "Base page"},
+      {"AutoTiering", "System-wide", "Page-fault counters", "0~1 access/min", "Base page"},
+      {"Multi-Clock", "System-wide", "Multi-level LRU lists", "0~1 access/min", "Base page"},
+      {"TPP", "System-wide", "Page-fault + LRU lists", "0~2 access/min", "Base page"},
+      {"Memtis", "Process level", "PEBS stats + ratio config", "0~10 access/sec", "Huge page"},
+      {"Chrono", "System-wide", "Dynamic CIT stats", "0~1000 access/sec", "Base page"},
+  };
+
+  // Measured column: hot-class share of the fast tier under a coarse two-class contrast
+  // (a placement sanity probe; see the header comment).
+  ct::TextTable table({"solution", "type", "migration criterion", "effective freq scale",
+                       "default page", "measured selectivity"});
+  const auto policies = ct::StandardPolicySet(ct::BenchGeometry());
+  for (size_t i = 0; i < policies.size(); ++i) {
+    const double selectivity = MeasureSelectivity(policies[i].make);
+    table.AddRow({rows[i].name, rows[i].type, rows[i].criterion, rows[i].scale,
+                  rows[i].page_size, ct::TextTable::Percent(selectivity)});
+    if (i == 2) {
+      // The paper's table also lists Telescope and FlexMem; they are not among the five
+      // systems the evaluation section runs, so this reproduction documents them only.
+      table.AddRow({"Telescope*", "System-wide", "Tree-structured PTE bits",
+                    "0~5 access/sec", "Base page", "(not implemented)"});
+    }
+    if (i == 4) {
+      table.AddRow({"FlexMem*", "Process level", "PEBS stats + page fault",
+                    "0~10 access/sec", "Huge page", "(not implemented)"});
+    }
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("* static rows from the paper's Table 1; these systems are not part of the\n"
+              "  evaluated lineup and are documented for completeness only.\n");
+  std::printf(
+      "Selectivity = share of fast-tier pages that are genuinely hot-class (hot class is\n"
+      "25%% of memory; 25%% would mean no discrimination). All evaluated systems resolve\n"
+      "this coarse two-class contrast; their frequency-resolution differences appear in\n"
+      "the fine-grained experiments (Fig. 2a, Fig. 8, Fig. 9).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Adaptive-tuning example: watch Chrono's DCSC re-tune the CIT threshold and the thrash
+// monitor govern the rate limit while the workload's hot set moves (phase changes).
+//
+//   $ ./examples/adaptive_tuning
+//
+// A hot-set workload rotates its hot region every ~60 simulated seconds. Watch: FMAR dips
+// right after each rotation and recovers as the new hot set is identified and promoted; the
+// CIT threshold wobbles while the CIT distributions shift; the thrash monitor keeps the rate
+// limit pinned low so the transitions never flood the migration engine.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/table.h"
+#include "src/core/chrono_policy.h"
+#include "src/harness/machine.h"
+#include "src/workloads/patterns.h"
+
+namespace ct = chronotier;
+
+int main() {
+  ct::PrintBanner("Adaptive tuning through a workload phase change");
+
+  ct::MachineConfig machine_config =
+      ct::MachineConfig::StandardTwoTier((128ull << 20) / ct::kBasePageSize, 0.25);
+  machine_config.bandwidth_scale = 1024.0;
+
+  ct::ChronoConfig chrono_config = ct::ChronoConfig::Full();
+  chrono_config.geometry.scan_period = 5 * ct::kSecond;
+  chrono_config.geometry.scan_step_pages = 1024;
+  auto policy = std::make_unique<ct::ChronoPolicy>(chrono_config);
+  ct::ChronoPolicy* chrono = policy.get();
+  ct::Machine machine(machine_config, std::move(policy));
+
+  ct::Process& process = machine.CreateProcess("phased-app");
+  ct::HotsetConfig workload;
+  workload.working_set_bytes = 96ull << 20;
+  workload.hot_fraction = 0.2;
+  workload.hot_access_fraction = 0.9;
+  workload.per_op_delay = 2 * ct::kMicrosecond;
+  workload.sequential_init = true;
+  // Rotate the hot set roughly every 60 simulated seconds (~ops at ~0.45 Mop/s).
+  workload.phase_ops = 27000000;
+  machine.AttachWorkload(process, std::make_unique<ct::HotsetStream>(workload), /*seed=*/5);
+  machine.Start();
+
+  ct::TextTable table({"time", "CIT threshold (ms)", "rate limit (MBps)", "candidates",
+                       "thrashes", "FMAR so far"});
+  for (int step = 1; step <= 15; ++step) {
+    machine.Run(10 * ct::kSecond);
+    table.AddRow({ct::FormatDuration(machine.now()),
+                  ct::TextTable::Int(chrono->cit_threshold_ms()),
+                  ct::TextTable::Num(chrono->rate_limit_mbps(), 1),
+                  ct::TextTable::Int(static_cast<long long>(chrono->candidate_filter().size())),
+                  ct::TextTable::Int(static_cast<long long>(
+                      chrono->thrash_monitor().total_thrashes())),
+                  ct::TextTable::Percent(machine.metrics().Fmar())});
+  }
+  table.Print();
+
+  std::printf("\nFMAR dips after each rotation (~every 60 s) and recovers as the new hot set\n"
+              "is promoted; the thrash monitor keeps the rate limit at the floor so the\n"
+              "rotating borderline pages cannot flood the migration engine.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Quickstart: build a two-tier machine, run the same skewed workload (20% of pages take
+// 90% of accesses) under vanilla Linux
+// NUMA balancing and under Chrono, and compare placement quality.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the three core API layers: MachineConfig/Machine (the simulated system),
+// TieringPolicy implementations (LinuxNumaBalancingPolicy, ChronoPolicy), and AccessStream
+// workloads (HotsetStream here).
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/table.h"
+#include "src/core/chrono_policy.h"
+#include "src/harness/machine.h"
+#include "src/policies/linux_nb.h"
+#include "src/workloads/patterns.h"
+
+namespace ct = chronotier;
+
+namespace {
+
+struct RunOutcome {
+  double fmar = 0;
+  double throughput_mops = 0;
+  double avg_latency_ns = 0;
+  uint64_t promoted = 0;
+  uint64_t demoted = 0;
+};
+
+RunOutcome RunOnce(std::unique_ptr<ct::TieringPolicy> policy) {
+  // A machine with 256 MB of physical memory, 25% of it fast DRAM and the rest a simulated
+  // Optane PM node — the paper's capacity ratio, as a 1/1024-scale miniature (the copy
+  // engines scale with the capacity; see EXPERIMENTS.md for the scaling story).
+  const uint64_t total_pages = (256ull * 1024 * 1024) / ct::kBasePageSize;
+  ct::MachineConfig config = ct::MachineConfig::StandardTwoTier(total_pages, 0.25);
+  config.bandwidth_scale = 1024.0;
+  ct::Machine machine(config, std::move(policy));
+
+  // One process touching a 192 MB working set where 20% of the pages draw 90% of accesses.
+  // Sequential initialization fills DRAM in address order, so the scattered hot set starts
+  // mostly on the slow tier — the policy has to find and promote it.
+  ct::Process& process = machine.CreateProcess("app");
+  ct::HotsetConfig workload;
+  workload.working_set_bytes = 192ull * 1024 * 1024;
+  workload.hot_fraction = 0.2;
+  workload.hot_access_fraction = 0.9;
+  workload.per_op_delay = 2 * ct::kMicrosecond;
+  workload.sequential_init = true;
+  machine.AttachWorkload(process, std::make_unique<ct::HotsetStream>(workload), /*seed=*/7);
+
+  machine.Start();
+  machine.Run(40 * ct::kSecond);  // Warmup: demand paging + initial migration churn.
+  machine.metrics().Reset();
+  machine.Run(60 * ct::kSecond);  // Measured window.
+
+  const ct::Metrics& metrics = machine.metrics();
+  RunOutcome outcome;
+  outcome.fmar = metrics.Fmar();
+  outcome.throughput_mops = metrics.Throughput(60 * ct::kSecond) / 1e6;
+  outcome.avg_latency_ns = metrics.MeanLatency();
+  outcome.promoted = metrics.promoted_pages();
+  outcome.demoted = metrics.demoted_pages();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  ct::PrintBanner("ChronoTier quickstart: Linux-NB vs Chrono on a 90/20 hot-set workload");
+
+  ct::ScanGeometry geometry;
+  geometry.scan_period = 5 * ct::kSecond;  // Time-compressed (paper default: 60 s).
+  geometry.scan_step_pages = 1024;
+  ct::ChronoConfig chrono_config = ct::ChronoConfig::Full();
+  chrono_config.geometry = geometry;
+
+  const RunOutcome linux_nb =
+      RunOnce(std::make_unique<ct::LinuxNumaBalancingPolicy>(geometry));
+  const RunOutcome chrono_run = RunOnce(std::make_unique<ct::ChronoPolicy>(chrono_config));
+
+  ct::TextTable table({"policy", "FMAR", "throughput (Mop/s)", "avg latency (ns)",
+                       "promoted pages", "demoted pages"});
+  auto add = [&table](const char* name, const RunOutcome& o) {
+    table.AddRow({name, ct::TextTable::Percent(o.fmar), ct::TextTable::Num(o.throughput_mops),
+                  ct::TextTable::Num(o.avg_latency_ns, 0),
+                  ct::TextTable::Int(static_cast<long long>(o.promoted)),
+                  ct::TextTable::Int(static_cast<long long>(o.demoted))});
+  };
+  add("Linux-NB", linux_nb);
+  add("Chrono", chrono_run);
+  table.Print();
+
+  std::printf(
+      "\nChrono should place the hot set in DRAM (high FMAR) with far fewer migrations\n"
+      "than MRU-style NUMA balancing. See bench/ for the full paper reproduction.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "src/common/stats.h"
+
+namespace chronotier {
+
+double ReservoirSampler::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double ReservoirSampler::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0;
+  for (double v : samples_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace chronotier

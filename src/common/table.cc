@@ -1,0 +1,72 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace chronotier {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::Int(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return buf;
+}
+
+std::string TextTable::Percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+    return out;
+  };
+
+  std::string sep = "+";
+  for (size_t width : widths) {
+    sep += std::string(width + 2, '-') + "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  out += sep;
+  return out;
+}
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace chronotier

@@ -1,0 +1,39 @@
+// ASCII table rendering for bench output. Every figure/table bench prints its series through
+// this so outputs are uniform and diff-friendly.
+
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace chronotier {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+  static std::string Int(long long value);
+  static std::string Percent(double fraction, int precision = 1);
+
+  // Renders with column alignment to stdout (or returns the string).
+  std::string Render() const;
+  void Print() const { std::fputs(Render().c_str(), stdout); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner, e.g. "== Figure 6(a): pmbench throughput ==".
+void PrintBanner(const std::string& title);
+
+}  // namespace chronotier
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,24 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace chronotier {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const bool negative = d < 0;
+  const SimDuration mag = negative ? -d : d;
+  const char* sign = negative ? "-" : "";
+  if (mag >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", sign, static_cast<double>(mag) / kSecond);
+  } else if (mag >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", sign, static_cast<double>(mag) / kMillisecond);
+  } else if (mag >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fus", sign, static_cast<double>(mag) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%ldns", sign, static_cast<long>(mag));
+  }
+  return buf;
+}
+
+}  // namespace chronotier

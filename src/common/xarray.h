@@ -1,0 +1,253 @@
+// A sparse radix-tree index modelled on the Linux kernel's XArray.
+//
+// Chrono (Section 3.1.2) stores its promotion-candidate page set in an XArray because it
+// offers low-latency keyed access with memory proportional to the populated key ranges.
+// This is a dynamic-height radix tree with 64-slot (6-bit) nodes, exactly the kernel fanout;
+// height grows on demand as larger keys are stored and interior nodes are freed as their
+// subtrees empty. Values are stored by value in the leaves.
+
+#ifndef SRC_COMMON_XARRAY_H_
+#define SRC_COMMON_XARRAY_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace chronotier {
+
+template <typename T>
+class XArray {
+ public:
+  static constexpr int kChunkBits = 6;
+  static constexpr uint64_t kChunkSize = 1ULL << kChunkBits;
+  static constexpr uint64_t kChunkMask = kChunkSize - 1;
+
+  XArray() = default;
+  ~XArray() { Clear(); }
+
+  XArray(const XArray&) = delete;
+  XArray& operator=(const XArray&) = delete;
+
+  XArray(XArray&& other) noexcept { *this = std::move(other); }
+  XArray& operator=(XArray&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      root_ = std::exchange(other.root_, nullptr);
+      root_shift_ = std::exchange(other.root_shift_, 0);
+      size_ = std::exchange(other.size_, 0);
+      node_count_ = std::exchange(other.node_count_, 0);
+    }
+    return *this;
+  }
+
+  // Inserts or overwrites the entry at `key`; returns a reference to the stored value.
+  T& Store(uint64_t key, T value) {
+    GrowToFit(key);
+    if (root_ == nullptr) {
+      root_ = NewNode(root_shift_);
+    }
+    Node* node = root_;
+    while (node->shift > 0) {
+      const uint64_t index = (key >> node->shift) & kChunkMask;
+      if (node->slots[index] == nullptr) {
+        node->slots[index] = NewNode(node->shift - kChunkBits);
+        ++node->count;
+      }
+      node = static_cast<Node*>(node->slots[index]);
+    }
+    const uint64_t index = key & kChunkMask;
+    if (node->slots[index] == nullptr) {
+      node->slots[index] = new T(std::move(value));
+      ++node->count;
+      ++size_;
+    } else {
+      *static_cast<T*>(node->slots[index]) = std::move(value);
+    }
+    return *static_cast<T*>(node->slots[index]);
+  }
+
+  // Returns the value stored at `key`, or nullptr.
+  T* Load(uint64_t key) {
+    Node* node = root_;
+    if (node == nullptr || key > MaxKey()) {
+      return nullptr;
+    }
+    while (node != nullptr && node->shift > 0) {
+      node = static_cast<Node*>(node->slots[(key >> node->shift) & kChunkMask]);
+    }
+    if (node == nullptr) {
+      return nullptr;
+    }
+    return static_cast<T*>(node->slots[key & kChunkMask]);
+  }
+
+  const T* Load(uint64_t key) const { return const_cast<XArray*>(this)->Load(key); }
+
+  // Removes the entry at `key`; returns the removed value if present. Frees interior nodes
+  // whose subtrees become empty.
+  std::optional<T> Erase(uint64_t key) {
+    if (root_ == nullptr || key > MaxKey()) {
+      return std::nullopt;
+    }
+    std::optional<T> removed;
+    EraseRecursive(root_, key, &removed);
+    if (removed.has_value()) {
+      --size_;
+      if (root_->count == 0) {
+        FreeNode(root_);
+        root_ = nullptr;
+        root_shift_ = 0;
+      }
+    }
+    return removed;
+  }
+
+  // Invokes fn(key, value&) over all populated entries in ascending key order. The callback
+  // must not mutate the index structure.
+  void ForEach(const std::function<void(uint64_t, T&)>& fn) {
+    if (root_ != nullptr) {
+      ForEachRecursive(root_, 0, fn);
+    }
+  }
+
+  void ForEach(const std::function<void(uint64_t, const T&)>& fn) const {
+    const_cast<XArray*>(this)->ForEach(
+        [&fn](uint64_t key, T& value) { fn(key, static_cast<const T&>(value)); });
+  }
+
+  void Clear() {
+    if (root_ != nullptr) {
+      ClearRecursive(root_);
+      root_ = nullptr;
+    }
+    root_shift_ = 0;
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Approximate heap footprint of the index structure (excludes sizeof(*this)). Used to
+  // validate the paper's "<32 KB per process" candidate-set claim.
+  size_t MemoryUsageBytes() const {
+    return node_count_ * sizeof(Node) + size_ * sizeof(T);
+  }
+
+ private:
+  struct Node {
+    std::array<void*, kChunkSize> slots = {};
+    int shift = 0;      // Shift applied to a key to index this node; 0 for leaves.
+    uint32_t count = 0; // Populated slots.
+  };
+
+  uint64_t MaxKey() const {
+    if (root_ == nullptr) {
+      return 0;
+    }
+    const int bits = root_shift_ + kChunkBits;
+    if (bits >= 64) {
+      return ~0ULL;
+    }
+    return (1ULL << bits) - 1;
+  }
+
+  Node* NewNode(int shift) {
+    auto* node = new Node();
+    node->shift = shift;
+    ++node_count_;
+    return node;
+  }
+
+  void FreeNode(Node* node) {
+    delete node;
+    --node_count_;
+  }
+
+  void GrowToFit(uint64_t key) {
+    while (root_ != nullptr && key > MaxKey()) {
+      Node* new_root = NewNode(root_shift_ + kChunkBits);
+      if (root_->count > 0) {
+        new_root->slots[0] = root_;
+        new_root->count = 1;
+      } else {
+        FreeNode(root_);
+      }
+      root_ = new_root;
+      root_shift_ = new_root->shift;
+    }
+    if (root_ == nullptr) {
+      int shift = 0;
+      while ((shift + kChunkBits) < 64 && (key >> (shift + kChunkBits)) != 0) {
+        shift += kChunkBits;
+      }
+      root_shift_ = shift;
+    }
+  }
+
+  // Returns true if `node` became empty and was freed by the caller's bookkeeping.
+  bool EraseRecursive(Node* node, uint64_t key, std::optional<T>* removed) {
+    const uint64_t index = node->shift > 0 ? (key >> node->shift) & kChunkMask : key & kChunkMask;
+    void*& slot = node->slots[index];
+    if (slot == nullptr) {
+      return false;
+    }
+    if (node->shift == 0) {
+      auto* value = static_cast<T*>(slot);
+      *removed = std::move(*value);
+      delete value;
+      slot = nullptr;
+      --node->count;
+      return node->count == 0;
+    }
+    auto* child = static_cast<Node*>(slot);
+    if (EraseRecursive(child, key, removed)) {
+      FreeNode(child);
+      slot = nullptr;
+      --node->count;
+    }
+    return node->count == 0;
+  }
+
+  void ForEachRecursive(Node* node, uint64_t prefix,
+                        const std::function<void(uint64_t, T&)>& fn) {
+    for (uint64_t i = 0; i < kChunkSize; ++i) {
+      void* slot = node->slots[i];
+      if (slot == nullptr) {
+        continue;
+      }
+      const uint64_t key = prefix | (i << node->shift);
+      if (node->shift == 0) {
+        fn(key, *static_cast<T*>(slot));
+      } else {
+        ForEachRecursive(static_cast<Node*>(slot), key, fn);
+      }
+    }
+  }
+
+  void ClearRecursive(Node* node) {
+    for (void* slot : node->slots) {
+      if (slot == nullptr) {
+        continue;
+      }
+      if (node->shift == 0) {
+        delete static_cast<T*>(slot);
+      } else {
+        ClearRecursive(static_cast<Node*>(slot));
+      }
+    }
+    FreeNode(node);
+  }
+
+  Node* root_ = nullptr;
+  int root_shift_ = 0;
+  size_t size_ = 0;
+  size_t node_count_ = 0;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_COMMON_XARRAY_H_

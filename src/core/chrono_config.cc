@@ -1,0 +1,28 @@
+#include "src/core/chrono_config.h"
+
+namespace chronotier {
+
+namespace {
+ChronoConfig SemiAutoVariant(int rounds, double rate_mbps) {
+  ChronoConfig config;
+  config.filter_rounds = rounds;
+  config.tuning = ChronoTuningMode::kSemiAuto;
+  config.initial_rate_limit_mbps = rate_mbps;
+  return config;
+}
+}  // namespace
+
+ChronoConfig ChronoConfig::Basic() { return SemiAutoVariant(1, 120.0); }
+ChronoConfig ChronoConfig::Twice() { return SemiAutoVariant(2, 120.0); }
+ChronoConfig ChronoConfig::Thrice() { return SemiAutoVariant(3, 120.0); }
+
+ChronoConfig ChronoConfig::Full() {
+  ChronoConfig config;
+  config.filter_rounds = 2;
+  config.tuning = ChronoTuningMode::kDcsc;
+  return config;
+}
+
+ChronoConfig ChronoConfig::Manual(double rate_mbps) { return SemiAutoVariant(2, rate_mbps); }
+
+}  // namespace chronotier

@@ -1,0 +1,66 @@
+// Chrono configuration: the Table 2 parameters plus the design-variant knobs used by the
+// Fig. 13 ablation (basic / twice / thrice / full / manual).
+
+#ifndef SRC_CORE_CHRONO_CONFIG_H_
+#define SRC_CORE_CHRONO_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+#include "src/mem/tier.h"
+#include "src/policies/scan_policy_base.h"
+
+namespace chronotier {
+
+enum class ChronoTuningMode {
+  kSemiAuto,  // User-provided rate limit; CIT threshold auto-adjusted (Section 3.2.1).
+  kDcsc,      // Fully automatic: DCSC tunes both threshold and rate limit (Section 3.2.2).
+};
+
+struct ChronoConfig {
+  // --- Table 2 defaults ---
+  ScanGeometry geometry;  // Scan step 256 MB, scan period 60 s.
+  double p_victim = 0.00003;                      // 0.003% of the VM space per DCSC probe.
+  int b_buckets = 28;                             // CIT heat-map levels.
+  double delta_step = 0.5;                        // Threshold adaption step δ.
+  SimDuration initial_cit_threshold = 1000 * kMillisecond;  // Auto-tuned afterwards.
+  double initial_rate_limit_mbps = 100.0;                   // Auto-tuned afterwards.
+
+  // --- structural knobs ---
+  int filter_rounds = 2;  // Candidate-filter rounds (Fig. 13: basic=1, twice=2, thrice=3).
+  ChronoTuningMode tuning = ChronoTuningMode::kDcsc;
+  // In semi-auto mode the rate limit is fixed (user-provided); DCSC mode adapts it.
+
+  // --- secondary timing ---
+  SimDuration dcsc_period = 1 * kSecond;          // DCSC probe cadence ("per-second scans").
+  int dcsc_aggregate_ticks = 5;                   // Ticks between heat-map aggregations.
+  SimDuration queue_drain_period = 100 * kMillisecond;
+
+  // Small-simulation floor: P% of a small space can round to zero pages.
+  uint64_t min_victims_per_process = 64;
+
+  // --- thrashing monitor (Section 3.3.2) ---
+  double thrash_ratio_threshold = 0.2;
+
+  // --- bounds ---
+  SimDuration min_cit_threshold = 1 * kMillisecond;
+  SimDuration max_cit_threshold = (1ll << 27) * kMillisecond;  // ~37.3 h, per Section 4.
+  double min_rate_limit_mbps = 4.0;
+  double max_rate_limit_mbps = 4096.0;
+
+  // Named variants from the design-choice analysis (Section 5.4).
+  static ChronoConfig Basic();                     // 1-round filter, semi-auto @120 MB/s.
+  static ChronoConfig Twice();                     // 2-round filter, semi-auto @120 MB/s.
+  static ChronoConfig Thrice();                    // 3-round filter, semi-auto @120 MB/s.
+  static ChronoConfig Full();                      // 2-round + DCSC (the default Chrono).
+  static ChronoConfig Manual(double rate_mbps);    // Semi-auto with a user rate limit.
+
+  // Pages per second implied by a MB/s rate limit.
+  static double PagesPerSecond(double mbps) {
+    return mbps * 1024.0 * 1024.0 / static_cast<double>(kBasePageSize);
+  }
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_CORE_CHRONO_CONFIG_H_

@@ -1,0 +1,56 @@
+// Captured Idle Time (CIT) primitives.
+//
+// CIT is the time gap between a Ticking-scan poisoning a page and the hint fault from the
+// next access (Section 3.1.1). Because scan events fire independently of application
+// execution, the CIT of a page with inherent access period T0 is uniform on [0, T0]
+// (Appendix B, eq. 1), so CIT is an unbiased, fine-grained proxy for access frequency with
+// millisecond resolution — a measurable range up to 1000 accesses/second.
+
+#ifndef SRC_CORE_CIT_H_
+#define SRC_CORE_CIT_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/time.h"
+#include "src/mem/tier.h"
+#include "src/vm/page.h"
+
+namespace chronotier {
+
+// Millisecond clamp helpers for the 4-byte per-page timestamp field.
+inline uint32_t SimTimeToMillis(SimTime t) {
+  const int64_t ms = t / kMillisecond;
+  return static_cast<uint32_t>(std::min<int64_t>(std::max<int64_t>(ms, 0), 0xFFFFFFFEll));
+}
+
+// Stamps the Ticking-scan timestamp on a page.
+inline void StampScanTimestamp(PageInfo& page, SimTime now) {
+  page.scan_ts_ms = SimTimeToMillis(now);
+}
+
+inline bool HasScanTimestamp(const PageInfo& page) {
+  return page.scan_ts_ms != kNoScanTimestamp;
+}
+
+// Computes the page's CIT in milliseconds at fault time. Requires a valid scan timestamp;
+// clock regressions (cannot happen in simulation) clamp to zero.
+inline uint32_t ComputeCitMillis(const PageInfo& page, SimTime fault_time) {
+  const uint32_t fault_ms = SimTimeToMillis(fault_time);
+  return fault_ms >= page.scan_ts_ms ? fault_ms - page.scan_ts_ms : 0;
+}
+
+// Effective CIT threshold for a hotness unit covering `unit_pages` base pages: huge units
+// aggregate the accesses of all covered base pages, so an equally-hot-per-byte huge page
+// faults ~512x sooner; the threshold scales down accordingly (Section 3.4):
+// TH_2MB = TH_4KB / 512, TH_1GB = TH_4KB / 512^2.
+inline uint32_t EffectiveThresholdMillis(uint32_t base_threshold_ms, uint64_t unit_pages) {
+  if (unit_pages <= 1) {
+    return base_threshold_ms;
+  }
+  return std::max<uint32_t>(base_threshold_ms / static_cast<uint32_t>(unit_pages), 1);
+}
+
+}  // namespace chronotier
+
+#endif  // SRC_CORE_CIT_H_

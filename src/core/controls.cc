@@ -1,0 +1,90 @@
+#include "src/core/controls.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace chronotier {
+
+namespace {
+
+bool ParseUint(std::string_view text, uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string buffer(text);
+  const unsigned long long value = std::strtoull(buffer.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string buffer(text);
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ChronoControls::Set(std::string_view assignment) {
+  const size_t eq = assignment.find('=');
+  if (eq == std::string_view::npos || policy_ == nullptr) {
+    return false;
+  }
+  const std::string_view name = assignment.substr(0, eq);
+  const std::string_view value = assignment.substr(eq + 1);
+
+  if (name == "cit_threshold_ms") {
+    uint64_t parsed = 0;
+    if (!ParseUint(value, &parsed)) {
+      return false;
+    }
+    policy_->OverrideCitThreshold(static_cast<uint32_t>(
+        std::min<uint64_t>(parsed, 0xFFFFFFFFull)));
+    return true;
+  }
+  if (name == "rate_limit_mbps") {
+    double parsed = 0;
+    if (!ParseDouble(value, &parsed) || parsed <= 0) {
+      return false;
+    }
+    policy_->OverrideRateLimit(parsed);
+    return true;
+  }
+  return false;
+}
+
+int ChronoControls::SetAll(const std::vector<std::string>& assignments) {
+  int applied = 0;
+  for (const std::string& assignment : assignments) {
+    applied += Set(assignment) ? 1 : 0;
+  }
+  return applied;
+}
+
+std::string ChronoControls::Show() const {
+  if (policy_ == nullptr) {
+    return "";
+  }
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "cit_threshold_ms=%u\nrate_limit_mbps=%.1f\ncandidates=%zu\n"
+                "queue_depth=%zu\nthrashes=%llu\n",
+                policy_->cit_threshold_ms(), policy_->rate_limit_mbps(),
+                policy_->candidate_filter().size(), policy_->promotion_queue().size(),
+                static_cast<unsigned long long>(policy_->thrash_monitor().total_thrashes()));
+  return buffer;
+}
+
+}  // namespace chronotier

@@ -1,0 +1,45 @@
+// Runtime parameter controls: the library analogue of the paper's procfs controllers
+// ("we have also developed procfs controllers that allow system managers to configure
+// parameters manually as they need", Section 4).
+//
+// A ChronoControls wraps a live ChronoPolicy and accepts `name=value` strings naming the
+// Table 2 parameters. Reads return the current (possibly auto-tuned) values, so a manager
+// can observe the tuners as well as override them.
+
+#ifndef SRC_CORE_CONTROLS_H_
+#define SRC_CORE_CONTROLS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/chrono_policy.h"
+
+namespace chronotier {
+
+class ChronoControls {
+ public:
+  explicit ChronoControls(ChronoPolicy* policy) : policy_(policy) {}
+
+  // Applies one `name=value` assignment. Recognized names (matching Table 2):
+  //   cit_threshold_ms   (uint, clamps to the configured bounds)
+  //   rate_limit_mbps    (double, clamps to the configured bounds)
+  // Returns true on success; unknown names or malformed values return false and leave the
+  // policy untouched.
+  bool Set(std::string_view assignment);
+
+  // Applies a batch; returns the number of assignments that succeeded.
+  int SetAll(const std::vector<std::string>& assignments);
+
+  // Renders the current parameter state as `name=value` lines (the procfs read side).
+  std::string Show() const;
+
+  ChronoPolicy* policy() { return policy_; }
+
+ private:
+  ChronoPolicy* policy_;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_CORE_CONTROLS_H_

@@ -1,0 +1,68 @@
+#include "src/core/standard_policies.h"
+
+#include "src/core/chrono_policy.h"
+#include "src/policies/autotiering.h"
+#include "src/policies/linux_nb.h"
+#include "src/policies/memtis.h"
+#include "src/policies/multiclock.h"
+#include "src/policies/tpp.h"
+
+namespace chronotier {
+
+std::vector<NamedPolicyFactory> StandardPolicySet(ScanGeometry geometry) {
+  return {
+      {"Linux-NB",
+       [geometry] { return std::make_unique<LinuxNumaBalancingPolicy>(geometry); }},
+      {"AutoTiering",
+       [geometry] {
+         AutoTieringConfig config;
+         config.geometry = geometry;
+         return std::make_unique<AutoTieringPolicy>(config);
+       }},
+      {"Multi-Clock",
+       [geometry] {
+         MultiClockConfig config;
+         config.geometry = geometry;
+         return std::make_unique<MultiClockPolicy>(config);
+       }},
+      {"TPP",
+       [geometry] {
+         TppConfig config;
+         config.geometry = geometry;
+         config.recency_window = geometry.scan_period;
+         return std::make_unique<TppPolicy>(config);
+       }},
+      {"Memtis", [] { return std::make_unique<MemtisPolicy>(); }},
+      {"Chrono",
+       [geometry] {
+         ChronoConfig config = ChronoConfig::Full();
+         config.geometry = geometry;
+         return std::make_unique<ChronoPolicy>(config);
+       }},
+  };
+}
+
+std::vector<NamedPolicyFactory> ChronoVariantSet(double manual_rate_mbps,
+                                                 ScanGeometry geometry) {
+  auto variant = [geometry](ChronoConfig config, const char* label) {
+    config.geometry = geometry;
+    return std::make_unique<ChronoPolicy>(config, label);
+  };
+  return {
+      {"Linux-NB",
+       [geometry] { return std::make_unique<LinuxNumaBalancingPolicy>(geometry); }},
+      {"Chrono-basic",
+       [variant] { return variant(ChronoConfig::Basic(), "Chrono-basic"); }},
+      {"Chrono-twice",
+       [variant] { return variant(ChronoConfig::Twice(), "Chrono-twice"); }},
+      {"Chrono-thrice",
+       [variant] { return variant(ChronoConfig::Thrice(), "Chrono-thrice"); }},
+      {"Chrono-full", [variant] { return variant(ChronoConfig::Full(), "Chrono-full"); }},
+      {"Chrono-manual",
+       [variant, manual_rate_mbps] {
+         return variant(ChronoConfig::Manual(manual_rate_mbps), "Chrono-manual");
+       }},
+  };
+}
+
+}  // namespace chronotier

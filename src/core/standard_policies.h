@@ -1,0 +1,31 @@
+// Factories for the six systems the paper evaluates, in the order its figures list them.
+
+#ifndef SRC_CORE_STANDARD_POLICIES_H_
+#define SRC_CORE_STANDARD_POLICIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/policies/scan_policy_base.h"
+
+namespace chronotier {
+
+struct NamedPolicyFactory {
+  std::string name;
+  PolicyFactory make;
+};
+
+// Linux-NB, AutoTiering, Multi-Clock, TPP, Memtis, Chrono — the Fig. 6-12 lineup.
+// `scan_period` lets benches time-compress the experiments (the paper default is 60 s; the
+// bench suite uses a shorter period with proportionally faster workloads so the dynamics
+// play out within affordable simulated windows; see EXPERIMENTS.md).
+std::vector<NamedPolicyFactory> StandardPolicySet(ScanGeometry geometry = {});
+
+// The Fig. 13 design-choice lineup: Linux-NB, Chrono-basic/twice/thrice/full/manual.
+std::vector<NamedPolicyFactory> ChronoVariantSet(double manual_rate_mbps = 120.0,
+                                                 ScanGeometry geometry = {});
+
+}  // namespace chronotier
+
+#endif  // SRC_CORE_STANDARD_POLICIES_H_

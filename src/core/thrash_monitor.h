@@ -1,0 +1,74 @@
+// Page-thrashing monitor (Section 3.3.2).
+//
+// A thrashing event is a recently demoted page re-qualifying for promotion within one scan
+// period. The monitor compares the per-period thrashing rate against the promotion rate;
+// above the threshold ratio (default 20%) the caller halves the promotion rate limit.
+
+#ifndef SRC_CORE_THRASH_MONITOR_H_
+#define SRC_CORE_THRASH_MONITOR_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+#include "src/core/cit.h"
+#include "src/vm/page.h"
+
+namespace chronotier {
+
+class ThrashMonitor {
+ public:
+  explicit ThrashMonitor(double ratio_threshold = 0.2, SimDuration window = 60 * kSecond)
+      : ratio_threshold_(ratio_threshold), window_ms_(SimTimeToMillis(window)) {}
+
+  // Marks a page as just demoted: sets the flag and stores the demotion time in the scan
+  // timestamp slot (the paper substitutes the demotion timestamp for the Ticking-scan one).
+  void MarkDemoted(PageInfo& page, SimTime now) const {
+    page.Set(kPageDemoted);
+    StampScanTimestamp(page, now);
+  }
+
+  // Called when a page qualifies as a promotion candidate; records a thrash event if it was
+  // demoted within the window. Clears the demoted marker either way (the page has proven
+  // hot; it should not double-count).
+  bool CheckRequalification(PageInfo& page, SimTime now) {
+    if (!page.Has(kPageDemoted)) {
+      return false;
+    }
+    page.ClearFlag(kPageDemoted);
+    const uint32_t now_ms = SimTimeToMillis(now);
+    const bool thrashed =
+        HasScanTimestamp(page) && now_ms >= page.scan_ts_ms &&
+        now_ms - page.scan_ts_ms <= window_ms_;
+    if (thrashed) {
+      ++window_thrashes_;
+      ++total_thrashes_;
+    }
+    return thrashed;
+  }
+
+  // Evaluates the window: returns true when the thrash ratio exceeds the threshold (caller
+  // halves the rate limit). Resets the window counter.
+  bool EvaluateWindow(uint64_t promotions_in_window) {
+    const uint64_t thrashes = window_thrashes_;
+    window_thrashes_ = 0;
+    if (promotions_in_window == 0) {
+      return false;
+    }
+    const double ratio =
+        static_cast<double>(thrashes) / static_cast<double>(promotions_in_window);
+    return ratio > ratio_threshold_;
+  }
+
+  uint64_t total_thrashes() const { return total_thrashes_; }
+  uint64_t window_thrashes() const { return window_thrashes_; }
+
+ private:
+  double ratio_threshold_;
+  uint32_t window_ms_;
+  uint64_t window_thrashes_ = 0;
+  uint64_t total_thrashes_ = 0;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_CORE_THRASH_MONITOR_H_

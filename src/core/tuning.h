@@ -1,0 +1,50 @@
+// Semi-automatic CIT-threshold controller (Section 3.2.1).
+//
+// Once per Ticking-scan period the controller compares the promotion enqueue rate against
+// the rate limit and nudges the threshold:
+//     r_i  = RateLimit[i] / EnqueueRate[i]
+//     TH_{i+1} = (1 - δ + δ·r_i) · TH_i
+// so the enqueue rate converges to the limit: too many candidates shrink the threshold,
+// too few grow it.
+
+#ifndef SRC_CORE_TUNING_H_
+#define SRC_CORE_TUNING_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace chronotier {
+
+class SemiAutoThresholdController {
+ public:
+  SemiAutoThresholdController(double delta_step, uint32_t min_threshold_ms,
+                              uint32_t max_threshold_ms)
+      : delta_(delta_step), min_ms_(min_threshold_ms), max_ms_(max_threshold_ms) {}
+
+  // One adjustment step. `rate_limit_pages` and `enqueued_pages` are counts over the same
+  // window. Returns the new threshold.
+  uint32_t Adjust(uint32_t threshold_ms, double rate_limit_pages, double enqueued_pages) const {
+    // An idle window (no enqueues) gives r = ∞; clamp the per-period ratio so the threshold
+    // moves geometrically but boundedly in either direction.
+    double r = enqueued_pages > 0 ? rate_limit_pages / enqueued_pages : kMaxRatio;
+    r = std::clamp(r, kMinRatio, kMaxRatio);
+    const double factor = 1.0 - delta_ + delta_ * r;
+    const double next = static_cast<double>(threshold_ms) * factor;
+    return static_cast<uint32_t>(
+        std::clamp(next, static_cast<double>(min_ms_), static_cast<double>(max_ms_)));
+  }
+
+  double delta() const { return delta_; }
+
+ private:
+  static constexpr double kMinRatio = 0.25;
+  static constexpr double kMaxRatio = 4.0;
+
+  double delta_;
+  uint32_t min_ms_;
+  uint32_t max_ms_;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_CORE_TUNING_H_

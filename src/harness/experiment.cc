@@ -1,0 +1,94 @@
+#include "src/harness/experiment.h"
+
+#include <cassert>
+
+namespace chronotier {
+
+ExperimentResult Experiment::Run(const ExperimentConfig& config,
+                                 const PolicyFactory& make_policy,
+                                 const std::vector<ProcessSpec>& process_specs,
+                                 const InspectFn& inspect, const FinishFn& finish) {
+  std::unique_ptr<TieringPolicy> policy = make_policy();
+  assert(policy != nullptr);
+  const PageSizeKind page_kind = config.page_kind.value_or(policy->PreferredPageSize());
+
+  ExperimentResult result;
+  result.policy_name = std::string(policy->name());
+
+  MachineConfig machine_config =
+      MachineConfig::StandardTwoTier(config.total_pages, config.fast_fraction);
+  machine_config.seed = config.seed;
+  machine_config.bandwidth_scale = config.bandwidth_scale;
+  Machine machine(machine_config, std::move(policy));
+
+  for (size_t i = 0; i < process_specs.size(); ++i) {
+    const ProcessSpec& spec = process_specs[i];
+    Process& process = machine.CreateProcess(spec.name.empty() ? "proc" : spec.name);
+    process.set_default_page_kind(page_kind);
+    process.set_access_delay(spec.access_delay);
+    machine.AttachWorkload(process, spec.make_stream(),
+                           SplitMix64(config.seed + 0x1000 + i));
+  }
+
+  machine.Start();
+  if (inspect) {
+    inspect(machine, machine.policy());
+  }
+
+  // Residency sampling covers warmup + measurement (Fig. 9 plots from t=0).
+  if (config.residency_sample_interval > 0) {
+    result.residency_percent.resize(machine.processes().size());
+    machine.queue().SchedulePeriodic(
+        config.residency_sample_interval, [&machine, &result](SimTime now) {
+          result.sample_times.push_back(now);
+          for (size_t p = 0; p < machine.processes().size(); ++p) {
+            result.residency_percent[p].push_back(
+                machine.processes()[p]->FastTierResidencyPercent());
+          }
+        });
+  }
+
+  if (config.run_to_completion) {
+    result.elapsed = machine.RunToCompletion(config.measure);
+  } else {
+    if (config.warmup > 0) {
+      machine.Run(config.warmup);
+      machine.metrics().Reset();
+    }
+    machine.Run(config.measure);
+    result.elapsed = config.measure;
+  }
+
+  const Metrics& metrics = machine.metrics();
+  result.throughput_ops = metrics.Throughput(result.elapsed);
+  result.avg_latency_ns = metrics.MeanLatency();
+  result.median_latency_ns = metrics.LatencyPercentile(50.0);
+  result.p99_latency_ns = metrics.LatencyPercentile(99.0);
+  result.read_avg_ns = metrics.read_latency().Mean();
+  result.write_avg_ns = metrics.write_latency().Mean();
+  result.fmar = metrics.Fmar();
+  result.kernel_time_fraction = metrics.KernelTimeFraction();
+  result.context_switches_per_sec = metrics.ContextSwitchRate(result.elapsed);
+  result.promoted_pages = metrics.promoted_pages();
+  result.demoted_pages = metrics.demoted_pages();
+  result.promotion_events = metrics.promotion_events();
+  result.thrash_events = metrics.thrash_events();
+  result.hint_faults = metrics.hint_faults();
+  if (finish) {
+    finish(machine, result);
+  }
+  return result;
+}
+
+std::vector<double> NormalizeToFirst(const std::vector<double>& values) {
+  std::vector<double> out(values.size(), 0.0);
+  if (values.empty() || values.front() == 0.0) {
+    return out;
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = values[i] / values.front();
+  }
+  return out;
+}
+
+}  // namespace chronotier

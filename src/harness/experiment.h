@@ -1,0 +1,88 @@
+// Experiment runner: builds a machine + policy + processes, runs warmup and a measured
+// window (or to completion), and collects the metrics the paper's figures report.
+
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/harness/machine.h"
+
+namespace chronotier {
+
+using PolicyFactory = std::function<std::unique_ptr<TieringPolicy>()>;
+using StreamFactory = std::function<std::unique_ptr<AccessStream>()>;
+
+struct ProcessSpec {
+  std::string name = "proc";
+  StreamFactory make_stream;
+  SimDuration access_delay = 0;  // Fig. 9's per-cgroup stall knob.
+};
+
+struct ExperimentConfig {
+  uint64_t total_pages = 1u << 16;  // Physical pages across both tiers.
+  double fast_fraction = 0.25;      // The paper's 25%-DRAM split.
+  // Miniature-machine scaling: (testbed capacity) / (simulated capacity). Scales the
+  // migration copy engines so migration pressure relative to capacity matches the testbed.
+  double bandwidth_scale = 1.0;
+  SimDuration warmup = 20 * kSecond;
+  SimDuration measure = 120 * kSecond;
+  bool run_to_completion = false;   // Fig. 11 execution-time mode (measure = deadline).
+  std::optional<PageSizeKind> page_kind;  // Pin page size; else the policy's preference.
+  uint64_t seed = 42;
+  // When > 0, samples every process's fast-tier residency at this cadence (Fig. 9).
+  SimDuration residency_sample_interval = 0;
+};
+
+struct ExperimentResult {
+  std::string policy_name;
+  SimDuration elapsed = 0;  // Measured window (or completion time).
+
+  double throughput_ops = 0;        // Ops per simulated second.
+  double avg_latency_ns = 0;
+  double median_latency_ns = 0;
+  double p99_latency_ns = 0;
+  double read_avg_ns = 0;
+  double write_avg_ns = 0;
+
+  double fmar = 0;                  // Fast-tier memory access ratio.
+  double kernel_time_fraction = 0;
+  double context_switches_per_sec = 0;
+
+  uint64_t promoted_pages = 0;
+  uint64_t demoted_pages = 0;
+  uint64_t promotion_events = 0;
+  uint64_t thrash_events = 0;
+  uint64_t hint_faults = 0;
+
+  // Residency time series (per process, per sample) and the sample times.
+  std::vector<SimTime> sample_times;
+  std::vector<std::vector<double>> residency_percent;
+};
+
+class Experiment {
+ public:
+  // Runs one configuration. `inspect` (optional) is invoked after Start() but before any
+  // simulated time passes, with the machine and policy — benches use it to install
+  // observers or extra samplers.
+  using InspectFn = std::function<void(Machine&, TieringPolicy&)>;
+  // `finish` runs after the measured window, before teardown — for end-state inspection
+  // (final placement, candidate-set sizes, ...). It may amend the result.
+  using FinishFn = std::function<void(Machine&, ExperimentResult&)>;
+
+  static ExperimentResult Run(const ExperimentConfig& config, const PolicyFactory& make_policy,
+                              const std::vector<ProcessSpec>& process_specs,
+                              const InspectFn& inspect = nullptr,
+                              const FinishFn& finish = nullptr);
+};
+
+// Normalizes a metric vector to its first element (the paper normalizes to Linux-NB).
+std::vector<double> NormalizeToFirst(const std::vector<double>& values);
+
+}  // namespace chronotier
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,404 @@
+#include "src/harness/machine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace chronotier {
+
+MachineConfig MachineConfig::StandardTwoTier(uint64_t total_pages, double fast_fraction) {
+  MachineConfig config;
+  const auto fast_pages =
+      static_cast<uint64_t>(static_cast<double>(total_pages) * fast_fraction);
+  config.tiers = {TierSpec::Dram(fast_pages), TierSpec::OptanePmem(total_pages - fast_pages)};
+  return config;
+}
+
+namespace {
+std::vector<TierSpec> ScaleBandwidth(std::vector<TierSpec> tiers, double scale) {
+  if (scale > 1.0) {
+    for (TierSpec& spec : tiers) {
+      spec.migration_bandwidth_bytes_per_sec /= scale;
+    }
+  }
+  return tiers;
+}
+}  // namespace
+
+Machine::Machine(MachineConfig config, std::unique_ptr<TieringPolicy> policy)
+    : config_(config),
+      memory_(ScaleBandwidth(config.tiers, config.bandwidth_scale)),
+      policy_(std::move(policy)),
+      pebs_(config.pebs) {
+  for (int i = 0; i < memory_.num_nodes(); ++i) {
+    lrus_.emplace_back();
+  }
+  assert(policy_ != nullptr);
+}
+
+Machine::~Machine() = default;
+
+Process& Machine::CreateProcess(const std::string& name) {
+  const auto pid = static_cast<int32_t>(processes_.size());
+  processes_.push_back(std::make_unique<Process>(pid, name));
+  bindings_.emplace_back();
+  Process& process = *processes_.back();
+  process.SyncClockTo(queue_.now());
+  if (started_) {
+    policy_->OnProcessCreated(process);
+  }
+  return process;
+}
+
+void Machine::AttachWorkload(Process& process, std::unique_ptr<AccessStream> stream,
+                             uint64_t seed) {
+  WorkloadBinding& binding = bindings_[static_cast<size_t>(process.pid())];
+  binding.stream = std::move(stream);
+  binding.rng.Seed(seed);
+  binding.stream->Init(process, binding.rng);
+}
+
+void Machine::Start() {
+  assert(!started_);
+  started_ = true;
+  policy_->Attach(*this);
+  if (policy_->WantsSharedReclaim()) {
+    queue_.SchedulePeriodic(config_.reclaim_check_period,
+                            [this](SimTime now) { ReclaimTick(now); });
+  }
+}
+
+Process* Machine::ProcessByPid(int32_t pid) {
+  if (pid < 0 || static_cast<size_t>(pid) >= processes_.size()) {
+    return nullptr;
+  }
+  return processes_[static_cast<size_t>(pid)].get();
+}
+
+Vma* Machine::ResolveVma(const PageInfo& page) {
+  Process* owner = ProcessByPid(page.owner);
+  return owner != nullptr ? owner->aspace().FindVma(page.vpn) : nullptr;
+}
+
+void Machine::Run(SimDuration duration) {
+  assert(started_);
+  const SimTime end = queue_.now() + duration;
+  while (queue_.now() < end) {
+    SimTime horizon = queue_.NextEventTime();
+    if (horizon == kNeverTime || horizon > end) {
+      horizon = end;
+    }
+    // Advance processes toward the horizon in bounded quanta so they interleave fairly.
+    SimTime cursor = queue_.now();
+    while (cursor < horizon) {
+      cursor = std::min(cursor + config_.process_quantum, horizon);
+      for (size_t i = 0; i < processes_.size(); ++i) {
+        RunProcessUntil(*processes_[i], bindings_[i], cursor);
+      }
+    }
+    queue_.RunUntil(horizon);
+  }
+}
+
+SimDuration Machine::RunToCompletion(SimDuration max_duration) {
+  assert(started_);
+  const SimTime start = queue_.now();
+  const SimTime deadline = start + max_duration;
+  // Slice execution so completion is detected promptly without busy-checking per op.
+  const SimDuration slice = std::max<SimDuration>(config_.reclaim_check_period, kMillisecond);
+  while (!AllProcessesFinished() && queue_.now() < deadline) {
+    Run(std::min<SimDuration>(slice, deadline - queue_.now()));
+  }
+  return queue_.now() - start;
+}
+
+bool Machine::AllProcessesFinished() const {
+  for (size_t i = 0; i < processes_.size(); ++i) {
+    if (bindings_[i].stream != nullptr && !processes_[i]->finished()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Machine::RunProcessUntil(Process& process, WorkloadBinding& binding, SimTime horizon) {
+  if (binding.stream == nullptr || process.finished()) {
+    process.SyncClockTo(horizon);
+    return;
+  }
+  while (process.clock() < horizon) {
+    MemOp op;
+    if (!binding.stream->Next(binding.rng, &op)) {
+      process.set_finished(true);
+      break;
+    }
+    const SimDuration spent = ExecuteOp(process, op);
+    process.AdvanceClock(std::max<SimDuration>(spent, 1));
+  }
+  if (process.finished()) {
+    // Idle processes still follow global time.
+    process.SyncClockTo(horizon);
+  }
+}
+
+SimDuration Machine::ExecuteOp(Process& process, const MemOp& op) {
+  SimDuration total = op.think_time + process.access_delay();
+  if (total > 0) {
+    metrics_.CountThinkTime(total);
+  }
+  total += AccessMemory(process, op.vaddr, op.is_store);
+  process.CountAccess();
+  return total;
+}
+
+SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_store) {
+  const uint64_t vpn = vaddr / kBasePageSize;
+  Vma* vma = process.aspace().FindVma(vpn);
+  if (vma == nullptr) {
+    std::fprintf(stderr, "machine: access to unmapped vpn 0x%llx by pid %d\n",
+                 static_cast<unsigned long long>(vpn), process.pid());
+    std::abort();
+  }
+  PageInfo& unit = vma->HotnessUnit(vpn);
+  const SimTime now = std::max(process.clock(), queue_.now());
+  SimDuration latency = 0;
+
+  if (!unit.present()) {
+    latency += HandleDemandFault(process, *vma, unit);
+  }
+
+  if (unit.prot_none()) {
+    unit.ClearFlag(kPageProtNone);
+    latency += config_.hint_fault_cost;
+    metrics_.ChargeKernel(KernelWork::kFaultHandling, config_.hint_fault_cost);
+    metrics_.CountHintFault();
+    metrics_.CountContextSwitch();
+    latency += policy_->OnHintFault(process, *vma, unit, is_store, now);
+  }
+
+  // Device access.
+  const MemoryTier& tier = memory_.node(unit.node);
+  latency += tier.AccessLatency(is_store);
+
+  unit.Set(kPageAccessed);
+  if (is_store) {
+    unit.Set(kPageDirty);
+  }
+  unit.oracle_last_access = now;
+  ++unit.oracle_access_count;
+  if (unit.node != kFastNode) {
+    unit.Set(kPageOracleTouchedSlow);
+  }
+
+  if (pebs_active_) {
+    latency += pebs_.OnAccess(now, process.pid(), vpn, unit.node, is_store);
+  }
+
+  metrics_.CountAccess(is_store, unit.node == kFastNode, latency);
+  return latency;
+}
+
+SimDuration Machine::HandleDemandFault(Process& process, Vma& vma, PageInfo& unit) {
+  const uint64_t pages = vma.UnitPages(unit.vpn);
+  NodeId node = memory_.AllocatePages(kFastNode, pages);
+  if (node == kInvalidNode) {
+    // Direct reclaim: push cold fast-tier pages down and retry once.
+    ReclaimFastTier(memory_.node(kFastNode).watermarks().high);
+    node = memory_.AllocatePages(kFastNode, pages);
+    if (node == kInvalidNode) {
+      std::fprintf(stderr, "machine: out of physical memory (%llu pages requested)\n",
+                   static_cast<unsigned long long>(pages));
+      std::abort();
+    }
+  }
+  unit.Set(kPagePresent);
+  unit.node = node;
+  lrus_[static_cast<size_t>(node)].Insert(&unit, /*active=*/true);
+  process.AddResident(node, static_cast<int64_t>(pages));
+
+  metrics_.CountDemandFault();
+  metrics_.CountContextSwitch();
+  metrics_.ChargeKernel(KernelWork::kFaultHandling, config_.demand_fault_cost);
+  policy_->OnDemandAllocation(process, vma, unit, queue_.now());
+  return config_.demand_fault_cost;
+}
+
+bool Machine::MigrateUnit(Vma& vma, PageInfo& unit, NodeId target, bool synchronous,
+                          SimDuration* sync_latency, SimTime now) {
+  if (!unit.present() || unit.node == target) {
+    return false;
+  }
+  const uint64_t pages = vma.UnitPages(unit.vpn);
+  const bool is_promotion = target == kFastNode;
+  if (!memory_.node(target).TryAllocate(pages, /*allow_below_min=*/!is_promotion)) {
+    if (!is_promotion) {
+      return false;
+    }
+    // Promotion pressure: wake direct reclaim to demote cold pages, then retry once. This
+    // mirrors the kernel's allocate-for-migration slow path and is what keeps huge-page
+    // promotions (512-page units) from deadlocking against the min watermark.
+    if (!reclaim_in_progress_) {
+      const MemoryTier& fast = memory_.node(kFastNode);
+      ReclaimFastTier(std::max(fast.watermarks().high,
+                               pages + fast.watermarks().min + pages));
+    }
+    if (!memory_.node(target).TryAllocate(pages)) {
+      metrics_.CountPromotionFailure();
+      return false;
+    }
+  }
+  const NodeId source = unit.node;
+
+  // The copy runs on a shared migration engine: it starts when the engine frees up, and a
+  // synchronous (inline, NUMA-balancing-style) migration stalls the faulting access for the
+  // queueing delay too. A saturated engine refuses new migrations.
+  const MigrationCost cost = memory_.CostOfMigration(source, target, pages * kBasePageSize);
+  if (now == kNeverTime) {
+    now = queue_.now();
+  }
+  const SimTime backlog_start = std::max(now, migration_engine_free_at_);
+  const SimDuration backlog_limit =
+      synchronous ? config_.sync_migration_slack : config_.migration_backlog_limit;
+  if (backlog_start - now > backlog_limit) {
+    memory_.FreePages(target, pages);  // Return the reserved target frames.
+    if (is_promotion) {
+      metrics_.CountPromotionFailure();
+    }
+    return false;
+  }
+  memory_.FreePages(source, pages);
+  migration_engine_free_at_ = backlog_start + cost.copy_time;
+  // Kernel CPU time: the software path plus the *unscaled* copy cost — the scaled
+  // copy_time models engine queueing on the miniature machine, not CPU burn.
+  const SimDuration copy_cpu = static_cast<SimDuration>(
+      static_cast<double>(cost.copy_time) / std::max(config_.bandwidth_scale, 1.0));
+  metrics_.ChargeKernel(KernelWork::kMigration, cost.software_overhead + copy_cpu);
+  if (synchronous && sync_latency != nullptr) {
+    *sync_latency += (migration_engine_free_at_ - now) + cost.software_overhead;
+  }
+
+  lrus_[static_cast<size_t>(source)].Erase(&unit);
+  unit.node = target;
+  // Promoted pages are hot: front of active. Demoted pages are cold: inactive.
+  lrus_[static_cast<size_t>(target)].Insert(&unit, /*active=*/is_promotion);
+
+  if (Process* owner = ProcessByPid(unit.owner)) {
+    owner->AddResident(source, -static_cast<int64_t>(pages));
+    owner->AddResident(target, static_cast<int64_t>(pages));
+  }
+  if (is_promotion) {
+    metrics_.CountPromotion(pages);
+  } else {
+    metrics_.CountDemotion(pages);
+  }
+  // Concurrent touches during unmap-copy-remap take a migration-entry fault.
+  metrics_.CountContextSwitch();
+  return true;
+}
+
+bool Machine::DemoteUnit(Vma& vma, PageInfo& unit) {
+  // Two-tier model: demotion target is the next slower node.
+  const NodeId target = static_cast<NodeId>(std::min(unit.node + 1, memory_.num_nodes() - 1));
+  if (target == unit.node) {
+    return false;
+  }
+  if (!MigrateUnit(vma, unit, target)) {
+    return false;
+  }
+  policy_->OnDemotion(vma, unit, queue_.now());
+  return true;
+}
+
+bool Machine::SplitHugeUnit(Vma& vma, PageInfo& head) {
+  if (vma.page_kind() != PageSizeKind::kHuge || !head.huge_head() || !head.present()) {
+    return false;
+  }
+  const uint64_t group = vma.GroupIndex(head.vpn);
+  if (vma.IsGroupSplit(group)) {
+    return false;
+  }
+  const NodeId node = head.node;
+  vma.SplitGroup(group);
+  // The head stays on its LRU list; split-out base pages join the same node's inactive list
+  // (they have no individual access history yet).
+  const uint64_t first = group * kBasePagesPerHugePage;
+  const uint64_t last = std::min(first + kBasePagesPerHugePage, vma.num_pages());
+  for (uint64_t i = first; i < last; ++i) {
+    PageInfo& page = vma.pages()[i];
+    if (&page == &head || !page.present()) {
+      continue;
+    }
+    lrus_[static_cast<size_t>(node)].Insert(&page, /*active=*/false);
+  }
+  // Splitting walks 512 PTEs; charge it like a scan chunk.
+  ChargeScanCost(kBasePagesPerHugePage);
+  return true;
+}
+
+uint64_t Machine::ReclaimFastTier(uint64_t refill_target) {
+  if (reclaim_in_progress_) {
+    return 0;
+  }
+  reclaim_in_progress_ = true;
+  MemoryTier& fast = memory_.node(kFastNode);
+  NodeLru& fast_lru = lrus_[static_cast<size_t>(kFastNode)];
+  uint64_t demoted = 0;
+  uint64_t examined = 0;
+  const uint64_t batch_limit = config_.reclaim_batch_limit;
+
+  // Only pages that were already on the inactive list when this pass started are demotion
+  // candidates: a page deactivated within this pass has had zero simulated time to prove it
+  // is still referenced, so demoting it immediately would make eviction effectively random
+  // and thrash hot pages. Aging across reclaim wakeups gives hot pages a real second chance.
+  size_t eligible = fast_lru.inactive().size();
+
+  while (fast.free_pages() < refill_target && demoted < batch_limit && eligible > 0) {
+    PageInfo* page = fast_lru.inactive().Tail();
+    --eligible;
+    ++examined;
+    if (page->accessed()) {
+      // Second chance: referenced since deactivation, back to active.
+      page->ClearFlag(kPageAccessed);
+      fast_lru.Activate(page);
+      continue;
+    }
+    if (page->Has(kPageUnevictable)) {
+      fast_lru.inactive().Rotate(page);
+      continue;
+    }
+    Vma* vma = ResolveVma(*page);
+    if (vma == nullptr || !DemoteUnit(*vma, *page)) {
+      // Cannot demote (slow tier full); stop trying.
+      break;
+    }
+    demoted += vma->UnitPages(page->vpn);
+  }
+
+  // Refill the inactive list so the next wakeup has aged candidates.
+  examined += fast_lru.BalanceInactive(0.35, 4096);
+  metrics_.ChargeKernel(KernelWork::kReclaim,
+                        static_cast<SimDuration>(examined) * config_.lru_visit_cost);
+  reclaim_in_progress_ = false;
+  return demoted;
+}
+
+void Machine::ReclaimTick(SimTime /*now*/) {
+  // Demotion triggers when free memory drops below the high watermark (Section 3.3.1) and
+  // refills to the policy's target (`high` for the baselines, `pro` for Chrono).
+  MemoryTier& fast = memory_.node(kFastNode);
+  if (!fast.BelowHighWatermark()) {
+    return;
+  }
+  const uint64_t target =
+      std::max(policy_->DemotionRefillTarget(fast), fast.watermarks().high);
+  ReclaimFastTier(target);
+}
+
+SimDuration Machine::ChargeScanCost(uint64_t units_visited) {
+  const SimDuration cost = static_cast<SimDuration>(units_visited) * config_.pte_visit_cost;
+  metrics_.ChargeKernel(KernelWork::kScan, cost);
+  return cost;
+}
+
+}  // namespace chronotier

@@ -1,0 +1,174 @@
+// Machine: the assembled simulated system.
+//
+// Owns the clock/event queue, the tiered physical memory, the per-node LRU lists, the
+// processes with their workloads, an optional PEBS sampler, the shared reclaim (demotion)
+// daemon, and exactly one TieringPolicy. The access path implemented here mirrors the
+// kernel: demand fault on first touch, NUMA hint fault on poisoned PTEs, accessed/dirty bit
+// maintenance, then the device-latency charge for the backing tier.
+
+#ifndef SRC_HARNESS_MACHINE_H_
+#define SRC_HARNESS_MACHINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/harness/metrics.h"
+#include "src/harness/policy.h"
+#include "src/mem/tiered_memory.h"
+#include "src/pebs/pebs.h"
+#include "src/sim/event_queue.h"
+#include "src/vm/lru.h"
+#include "src/vm/process.h"
+#include "src/vm/scanner.h"
+#include "src/workloads/workload.h"
+
+namespace chronotier {
+
+struct MachineConfig {
+  std::vector<TierSpec> tiers;
+
+  // Software cost model (charged to both the faulting access and kernel time).
+  SimDuration demand_fault_cost = 2 * kMicrosecond;
+  SimDuration hint_fault_cost = 1500 * kNanosecond;
+  SimDuration pte_visit_cost = 120 * kNanosecond;  // Per PTE/PMD examined by a scanner.
+  SimDuration lru_visit_cost = 100 * kNanosecond;  // Per page examined by reclaim.
+
+  SimDuration reclaim_check_period = 50 * kMillisecond;
+  // Round-robin quantum for advancing processes between kernel events: bounds how far one
+  // process can run ahead of another, so contended allocation (demand paging into the fast
+  // tier) interleaves fairly instead of being ordered by pid.
+  SimDuration process_quantum = 5 * kMillisecond;
+  uint64_t reclaim_batch_limit = 1u << 15;  // Max pages demoted per reclaim wakeup.
+
+  PebsConfig pebs;
+
+  // Divides every tier's migration bandwidth: a 1/N-scale miniature machine must also scale
+  // its copy engines by N or migration pressure becomes free. Benches use the same factor
+  // as the capacity scaling (see EXPERIMENTS.md); unit tests keep 1.0 (testbed bandwidth).
+  double bandwidth_scale = 1.0;
+  // Migrations queue on a shared engine; when the backlog exceeds this, new migrations are
+  // refused (the kernel's promotion rate-limit analogue).
+  SimDuration migration_backlog_limit = 250 * kMillisecond;
+  // Synchronous (fault-inline) migrations tolerate far less queueing: the kernel skips the
+  // migration rather than stall a fault, so a busy engine refuses them almost immediately.
+  SimDuration sync_migration_slack = 2 * kMillisecond;
+
+  uint64_t seed = 42;
+
+  // Convenience: the paper's standard 25%-DRAM two-tier box sized in base pages.
+  static MachineConfig StandardTwoTier(uint64_t total_pages, double fast_fraction = 0.25);
+};
+
+class Machine {
+ public:
+  Machine(MachineConfig config, std::unique_ptr<TieringPolicy> policy);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- setup ---
+  Process& CreateProcess(const std::string& name);
+  // Binds a workload; Init() runs immediately (mapping regions), first ops run on Start.
+  void AttachWorkload(Process& process, std::unique_ptr<AccessStream> stream, uint64_t seed);
+
+  // Finalizes setup: attaches the policy and starts the shared daemons. Must be called once
+  // before Run*. Safe to create more processes afterwards (policy is notified).
+  void Start();
+
+  // --- execution ---
+  // Runs for `duration` of simulated time.
+  void Run(SimDuration duration);
+  // Runs until every process's stream is exhausted or `max_duration` elapses; returns the
+  // simulated time actually spent.
+  SimDuration RunToCompletion(SimDuration max_duration);
+
+  bool AllProcessesFinished() const;
+
+  // --- services for policies ---
+  EventQueue& queue() { return queue_; }
+  TieredMemory& memory() { return memory_; }
+  NodeLru& lru(NodeId node) { return lrus_[static_cast<size_t>(node)]; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  PebsSampler& pebs() { return pebs_; }
+  void set_pebs_active(bool active) { pebs_active_ = active; }
+  const MachineConfig& config() const { return config_; }
+  SimTime now() const { return queue_.now(); }
+
+  std::vector<std::unique_ptr<Process>>& processes() { return processes_; }
+  Process* ProcessByPid(int32_t pid);
+
+  // Resolves the VMA containing a page (via its owner process).
+  Vma* ResolveVma(const PageInfo& page);
+
+  // Marks a hotness unit PROT_NONE so the next access takes a hint fault.
+  void PoisonUnit(PageInfo& unit) {
+    if (unit.present()) {
+      unit.Set(kPageProtNone);
+    }
+  }
+
+  // Migrates a unit to `target`. Promotion to the fast node respects the min watermark
+  // (fails when the tier is too full); demotion may dip below it. When `synchronous`, the
+  // migration cost is also returned through `sync_latency` so the caller can charge it to
+  // the faulting access (NUMA-balancing-style inline promotion).
+  // `now` is the caller's current time (a faulting process's clock runs ahead of the event
+  // queue within a horizon); kNeverTime means "use the event-queue clock".
+  bool MigrateUnit(Vma& vma, PageInfo& unit, NodeId target, bool synchronous = false,
+                   SimDuration* sync_latency = nullptr, SimTime now = kNeverTime);
+
+  // Demotes one unit from the fast tier (reclaim path; notifies the policy).
+  bool DemoteUnit(Vma& vma, PageInfo& unit);
+
+  // Splits a present, unsplit huge unit into base pages (Memtis page splitting); the new
+  // base pages inherit residency and join the LRU. Returns false if not applicable.
+  bool SplitHugeUnit(Vma& vma, PageInfo& head);
+
+  // Runs fast-tier demotion until `free >= refill_target` or the batch limit is hit.
+  // Returns pages demoted. Exposed so policies with custom triggers can reuse the mechanism.
+  uint64_t ReclaimFastTier(uint64_t refill_target);
+
+  void ChargeKernel(KernelWork work, SimDuration d) { metrics_.ChargeKernel(work, d); }
+
+  // Charges the cost of a scanner chunk (units * pte_visit_cost) and returns it.
+  SimDuration ChargeScanCost(uint64_t units_visited);
+
+  TieringPolicy& policy() { return *policy_; }
+
+ private:
+  struct WorkloadBinding {
+    std::unique_ptr<AccessStream> stream;
+    Rng rng;
+  };
+
+  // Executes one op for `process`; returns the total latency charged (think + access).
+  SimDuration ExecuteOp(Process& process, const MemOp& op);
+  SimDuration AccessMemory(Process& process, uint64_t vaddr, bool is_store);
+  SimDuration HandleDemandFault(Process& process, Vma& vma, PageInfo& unit);
+  void RunProcessUntil(Process& process, WorkloadBinding& binding, SimTime horizon);
+  void ReclaimTick(SimTime now);
+
+  MachineConfig config_;
+  EventQueue queue_;
+  TieredMemory memory_;
+  std::deque<NodeLru> lrus_;  // deque: NodeLru is pinned (intrusive lists) and immovable.
+  std::unique_ptr<TieringPolicy> policy_;
+  Metrics metrics_;
+  PebsSampler pebs_;
+  bool pebs_active_ = false;
+  bool started_ = false;
+  bool reclaim_in_progress_ = false;  // Re-entrancy guard: demotions never recurse.
+  SimTime migration_engine_free_at_ = 0;  // Shared copy engine: serialized migrations.
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<WorkloadBinding> bindings_;  // Indexed by pid.
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_HARNESS_MACHINE_H_

@@ -1,0 +1,151 @@
+// Run-time metric accumulation: everything the paper's evaluation section reports.
+
+#ifndef SRC_HARNESS_METRICS_H_
+#define SRC_HARNESS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/stats.h"
+#include "src/common/time.h"
+
+namespace chronotier {
+
+// Categories of kernel-mode work, for the Fig. 8 kernel-time attribution.
+enum class KernelWork : int {
+  kScan = 0,          // PTE walks / poisoning by scan daemons.
+  kFaultHandling = 1, // Demand + hint fault entry/exit.
+  kMigration = 2,     // Page copy + remap.
+  kReclaim = 3,       // Demotion daemon bookkeeping.
+  kPolicy = 4,        // Policy-private daemons (DCSC, Memtis ksampled, ...).
+};
+inline constexpr int kNumKernelWorkKinds = 5;
+
+class Metrics {
+ public:
+  Metrics() : read_latency_(65536, 11), write_latency_(65536, 13) {}
+
+  // --- access accounting ---
+  void CountAccess(bool is_store, bool fast_tier, SimDuration latency) {
+    ++total_ops_;
+    if (is_store) {
+      ++writes_;
+      write_latency_.Add(static_cast<double>(latency));
+    } else {
+      ++reads_;
+      read_latency_.Add(static_cast<double>(latency));
+    }
+    if (fast_tier) {
+      ++fast_accesses_;
+    } else {
+      ++slow_accesses_;
+    }
+    app_time_ += latency;
+  }
+
+  void CountThinkTime(SimDuration d) { app_time_ += d; }
+
+  // --- kernel-side accounting ---
+  void ChargeKernel(KernelWork work, SimDuration d) {
+    kernel_time_[static_cast<size_t>(work)] += d;
+  }
+  void CountContextSwitch() { ++context_switches_; }
+  void CountDemandFault() { ++demand_faults_; }
+  void CountHintFault() { ++hint_faults_; }
+  void CountPromotion(uint64_t pages) {
+    promoted_pages_ += pages;
+    ++promotion_events_;
+  }
+  void CountDemotion(uint64_t pages) {
+    demoted_pages_ += pages;
+    ++demotion_events_;
+  }
+  void CountPromotionFailure() { ++promotion_failures_; }
+  void CountThrashEvent() { ++thrash_events_; }
+
+  // --- derived quantities ---
+  // Fast-tier memory access ratio (Fig. 8's FMAR).
+  double Fmar() const {
+    const uint64_t total = fast_accesses_ + slow_accesses_;
+    return total == 0 ? 0.0 : static_cast<double>(fast_accesses_) / static_cast<double>(total);
+  }
+
+  SimDuration TotalKernelTime() const {
+    SimDuration total = 0;
+    for (SimDuration t : kernel_time_) {
+      total += t;
+    }
+    return total;
+  }
+
+  // Fraction of machine execution time spent in kernel mode.
+  double KernelTimeFraction() const {
+    const SimDuration kernel = TotalKernelTime();
+    const SimDuration denom = kernel + app_time_;
+    return denom == 0 ? 0.0 : static_cast<double>(kernel) / static_cast<double>(denom);
+  }
+
+  // Context switches per simulated second.
+  double ContextSwitchRate(SimDuration elapsed) const {
+    return elapsed <= 0 ? 0.0
+                        : static_cast<double>(context_switches_) / ToSeconds(elapsed);
+  }
+
+  // Throughput in operations per simulated second.
+  double Throughput(SimDuration elapsed) const {
+    return elapsed <= 0 ? 0.0 : static_cast<double>(total_ops_) / ToSeconds(elapsed);
+  }
+
+  uint64_t total_ops() const { return total_ops_; }
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t fast_accesses() const { return fast_accesses_; }
+  uint64_t slow_accesses() const { return slow_accesses_; }
+  uint64_t context_switches() const { return context_switches_; }
+  uint64_t demand_faults() const { return demand_faults_; }
+  uint64_t hint_faults() const { return hint_faults_; }
+  uint64_t promoted_pages() const { return promoted_pages_; }
+  uint64_t demoted_pages() const { return demoted_pages_; }
+  uint64_t promotion_events() const { return promotion_events_; }
+  uint64_t demotion_events() const { return demotion_events_; }
+  uint64_t promotion_failures() const { return promotion_failures_; }
+  uint64_t thrash_events() const { return thrash_events_; }
+  SimDuration app_time() const { return app_time_; }
+  SimDuration kernel_time(KernelWork work) const {
+    return kernel_time_[static_cast<size_t>(work)];
+  }
+
+  const ReservoirSampler& read_latency() const { return read_latency_; }
+  const ReservoirSampler& write_latency() const { return write_latency_; }
+
+  // Combined-latency percentile over both reservoirs, weighted by op counts.
+  double LatencyPercentile(double p) const;
+  double MeanLatency() const;
+
+  // Clears the counters but keeps the run configuration (used to discard warmup).
+  void Reset();
+
+ private:
+  uint64_t total_ops_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t fast_accesses_ = 0;
+  uint64_t slow_accesses_ = 0;
+  uint64_t context_switches_ = 0;
+  uint64_t demand_faults_ = 0;
+  uint64_t hint_faults_ = 0;
+  uint64_t promoted_pages_ = 0;
+  uint64_t demoted_pages_ = 0;
+  uint64_t promotion_events_ = 0;
+  uint64_t demotion_events_ = 0;
+  uint64_t promotion_failures_ = 0;
+  uint64_t thrash_events_ = 0;
+  SimDuration app_time_ = 0;
+  std::array<SimDuration, kNumKernelWorkKinds> kernel_time_ = {};
+  ReservoirSampler read_latency_;
+  ReservoirSampler write_latency_;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_HARNESS_METRICS_H_

@@ -1,0 +1,107 @@
+// Physical memory tier model.
+//
+// A tier corresponds to one NUMA memory node of the paper's testbed: node 0 is local DRAM
+// ("fast memory"), node 1 is the CPU-less Optane-PM/CXL node ("slow memory"). A tier carries
+// capacity accounting, asymmetric load/store latencies, and the Linux-style reclaim
+// watermarks extended with Chrono's promotion-aware `pro` watermark (Section 3.3.1).
+
+#ifndef SRC_MEM_TIER_H_
+#define SRC_MEM_TIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/time.h"
+
+namespace chronotier {
+
+inline constexpr uint64_t kBasePageSize = 4096;
+inline constexpr uint64_t kHugePageSize = 2 * 1024 * 1024;
+inline constexpr uint64_t kBasePagesPerHugePage = kHugePageSize / kBasePageSize;  // 512
+
+// NUMA node id; node 0 is always the fast tier in this library.
+using NodeId = int;
+inline constexpr NodeId kFastNode = 0;
+inline constexpr NodeId kSlowNode = 1;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class TierKind {
+  kFast,  // DRAM.
+  kSlow,  // NVM / CXL-attached memory.
+};
+
+// Static description of a tier's hardware characteristics.
+struct TierSpec {
+  std::string name = "dram";
+  TierKind kind = TierKind::kFast;
+  uint64_t capacity_pages = 0;  // In base pages.
+  SimDuration load_latency = 80 * kNanosecond;
+  SimDuration store_latency = 80 * kNanosecond;
+  // Sustainable page-copy bandwidth for migrations in/out of this tier.
+  double migration_bandwidth_bytes_per_sec = 8.0e9;
+
+  static TierSpec Dram(uint64_t capacity_pages);
+  static TierSpec OptanePmem(uint64_t capacity_pages);
+  static TierSpec CxlMemory(uint64_t capacity_pages);
+};
+
+// Linux-style per-node watermarks, in free pages. Demotion triggers when free < high and
+// refills to `pro` (Chrono) or `high` (baselines); allocation fails below `min`.
+struct Watermarks {
+  uint64_t min = 0;
+  uint64_t low = 0;
+  uint64_t high = 0;
+  uint64_t pro = 0;  // Chrono's promotion-aware watermark; >= high.
+};
+
+class MemoryTier {
+ public:
+  explicit MemoryTier(TierSpec spec);
+
+  // Reserves `pages` frames. Fails (returns false) when it would push free below the `min`
+  // watermark; pass allow_below_min for migration targets, which may dip to zero.
+  bool TryAllocate(uint64_t pages = 1, bool allow_below_min = false);
+  void Release(uint64_t pages = 1);
+
+  // Default watermark derivation: min = 0.4% of capacity, low = 2x min, high = 3x min
+  // (mirrors the kernel's watermark_scale heuristics closely enough for the model).
+  void SetDefaultWatermarks();
+  void SetProWatermarkGap(uint64_t gap_pages);  // pro = high + gap.
+
+  const TierSpec& spec() const { return spec_; }
+  const Watermarks& watermarks() const { return watermarks_; }
+
+  uint64_t capacity_pages() const { return spec_.capacity_pages; }
+  uint64_t free_pages() const { return free_pages_; }
+  uint64_t used_pages() const { return spec_.capacity_pages - free_pages_; }
+  double utilization() const {
+    return spec_.capacity_pages == 0
+               ? 0.0
+               : static_cast<double>(used_pages()) / static_cast<double>(spec_.capacity_pages);
+  }
+
+  bool BelowHighWatermark() const { return free_pages_ < watermarks_.high; }
+  bool BelowProWatermark() const { return free_pages_ < watermarks_.pro; }
+
+  SimDuration AccessLatency(bool is_store) const {
+    return is_store ? spec_.store_latency : spec_.load_latency;
+  }
+
+  // Time to copy `bytes` through this tier's migration path.
+  SimDuration MigrationCopyTime(uint64_t bytes) const;
+
+  // Cumulative counters (monotonic).
+  uint64_t total_allocations() const { return total_allocations_; }
+  uint64_t failed_allocations() const { return failed_allocations_; }
+
+ private:
+  TierSpec spec_;
+  Watermarks watermarks_;
+  uint64_t free_pages_;
+  uint64_t total_allocations_ = 0;
+  uint64_t failed_allocations_ = 0;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_MEM_TIER_H_

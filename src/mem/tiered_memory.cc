@@ -1,0 +1,79 @@
+#include "src/mem/tiered_memory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chronotier {
+
+TieredMemory::TieredMemory(std::vector<TierSpec> specs) {
+  assert(!specs.empty());
+  assert(specs.front().kind == TierKind::kFast);
+  tiers_.reserve(specs.size());
+  for (auto& spec : specs) {
+    tiers_.emplace_back(std::move(spec));
+  }
+}
+
+TieredMemory TieredMemory::DramOptane(uint64_t total_pages, double fast_fraction) {
+  const auto fast_pages =
+      static_cast<uint64_t>(static_cast<double>(total_pages) * fast_fraction);
+  const uint64_t slow_pages = total_pages - fast_pages;
+  return TieredMemory({TierSpec::Dram(fast_pages), TierSpec::OptanePmem(slow_pages)});
+}
+
+NodeId TieredMemory::AllocatePage(NodeId preferred) { return AllocatePages(preferred, 1); }
+
+NodeId TieredMemory::AllocatePages(NodeId preferred, uint64_t pages) {
+  if (preferred < 0 || preferred >= num_nodes()) {
+    preferred = kFastNode;
+  }
+  // Zonelist order: preferred node, then every node after it, then nodes before it. In the
+  // two-tier case this is fast-then-slow for default allocations.
+  for (int offset = 0; offset < num_nodes(); ++offset) {
+    const NodeId id = (preferred + offset) % num_nodes();
+    if (tiers_[static_cast<size_t>(id)].TryAllocate(pages)) {
+      return id;
+    }
+  }
+  // Last resort: allow dipping below the min watermark anywhere (the model's equivalent of
+  // ALLOC_HARDER) so demand paging does not spuriously OOM while reclaim catches up.
+  for (int offset = 0; offset < num_nodes(); ++offset) {
+    const NodeId id = (preferred + offset) % num_nodes();
+    if (tiers_[static_cast<size_t>(id)].TryAllocate(pages, /*allow_below_min=*/true)) {
+      return id;
+    }
+  }
+  return kInvalidNode;
+}
+
+void TieredMemory::FreePages(NodeId node, uint64_t pages) {
+  assert(node >= 0 && node < num_nodes());
+  tiers_[static_cast<size_t>(node)].Release(pages);
+}
+
+MigrationCost TieredMemory::CostOfMigration(NodeId from, NodeId to, uint64_t bytes) const {
+  MigrationCost cost;
+  const SimDuration read_side = node(from).MigrationCopyTime(bytes);
+  const SimDuration write_side = node(to).MigrationCopyTime(bytes);
+  cost.copy_time = std::max(read_side, write_side);
+  cost.software_overhead = migration_software_overhead_;
+  return cost;
+}
+
+uint64_t TieredMemory::total_capacity_pages() const {
+  uint64_t total = 0;
+  for (const auto& tier : tiers_) {
+    total += tier.capacity_pages();
+  }
+  return total;
+}
+
+uint64_t TieredMemory::total_used_pages() const {
+  uint64_t total = 0;
+  for (const auto& tier : tiers_) {
+    total += tier.used_pages();
+  }
+  return total;
+}
+
+}  // namespace chronotier

@@ -1,0 +1,64 @@
+// The machine's physical memory: an ordered set of tiers (NUMA nodes) plus allocation and
+// migration-cost plumbing shared by all tiering policies.
+
+#ifndef SRC_MEM_TIERED_MEMORY_H_
+#define SRC_MEM_TIERED_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/mem/tier.h"
+
+namespace chronotier {
+
+// Result of one page-migration cost computation.
+struct MigrationCost {
+  // Time the copying CPU/DMA engine is busy (charged to kernel time).
+  SimDuration copy_time = 0;
+  // Fixed software overhead: unmap, TLB shootdown, remap, LRU bookkeeping.
+  SimDuration software_overhead = 0;
+  SimDuration total() const { return copy_time + software_overhead; }
+};
+
+class TieredMemory {
+ public:
+  // Standard two-tier construction from specs; node 0 must be the fast tier.
+  explicit TieredMemory(std::vector<TierSpec> specs);
+
+  // Convenience for the paper's 25%-DRAM configuration: a fast tier holding
+  // `total_pages * fast_fraction` pages and an Optane slow tier holding the rest.
+  static TieredMemory DramOptane(uint64_t total_pages, double fast_fraction = 0.25);
+
+  MemoryTier& node(NodeId id) { return tiers_[static_cast<size_t>(id)]; }
+  const MemoryTier& node(NodeId id) const { return tiers_[static_cast<size_t>(id)]; }
+  int num_nodes() const { return static_cast<int>(tiers_.size()); }
+
+  // Allocates one base page preferring `preferred`, falling back to successively slower
+  // nodes (the kernel's default zonelist order). Returns the node allocated from, or
+  // kInvalidNode if physical memory is exhausted.
+  NodeId AllocatePage(NodeId preferred);
+
+  // Allocates `pages` contiguous-equivalent base pages on one node (for huge pages).
+  NodeId AllocatePages(NodeId preferred, uint64_t pages);
+
+  void FreePages(NodeId node, uint64_t pages);
+
+  // Cost of migrating `bytes` from `from` to `to`; bounded by the slower side's bandwidth.
+  MigrationCost CostOfMigration(NodeId from, NodeId to, uint64_t bytes) const;
+
+  uint64_t total_capacity_pages() const;
+  uint64_t total_used_pages() const;
+
+  // Fixed per-migration software overhead (tunable for sensitivity studies).
+  void set_migration_software_overhead(SimDuration d) { migration_software_overhead_ = d; }
+  SimDuration migration_software_overhead() const { return migration_software_overhead_; }
+
+ private:
+  std::vector<MemoryTier> tiers_;
+  SimDuration migration_software_overhead_ = 3 * kMicrosecond;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_MEM_TIERED_MEMORY_H_

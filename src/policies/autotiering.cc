@@ -1,0 +1,36 @@
+#include "src/policies/autotiering.h"
+
+#include <bit>
+
+namespace chronotier {
+
+AutoTieringPolicy::AutoTieringPolicy(AutoTieringConfig config)
+    : ScanPolicyBase(config.geometry), config_(config) {
+  set_extra_visit_cost(config_.lap_maintenance_cost);
+}
+
+void AutoTieringPolicy::ScanVisit(Process& /*process*/, Vma& /*vma*/, PageInfo& unit,
+                                  SimTime /*now*/) {
+  // Shift the LAP vector, folding in whether the page faulted since the previous visit.
+  const uint32_t lap = unit.policy_word & kLapMask;
+  const uint32_t faulted = (unit.policy_word & kPendingBit) != 0 ? 1u : 0u;
+  unit.policy_word = ((lap << 1) | faulted) & kLapMask;
+  machine()->PoisonUnit(unit);
+}
+
+SimDuration AutoTieringPolicy::OnHintFault(Process& /*process*/, Vma& vma, PageInfo& unit,
+                                           bool /*is_store*/, SimTime now) {
+  unit.policy_word |= kPendingBit;
+  SimDuration extra = 0;
+  if (unit.node != kFastNode) {
+    const int popcount =
+        std::popcount((unit.policy_word & kLapMask) | 1u);  // Count this fault too.
+    if (popcount >= config_.promote_lap_popcount) {
+      // Opportunistic promotion: inline, stalls the faulting access.
+      machine()->MigrateUnit(vma, unit, kFastNode, /*synchronous=*/true, &extra, now);
+    }
+  }
+  return extra;
+}
+
+}  // namespace chronotier

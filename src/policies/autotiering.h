@@ -1,0 +1,47 @@
+// AutoTiering (Kim et al., USENIX ATC '21), OPM-BD mode.
+//
+// Page hotness is an 8-bit LAP (least/last accessed page) vector shifted once per scan lap:
+// bit i set means the page took a hint fault during the i-th most recent lap. Opportunistic
+// promotion (OPM) migrates a faulting slow page whose LAP population count clears a
+// threshold; background demotion (BD) relies on reclaim keeping headroom. The effective
+// frequency resolution is bounded by the lap period (~1 access/min, Table 1), and the LAP
+// list maintenance adds per-page kernel overhead (the 14% kernel time in Fig. 8).
+
+#ifndef SRC_POLICIES_AUTOTIERING_H_
+#define SRC_POLICIES_AUTOTIERING_H_
+
+#include "src/policies/scan_policy_base.h"
+
+namespace chronotier {
+
+struct AutoTieringConfig {
+  ScanGeometry geometry;
+  // Promote when at least this many of the last 8 laps saw a fault.
+  int promote_lap_popcount = 2;
+  // LAP-vector/list maintenance cost per scanned page.
+  SimDuration lap_maintenance_cost = 220 * kNanosecond;
+};
+
+class AutoTieringPolicy : public ScanPolicyBase {
+ public:
+  explicit AutoTieringPolicy(AutoTieringConfig config = {});
+
+  std::string_view name() const override { return "AutoTiering"; }
+
+  SimDuration OnHintFault(Process& process, Vma& vma, PageInfo& unit, bool is_store,
+                          SimTime now) override;
+
+ protected:
+  void ScanVisit(Process& process, Vma& vma, PageInfo& unit, SimTime now) override;
+
+ private:
+  // policy_word layout: bits 0-7 LAP vector, bit 8 pending-fault marker.
+  static constexpr uint32_t kLapMask = 0xffu;
+  static constexpr uint32_t kPendingBit = 1u << 8;
+
+  AutoTieringConfig config_;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_POLICIES_AUTOTIERING_H_

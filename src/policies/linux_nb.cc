@@ -1,0 +1,22 @@
+#include "src/policies/linux_nb.h"
+
+namespace chronotier {
+
+void LinuxNumaBalancingPolicy::ScanVisit(Process& /*process*/, Vma& /*vma*/, PageInfo& unit,
+                                         SimTime /*now*/) {
+  machine()->PoisonUnit(unit);
+}
+
+SimDuration LinuxNumaBalancingPolicy::OnHintFault(Process& /*process*/, Vma& vma,
+                                                  PageInfo& unit, bool /*is_store*/,
+                                                  SimTime now) {
+  // MRU promotion: the touched slow-tier page is migrated inline toward the faulting CPU's
+  // node (the fast tier). The migration copy is synchronous and stalls the access.
+  SimDuration extra = 0;
+  if (unit.node != kFastNode) {
+    machine()->MigrateUnit(vma, unit, kFastNode, /*synchronous=*/true, &extra, now);
+  }
+  return extra;
+}
+
+}  // namespace chronotier

@@ -1,0 +1,31 @@
+// Linux-NB: vanilla NUMA balancing applied to a tiered system (the paper's baseline).
+//
+// The kernel's auto NUMA balancing periodically poisons PTE ranges with PROT_NONE; the next
+// touch takes a hint fault and the page is migrated toward the touching CPU's node. With a
+// CPU-less slow node every fault on a slow-tier page looks remote, so the scheme degenerates
+// to MRU promotion (Section 2.1): any slow page touched after a scan is promoted regardless
+// of its actual access frequency. Demotion is the kernel's watermark reclaim.
+
+#ifndef SRC_POLICIES_LINUX_NB_H_
+#define SRC_POLICIES_LINUX_NB_H_
+
+#include "src/policies/scan_policy_base.h"
+
+namespace chronotier {
+
+class LinuxNumaBalancingPolicy : public ScanPolicyBase {
+ public:
+  explicit LinuxNumaBalancingPolicy(ScanGeometry geometry = {}) : ScanPolicyBase(geometry) {}
+
+  std::string_view name() const override { return "Linux-NB"; }
+
+  SimDuration OnHintFault(Process& process, Vma& vma, PageInfo& unit, bool is_store,
+                          SimTime now) override;
+
+ protected:
+  void ScanVisit(Process& process, Vma& vma, PageInfo& unit, SimTime now) override;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_POLICIES_LINUX_NB_H_

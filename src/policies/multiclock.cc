@@ -1,0 +1,75 @@
+#include "src/policies/multiclock.h"
+
+#include <algorithm>
+
+namespace chronotier {
+
+MultiClockPolicy::MultiClockPolicy(MultiClockConfig config)
+    : ScanPolicyBase(config.geometry), config_(config) {}
+
+void MultiClockPolicy::ScanVisit(Process& /*process*/, Vma& /*vma*/, PageInfo& unit,
+                                 SimTime /*now*/) {
+  if (!unit.present()) {
+    return;
+  }
+  // Clock hand: consume the accessed bit, adjust the page's level.
+  uint32_t level = unit.policy_word;
+  if (unit.accessed()) {
+    unit.ClearFlag(kPageAccessed);
+    level = std::min(level + 1, config_.num_levels - 1);
+  } else if (level > 0) {
+    --level;
+  }
+  unit.policy_word = level;
+
+  if (unit.node != kFastNode && level >= config_.promote_level &&
+      !unit.Has(kPageQueued)) {
+    unit.Set(kPageQueued);
+    promote_batch_.push_back(&unit);
+  } else if (unit.node == kFastNode && level <= config_.demote_level &&
+             !unit.Has(kPageQueued)) {
+    unit.Set(kPageQueued);
+    demote_batch_.push_back(&unit);
+  }
+}
+
+void MultiClockPolicy::AfterScanTick(Process& /*process*/, SimTime /*now*/,
+                                     bool /*lap_wrapped*/) {
+  // Promote the collected top-level slow pages, bounded per tick.
+  uint64_t promoted = 0;
+  for (PageInfo* unit : promote_batch_) {
+    unit->ClearFlag(kPageQueued);
+    if (promoted >= config_.promote_batch) {
+      continue;
+    }
+    Vma* vma = machine()->ResolveVma(*unit);
+    if (vma != nullptr && unit->node != kFastNode &&
+        machine()->MigrateUnit(*vma, *unit, kFastNode)) {
+      ++promoted;
+    }
+  }
+  promote_batch_.clear();
+
+  // Demote level-0 fast pages only when the fast tier is tight; otherwise leave them.
+  MemoryTier& fast = machine()->memory().node(kFastNode);
+  for (PageInfo* unit : demote_batch_) {
+    unit->ClearFlag(kPageQueued);
+    if (fast.free_pages() >= fast.watermarks().high) {
+      continue;
+    }
+    Vma* vma = machine()->ResolveVma(*unit);
+    if (vma != nullptr && unit->node == kFastNode && unit->policy_word <= config_.demote_level) {
+      machine()->DemoteUnit(*vma, *unit);
+    }
+  }
+  demote_batch_.clear();
+}
+
+SimDuration MultiClockPolicy::OnHintFault(Process& /*process*/, Vma& /*vma*/,
+                                          PageInfo& /*unit*/, bool /*is_store*/,
+                                          SimTime /*now*/) {
+  // Multi-Clock never poisons PTEs; hint faults cannot occur under this policy.
+  return 0;
+}
+
+}  // namespace chronotier

@@ -1,0 +1,48 @@
+// Multi-Clock (Maruf et al., HPCA '22).
+//
+// Hotness comes purely from hardware accessed bits: a periodic clock hand reads and clears
+// PTE accessed bits and moves each page up or down a small ladder of LRU levels. Pages that
+// climb to the top level in the slow tier are promoted; fast-tier pages stuck at level 0 are
+// demoted when space is needed. No PTEs are poisoned, so the scheme takes no hint faults
+// (lowest context-switch rate in Fig. 8) but can only distinguish "accessed at least once
+// per lap" from "not accessed" (~1 access/min resolution, Table 1).
+
+#ifndef SRC_POLICIES_MULTICLOCK_H_
+#define SRC_POLICIES_MULTICLOCK_H_
+
+#include <vector>
+
+#include "src/policies/scan_policy_base.h"
+
+namespace chronotier {
+
+struct MultiClockConfig {
+  ScanGeometry geometry;
+  uint32_t num_levels = 8;
+  uint32_t promote_level = 6;   // Slow pages at or above this level are promoted.
+  uint32_t demote_level = 0;    // Fast pages at this level are demotion candidates.
+  uint64_t promote_batch = 4096;  // Max units promoted per scan tick.
+};
+
+class MultiClockPolicy : public ScanPolicyBase {
+ public:
+  explicit MultiClockPolicy(MultiClockConfig config = {});
+
+  std::string_view name() const override { return "Multi-Clock"; }
+
+  SimDuration OnHintFault(Process& process, Vma& vma, PageInfo& unit, bool is_store,
+                          SimTime now) override;
+
+ protected:
+  void ScanVisit(Process& process, Vma& vma, PageInfo& unit, SimTime now) override;
+  void AfterScanTick(Process& process, SimTime now, bool lap_wrapped) override;
+
+ private:
+  MultiClockConfig config_;
+  std::vector<PageInfo*> promote_batch_;
+  std::vector<PageInfo*> demote_batch_;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_POLICIES_MULTICLOCK_H_

@@ -1,0 +1,53 @@
+#include "src/policies/scan_policy_base.h"
+
+#include <algorithm>
+
+namespace chronotier {
+
+void ScanPolicyBase::Attach(Machine& machine) {
+  machine_ = &machine;
+  for (auto& process : machine.processes()) {
+    StartDaemonFor(*process);
+  }
+}
+
+void ScanPolicyBase::OnProcessCreated(Process& process) {
+  if (machine_ != nullptr) {
+    StartDaemonFor(process);
+  }
+}
+
+void ScanPolicyBase::StartDaemonFor(Process& process) {
+  scanners_.push_back(
+      ProcessScanner{&process, std::make_unique<RangeScanner>(&process.aspace())});
+  // scanners_ may reallocate as processes arrive; capture the index, not a pointer.
+  const size_t index = scanners_.size() - 1;
+
+  // Tick interval: the lap over the whole space must take scan_period, one step per tick.
+  const uint64_t total = std::max<uint64_t>(process.aspace().total_pages(), 1);
+  const uint64_t steps_per_lap =
+      std::max<uint64_t>((total + geometry_.scan_step_pages - 1) / geometry_.scan_step_pages, 1);
+  const SimDuration interval =
+      std::max<SimDuration>(geometry_.scan_period / static_cast<SimDuration>(steps_per_lap),
+                            kMillisecond);
+  machine_->queue().SchedulePeriodic(interval, [this, index](SimTime now) {
+    ScanTick(scanners_[index], now);
+  });
+}
+
+void ScanPolicyBase::ScanTick(ProcessScanner& ps, SimTime now) {
+  uint64_t visited = 0;
+  const RangeScanner::ChunkResult result = ps.scanner->ScanChunk(
+      geometry_.scan_step_pages, [this, &ps, now, &visited](Vma& vma, PageInfo& unit) {
+        ScanVisit(*ps.process, vma, unit, now);
+        ++visited;
+      });
+  machine_->ChargeScanCost(result.units_visited);
+  if (extra_visit_cost_ > 0) {
+    machine_->ChargeKernel(KernelWork::kScan,
+                           static_cast<SimDuration>(visited) * extra_visit_cost_);
+  }
+  AfterScanTick(*ps.process, now, result.wrapped);
+}
+
+}  // namespace chronotier

@@ -1,0 +1,47 @@
+#include "src/policies/tpp.h"
+
+#include <algorithm>
+
+namespace chronotier {
+
+namespace {
+uint32_t ToMillis(SimTime t) {
+  const int64_t ms = t / kMillisecond;
+  return static_cast<uint32_t>(std::min<int64_t>(ms, 0xFFFFFFFEll));
+}
+}  // namespace
+
+TppPolicy::TppPolicy(TppConfig config) : ScanPolicyBase(config.geometry), config_(config) {}
+
+void TppPolicy::ScanVisit(Process& /*process*/, Vma& /*vma*/, PageInfo& unit,
+                          SimTime /*now*/) {
+  machine()->PoisonUnit(unit);
+}
+
+SimDuration TppPolicy::OnHintFault(Process& /*process*/, Vma& vma, PageInfo& unit,
+                                   bool /*is_store*/, SimTime now) {
+  SimDuration extra = 0;
+  if (unit.node != kFastNode) {
+    const uint32_t last_fault_ms = unit.policy_word;
+    const uint32_t now_ms = ToMillis(now);
+    const auto window_ms = static_cast<uint32_t>(config_.recency_window / kMillisecond);
+    const bool recently_faulted =
+        last_fault_ms != 0 && now_ms >= last_fault_ms && now_ms - last_fault_ms <= window_ms;
+    if (recently_faulted) {
+      // Second fault within the window: the page is on the (conceptual) active list.
+      machine()->MigrateUnit(vma, unit, kFastNode, /*synchronous=*/true, &extra, now);
+      unit.policy_word = 0;
+    } else {
+      unit.policy_word = std::max(now_ms, 1u);
+    }
+  }
+  return extra;
+}
+
+uint64_t TppPolicy::DemotionRefillTarget(const MemoryTier& fast_tier) const {
+  const auto headroom = static_cast<uint64_t>(
+      static_cast<double>(fast_tier.capacity_pages()) * config_.demotion_headroom_fraction);
+  return fast_tier.watermarks().high + headroom;
+}
+
+}  // namespace chronotier

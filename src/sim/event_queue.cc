@@ -1,0 +1,118 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chronotier {
+
+EventFn* EventQueue::FindCallback(EventId id) {
+  for (auto& [existing_id, fn] : callbacks_) {
+    if (existing_id == id) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+void EventQueue::Push(SimTime when, EventId id, SimDuration period) {
+  heap_.push(Item{when, next_seq_++, id, period});
+}
+
+EventId EventQueue::ScheduleAt(SimTime when, EventFn fn) {
+  const EventId id = next_id_++;
+  callbacks_.emplace_back(id, std::move(fn));
+  ++live_events_;
+  Push(std::max(when, now_), id, 0);
+  return id;
+}
+
+EventId EventQueue::ScheduleAfter(SimDuration delay, EventFn fn) {
+  return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
+}
+
+EventId EventQueue::SchedulePeriodic(SimDuration period, EventFn fn) {
+  assert(period > 0);
+  const EventId id = next_id_++;
+  callbacks_.emplace_back(id, std::move(fn));
+  ++live_events_;
+  Push(now_ + period, id, period);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
+    if (it->first == id) {
+      callbacks_.erase(it);
+      --live_events_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void EventQueue::PurgeStale() const {
+  auto* self = const_cast<EventQueue*>(this);
+  while (!self->heap_.empty() &&
+         const_cast<EventQueue*>(this)->FindCallback(self->heap_.top().id) == nullptr) {
+    self->heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextEventTime() const {
+  PurgeStale();
+  if (live_events_ == 0 || heap_.empty()) {
+    return kNeverTime;
+  }
+  return heap_.top().when;
+}
+
+bool EventQueue::RunNext() {
+  while (!heap_.empty()) {
+    Item item = heap_.top();
+    heap_.pop();
+    EventFn* fn = FindCallback(item.id);
+    if (fn == nullptr) {
+      continue;  // Cancelled.
+    }
+    assert(item.when >= now_);
+    now_ = item.when;
+    // Re-arm periodic events before invoking so the callback can Cancel() itself.
+    if (item.period > 0) {
+      Push(item.when + item.period, item.id, item.period);
+    } else {
+      // One-shot: retire the callback before invoking so re-entrant scheduling is clean.
+      EventFn copy = std::move(*fn);
+      Cancel(item.id);
+      copy(now_);
+      return true;
+    }
+    EventFn copy = *fn;  // Copy: callback may cancel itself, invalidating the slot.
+    copy(now_);
+    return true;
+  }
+  return false;
+}
+
+size_t EventQueue::RunUntil(SimTime horizon) {
+  size_t fired = 0;
+  while (true) {
+    const SimTime next = NextEventTime();
+    if (next == kNeverTime || next > horizon) {
+      break;
+    }
+    if (RunNext()) {
+      ++fired;
+    }
+  }
+  AdvanceTo(horizon);
+  return fired;
+}
+
+void EventQueue::AdvanceTo(SimTime t) {
+  assert(t >= now_);
+  now_ = std::max(now_, t);
+}
+
+size_t EventQueue::pending() const { return live_events_; }
+
+}  // namespace chronotier

@@ -1,0 +1,101 @@
+// Discrete-event scheduling core.
+//
+// The simulator is time-stepped between *kernel events* (scan-daemon ticks, reclaim wakeups,
+// DCSC sampling, promotion-queue drains): application processes execute access batches up to
+// the next event horizon, then the due events fire. This file provides the event queue and
+// the simulated clock that everything shares.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace chronotier {
+
+// Callback invoked at its scheduled simulated time.
+using EventFn = std::function<void(SimTime now)>;
+
+// Opaque handle used to cancel a scheduled event.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules fn at absolute simulated time `when` (clamped to now). Events scheduled for
+  // the same instant fire in scheduling order.
+  EventId ScheduleAt(SimTime when, EventFn fn);
+
+  // Schedules fn `delay` after the current time.
+  EventId ScheduleAfter(SimDuration delay, EventFn fn);
+
+  // Schedules fn every `period`, first firing at now + period. The callback may call
+  // Cancel() on the returned id to stop the series.
+  EventId SchedulePeriodic(SimDuration period, EventFn fn);
+
+  // Cancels a pending event (periodic series cancel all future firings). Returns true if the
+  // event was pending.
+  bool Cancel(EventId id);
+
+  // Time of the earliest pending event, or kNeverTime when empty.
+  SimTime NextEventTime() const;
+
+  // Runs every event due at or before `horizon`, advancing the clock to each event's time,
+  // then advances the clock to `horizon`. Returns the number of events fired.
+  size_t RunUntil(SimTime horizon);
+
+  // Pops and runs the single earliest event (advancing the clock to it). Returns false when
+  // the queue is empty.
+  bool RunNext();
+
+  SimTime now() const { return now_; }
+
+  // Advances the clock without running events; `t` must not be before now and must not skip
+  // over pending events (asserted in debug builds).
+  void AdvanceTo(SimTime t);
+
+  size_t pending() const;
+
+ private:
+  struct Item {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+    SimDuration period;  // 0 for one-shot.
+    // Heap is a max-heap by default; invert.
+    bool operator<(const Item& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void Push(SimTime when, EventId id, SimDuration period);
+  // Drops cancelled entries from the heap top so NextEventTime() is exact.
+  void PurgeStale() const;
+
+  mutable std::priority_queue<Item> heap_;
+  // Callbacks live outside the heap so cancellation is O(1): a cancelled id's callback is
+  // dropped and the heap entry is ignored when popped.
+  std::vector<std::pair<EventId, EventFn>> callbacks_;
+  EventFn* FindCallback(EventId id);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  size_t live_events_ = 0;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,155 @@
+#include "src/vm/address_space.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chronotier {
+
+Vma::Vma(uint64_t start_vpn, uint64_t num_pages, PageSizeKind kind, int32_t owner)
+    : start_vpn_(start_vpn), num_pages_(num_pages), kind_(kind) {
+  pages_.resize(num_pages);
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    PageInfo& page = pages_[i];
+    page.vpn = start_vpn + i;
+    page.owner = owner;
+    if (kind == PageSizeKind::kHuge) {
+      const bool is_head = (i % kBasePagesPerHugePage) == 0;
+      page.Set(is_head ? kPageHugeHead : kPageHugeTail);
+    }
+  }
+  if (kind == PageSizeKind::kHuge) {
+    group_split_.assign((num_pages + kBasePagesPerHugePage - 1) / kBasePagesPerHugePage, false);
+  }
+}
+
+uint64_t Vma::num_groups() const { return group_split_.size(); }
+
+bool Vma::IsGroupSplit(uint64_t group) const {
+  if (kind_ != PageSizeKind::kHuge) {
+    return true;  // Base mappings behave as fully split.
+  }
+  return group_split_[group];
+}
+
+void Vma::SplitGroup(uint64_t group) {
+  assert(kind_ == PageSizeKind::kHuge);
+  if (group_split_[group]) {
+    return;
+  }
+  group_split_[group] = true;
+  // Base pages inherit the head's residency; flags are re-labelled so that the head no
+  // longer aggregates the group.
+  const uint64_t first = group * kBasePagesPerHugePage;
+  const uint64_t last = std::min(first + kBasePagesPerHugePage, num_pages_);
+  PageInfo& head = pages_[first];
+  for (uint64_t i = first; i < last; ++i) {
+    PageInfo& page = pages_[i];
+    page.ClearFlag(kPageHugeHead);
+    page.ClearFlag(kPageHugeTail);
+    if (&page != &head && head.present()) {
+      page.Set(kPagePresent);
+      page.node = head.node;
+      // Scan/hotness metadata starts fresh for the split-out base pages.
+      page.scan_ts_ms = kNoScanTimestamp;
+      page.policy_word = 0;
+    }
+  }
+}
+
+PageInfo& Vma::HotnessUnit(uint64_t vpn) {
+  if (kind_ != PageSizeKind::kHuge) {
+    return PageAt(vpn);
+  }
+  const uint64_t group = GroupIndex(vpn);
+  if (group_split_[group]) {
+    return PageAt(vpn);
+  }
+  return GroupHead(group);
+}
+
+uint64_t Vma::UnitPages(uint64_t vpn) const {
+  if (kind_ != PageSizeKind::kHuge || group_split_[GroupIndex(vpn)]) {
+    return 1;
+  }
+  // The final group of an unaligned huge VMA may be short.
+  const uint64_t group = GroupIndex(vpn);
+  const uint64_t first = group * kBasePagesPerHugePage;
+  return std::min<uint64_t>(kBasePagesPerHugePage, num_pages_ - first);
+}
+
+void Vma::ForEachUnit(const std::function<void(PageInfo&)>& fn) {
+  uint64_t i = 0;
+  while (i < num_pages_) {
+    const uint64_t vpn = start_vpn_ + i;
+    PageInfo& unit = HotnessUnit(vpn);
+    fn(unit);
+    i += UnitPages(vpn);
+  }
+}
+
+uint64_t AddressSpace::MapRegion(uint64_t bytes, PageSizeKind kind) {
+  const uint64_t unit_pages =
+      kind == PageSizeKind::kHuge ? kBasePagesPerHugePage : uint64_t{1};
+  uint64_t pages = (bytes + kBasePageSize - 1) / kBasePageSize;
+  pages = (pages + unit_pages - 1) / unit_pages * unit_pages;
+  if (pages == 0) {
+    pages = unit_pages;
+  }
+
+  // Align huge mappings so groups are naturally aligned.
+  uint64_t start = next_map_vpn_;
+  start = (start + unit_pages - 1) / unit_pages * unit_pages;
+
+  vmas_.push_back(std::make_unique<Vma>(start, pages, kind, pid_));
+  total_pages_ += pages;
+  next_map_vpn_ = start + pages + 0x100;  // Guard gap between regions.
+  return start * kBasePageSize;
+}
+
+Vma* AddressSpace::FindVma(uint64_t vpn) {
+  // VMAs are few (typically 1-4 per workload); linear scan beats binary search in practice
+  // and keeps the code simple.
+  for (auto& vma : vmas_) {
+    if (vma->Contains(vpn)) {
+      return vma.get();
+    }
+  }
+  return nullptr;
+}
+
+const Vma* AddressSpace::FindVma(uint64_t vpn) const {
+  return const_cast<AddressSpace*>(this)->FindVma(vpn);
+}
+
+PageInfo* AddressSpace::FindPage(uint64_t vpn) {
+  Vma* vma = FindVma(vpn);
+  return vma != nullptr ? &vma->PageAt(vpn) : nullptr;
+}
+
+PageInfo* AddressSpace::PageByIndex(uint64_t idx) {
+  for (auto& vma : vmas_) {
+    if (idx < vma->num_pages()) {
+      return &vma->pages()[idx];
+    }
+    idx -= vma->num_pages();
+  }
+  return nullptr;
+}
+
+void AddressSpace::ForEachPage(const std::function<void(Vma&, PageInfo&)>& fn) {
+  for (auto& vma : vmas_) {
+    for (auto& page : vma->pages()) {
+      fn(*vma, page);
+    }
+  }
+}
+
+uint64_t AddressSpace::lowest_vpn() const {
+  return vmas_.empty() ? 0 : vmas_.front()->start_vpn();
+}
+
+uint64_t AddressSpace::highest_vpn() const {
+  return vmas_.empty() ? 0 : vmas_.back()->end_vpn();
+}
+
+}  // namespace chronotier

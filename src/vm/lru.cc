@@ -1,0 +1,122 @@
+#include "src/vm/lru.h"
+
+namespace chronotier {
+
+void PageList::PushFront(PageInfo* page) {
+  assert(page->lru_prev == nullptr && page->lru_next == nullptr);
+  page->lru_next = head_;
+  if (head_ != nullptr) {
+    head_->lru_prev = page;
+  }
+  head_ = page;
+  if (tail_ == nullptr) {
+    tail_ = page;
+  }
+  ++size_;
+}
+
+void PageList::PushBack(PageInfo* page) {
+  assert(page->lru_prev == nullptr && page->lru_next == nullptr);
+  page->lru_prev = tail_;
+  if (tail_ != nullptr) {
+    tail_->lru_next = page;
+  }
+  tail_ = page;
+  if (head_ == nullptr) {
+    head_ = page;
+  }
+  ++size_;
+}
+
+void PageList::Remove(PageInfo* page) {
+  if (page->lru_prev != nullptr) {
+    page->lru_prev->lru_next = page->lru_next;
+  } else {
+    assert(head_ == page);
+    head_ = page->lru_next;
+  }
+  if (page->lru_next != nullptr) {
+    page->lru_next->lru_prev = page->lru_prev;
+  } else {
+    assert(tail_ == page);
+    tail_ = page->lru_prev;
+  }
+  page->lru_prev = nullptr;
+  page->lru_next = nullptr;
+  assert(size_ > 0);
+  --size_;
+}
+
+PageInfo* PageList::PopBack() {
+  PageInfo* page = tail_;
+  if (page != nullptr) {
+    Remove(page);
+  }
+  return page;
+}
+
+void NodeLru::Insert(PageInfo* page, bool active) {
+  assert(page->lru == LruMembership::kNone);
+  if (active) {
+    active_.PushFront(page);
+    page->lru = LruMembership::kActive;
+  } else {
+    inactive_.PushFront(page);
+    page->lru = LruMembership::kInactive;
+  }
+}
+
+void NodeLru::Erase(PageInfo* page) {
+  switch (page->lru) {
+    case LruMembership::kActive:
+      active_.Remove(page);
+      break;
+    case LruMembership::kInactive:
+      inactive_.Remove(page);
+      break;
+    case LruMembership::kNone:
+      return;
+  }
+  page->lru = LruMembership::kNone;
+}
+
+void NodeLru::Activate(PageInfo* page) {
+  if (page->lru == LruMembership::kActive) {
+    active_.Rotate(page);
+    return;
+  }
+  Erase(page);
+  active_.PushFront(page);
+  page->lru = LruMembership::kActive;
+}
+
+void NodeLru::Deactivate(PageInfo* page) {
+  if (page->lru == LruMembership::kInactive) {
+    inactive_.Rotate(page);
+    return;
+  }
+  Erase(page);
+  inactive_.PushFront(page);
+  page->lru = LruMembership::kInactive;
+}
+
+size_t NodeLru::BalanceInactive(double inactive_ratio, size_t max_scan) {
+  size_t examined = 0;
+  const auto target = static_cast<size_t>(static_cast<double>(total()) * inactive_ratio);
+  while (inactive_.size() < target && !active_.empty() && examined < max_scan) {
+    PageInfo* page = active_.Tail();
+    ++examined;
+    if (page->accessed()) {
+      // Second chance: referenced since last look, keep it active.
+      page->ClearFlag(kPageAccessed);
+      active_.Rotate(page);
+      continue;
+    }
+    active_.Remove(page);
+    inactive_.PushFront(page);
+    page->lru = LruMembership::kInactive;
+  }
+  return examined;
+}
+
+}  // namespace chronotier

@@ -1,0 +1,80 @@
+// Intrusive LRU lists, mirroring the kernel's per-node active/inactive anonymous lists.
+//
+// Multi-Clock, TPP and the demotion path all reason about these lists, so they are part of
+// the shared substrate rather than any single policy.
+
+#ifndef SRC_VM_LRU_H_
+#define SRC_VM_LRU_H_
+
+#include <cassert>
+#include <cstddef>
+
+#include "src/vm/page.h"
+
+namespace chronotier {
+
+// Intrusive doubly-linked list of PageInfo. Head = most recently added.
+class PageList {
+ public:
+  PageList() = default;
+  PageList(const PageList&) = delete;
+  PageList& operator=(const PageList&) = delete;
+
+  void PushFront(PageInfo* page);
+  void PushBack(PageInfo* page);
+  void Remove(PageInfo* page);
+  // Oldest entry (tail), or nullptr.
+  PageInfo* Tail() const { return tail_; }
+  PageInfo* Head() const { return head_; }
+  PageInfo* PopBack();
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Moves `page` (already on this list) to the head.
+  void Rotate(PageInfo* page) {
+    Remove(page);
+    PushFront(page);
+  }
+
+ private:
+  PageInfo* head_ = nullptr;
+  PageInfo* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+// Active + inactive lists for one NUMA node.
+class NodeLru {
+ public:
+  // Inserts a newly faulted-in or migrated-in page. New anonymous pages start on the active
+  // list (kernel behaviour for anon).
+  void Insert(PageInfo* page, bool active = true);
+
+  // Removes `page` from whichever list holds it (no-op if none).
+  void Erase(PageInfo* page);
+
+  // Moves a page between lists.
+  void Activate(PageInfo* page);
+  void Deactivate(PageInfo* page);
+
+  // Rebalances: while the inactive list holds fewer than `inactive_ratio`-th of the pages,
+  // move pages from the active tail, deactivating those without the accessed bit and
+  // rotating (second chance) those with it. Clears accessed bits it inspects; returns pages
+  // examined (for cost accounting).
+  size_t BalanceInactive(double inactive_ratio = 0.333, size_t max_scan = 256);
+
+  PageList& active() { return active_; }
+  PageList& inactive() { return inactive_; }
+  const PageList& active() const { return active_; }
+  const PageList& inactive() const { return inactive_; }
+
+  size_t total() const { return active_.size() + inactive_.size(); }
+
+ private:
+  PageList active_;
+  PageList inactive_;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_VM_LRU_H_

@@ -1,0 +1,84 @@
+// Per-page metadata: the model's `struct page`.
+//
+// Every policy in the paper observes memory through page flags (present, PROT_NONE,
+// accessed/dirty bits, PG_probed, the demoted marker) plus small per-page scratch words
+// (Chrono's 4-byte CIT timestamp, AutoTiering's 8-bit LAP vector, Multi-Clock's level,
+// Memtis's PEBS counter). This struct carries all of them. Fields marked "oracle" exist for
+// metrics/tests only and must never be read by a TieringPolicy.
+
+#ifndef SRC_VM_PAGE_H_
+#define SRC_VM_PAGE_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+#include "src/mem/tier.h"
+
+namespace chronotier {
+
+// Page flag bits.
+enum PageFlag : uint16_t {
+  kPagePresent = 1u << 0,   // Backed by a physical frame.
+  kPageProtNone = 1u << 1,  // PTE poisoned; next access takes a hint fault.
+  kPageAccessed = 1u << 2,  // Hardware accessed (young) bit.
+  kPageDirty = 1u << 3,     // Hardware dirty bit.
+  kPageHugeHead = 1u << 4,  // First base page of a mapped 2MB huge page.
+  kPageHugeTail = 1u << 5,  // Non-head member of a mapped 2MB huge page.
+  kPageProbed = 1u << 6,    // PG_probed: DCSC victim (Section 3.2.2).
+  kPageDemoted = 1u << 7,   // Recently demoted; thrashing-monitor marker (Section 3.3.2).
+  kPageCandidate = 1u << 8, // In Chrono's promotion-candidate set (mirrors the XArray).
+  kPageQueued = 1u << 9,    // In a policy's promotion queue (prevents double enqueue).
+  kPageUnevictable = 1u << 10,
+  // Oracle flag (harness/metrics only, never read by policies): the page was accessed while
+  // resident in the slow tier. Denominator of the paper's page promotion ratio (PPR).
+  kPageOracleTouchedSlow = 1u << 11,
+};
+
+// Which LRU list a page currently sits on.
+enum class LruMembership : uint8_t {
+  kNone = 0,
+  kActive,
+  kInactive,
+};
+
+// Sentinel for "never scanned" in the 32-bit millisecond CIT timestamp field.
+inline constexpr uint32_t kNoScanTimestamp = 0xFFFFFFFFu;
+
+struct PageInfo {
+  uint64_t vpn = 0;             // Virtual page number within the owning address space.
+  int32_t owner = -1;           // Owning process id.
+  NodeId node = kInvalidNode;   // NUMA node currently backing the page.
+  uint16_t flags = 0;
+  LruMembership lru = LruMembership::kNone;
+
+  // Chrono's CIT metadata: the Ticking-scan timestamp in *milliseconds* of simulated time,
+  // deliberately 4 bytes wide to honour the paper's space budget (Section 3.1.1: "the
+  // metadata required for CIT occupies only 4 bytes per page").
+  uint32_t scan_ts_ms = kNoScanTimestamp;
+
+  // Per-policy scratch word: AutoTiering LAP vector, Multi-Clock level, Memtis/PEBS access
+  // counter, Chrono candidate round count. Policies must treat it as their own.
+  uint32_t policy_word = 0;
+
+  // --- oracle fields: harness/test use only, invisible to policies ---
+  SimTime oracle_last_access = kNeverTime;
+  uint64_t oracle_access_count = 0;
+
+  // Intrusive LRU linkage.
+  PageInfo* lru_prev = nullptr;
+  PageInfo* lru_next = nullptr;
+
+  bool Has(PageFlag f) const { return (flags & f) != 0; }
+  void Set(PageFlag f) { flags = static_cast<uint16_t>(flags | f); }
+  void ClearFlag(PageFlag f) { flags = static_cast<uint16_t>(flags & ~f); }
+
+  bool present() const { return Has(kPagePresent); }
+  bool prot_none() const { return Has(kPageProtNone); }
+  bool accessed() const { return Has(kPageAccessed); }
+  bool huge_head() const { return Has(kPageHugeHead); }
+  bool huge_tail() const { return Has(kPageHugeTail); }
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_VM_PAGE_H_

@@ -1,0 +1,52 @@
+// Cyclic address-space range scanner.
+//
+// All fault-based tiering policies (Linux NUMA balancing, AutoTiering, TPP, Chrono's
+// Ticking-scan) walk a process's virtual address space in fixed-size steps, poisoning PTEs
+// as they go. RangeScanner provides that walk: it keeps a cursor, visits page-table entries
+// in address order, wraps at the end of the space, and understands huge-page units (an
+// unsplit 2MB mapping is one PMD entry, visited once).
+
+#ifndef SRC_VM_SCANNER_H_
+#define SRC_VM_SCANNER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/vm/address_space.h"
+
+namespace chronotier {
+
+class RangeScanner {
+ public:
+  explicit RangeScanner(AddressSpace* aspace) : aspace_(aspace) {}
+
+  // Result of one chunk scan, for cost accounting.
+  struct ChunkResult {
+    uint64_t units_visited = 0;  // PTE/PMD entries examined (each costs one walk step).
+    uint64_t pages_covered = 0;  // Base pages of address space advanced over.
+    bool wrapped = false;        // Cursor wrapped past the end of the space.
+  };
+
+  // Scans forward from the cursor covering up to `max_pages` base pages of address space,
+  // invoking fn(vma, unit_page) once per hotness unit (base page, or head of an unsplit
+  // huge group). Wraps around at most once; an empty address space returns zeroes.
+  ChunkResult ScanChunk(uint64_t max_pages,
+                        const std::function<void(Vma&, PageInfo&)>& fn);
+
+  void Reset() {
+    vma_index_ = 0;
+    offset_ = 0;
+  }
+
+  // Fraction of the address space the cursor has advanced through in the current lap.
+  double LapProgress() const;
+
+ private:
+  AddressSpace* aspace_;
+  size_t vma_index_ = 0;  // Index into aspace_->vmas().
+  uint64_t offset_ = 0;   // Page offset within the current VMA.
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_VM_SCANNER_H_

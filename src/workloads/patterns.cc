@@ -1,0 +1,108 @@
+#include "src/workloads/patterns.h"
+
+#include <algorithm>
+
+namespace chronotier {
+
+namespace {
+uint64_t RandomOffsetInPage(Rng& rng) { return rng.NextBelow(kBasePageSize & ~7ull); }
+}  // namespace
+
+void UniformStream::Init(Process& process, Rng& /*rng*/) {
+  const uint64_t vaddr =
+      process.aspace().MapRegion(config_.working_set_bytes, process.default_page_kind());
+  region_vpn_ = vaddr / kBasePageSize;
+  num_pages_ = std::max<uint64_t>(config_.working_set_bytes / kBasePageSize, 1);
+}
+
+bool UniformStream::Next(Rng& rng, MemOp* op) {
+  if (config_.sequential_init && init_cursor_ < num_pages_) {
+    op->vaddr = (region_vpn_ + init_cursor_++) * kBasePageSize;
+    op->is_store = true;
+    op->think_time = 0;
+    return true;
+  }
+  if (config_.op_limit != 0 && ops_issued_ >= config_.op_limit) {
+    return false;
+  }
+  ++ops_issued_;
+  op->vaddr = (region_vpn_ + rng.NextBelow(num_pages_)) * kBasePageSize +
+              RandomOffsetInPage(rng);
+  op->is_store = !rng.NextBool(config_.read_ratio);
+  op->think_time = config_.per_op_delay;
+  return true;
+}
+
+void ZipfStream::Init(Process& process, Rng& /*rng*/) {
+  const uint64_t vaddr =
+      process.aspace().MapRegion(config_.working_set_bytes, process.default_page_kind());
+  region_vpn_ = vaddr / kBasePageSize;
+  num_pages_ = std::max<uint64_t>(config_.working_set_bytes / kBasePageSize, 1);
+  sampler_ = std::make_unique<ZipfSampler>(num_pages_, config_.skew);
+  if (config_.shuffle) {
+    // A fixed odd multiplier modulo the page count permutes ranks pseudo-randomly when the
+    // count is a power of two; otherwise fall back to a large odd co-prime-ish stride.
+    shuffle_multiplier_ = 0x9E3779B1ull | 1ull;
+  }
+}
+
+uint64_t ZipfStream::VpnForRank(uint64_t rank) const {
+  const uint64_t page =
+      config_.shuffle ? (rank * shuffle_multiplier_) % num_pages_ : rank % num_pages_;
+  return region_vpn_ + page;
+}
+
+bool ZipfStream::Next(Rng& rng, MemOp* op) {
+  if (config_.sequential_init && init_cursor_ < num_pages_) {
+    op->vaddr = (region_vpn_ + init_cursor_++) * kBasePageSize;
+    op->is_store = true;
+    op->think_time = 0;
+    return true;
+  }
+  if (config_.op_limit != 0 && ops_issued_ >= config_.op_limit) {
+    return false;
+  }
+  ++ops_issued_;
+  const uint64_t rank = sampler_->Sample(rng);
+  op->vaddr = VpnForRank(rank) * kBasePageSize + RandomOffsetInPage(rng);
+  op->is_store = !rng.NextBool(config_.read_ratio);
+  op->think_time = config_.per_op_delay;
+  return true;
+}
+
+void HotsetStream::Init(Process& process, Rng& /*rng*/) {
+  const uint64_t vaddr =
+      process.aspace().MapRegion(config_.working_set_bytes, process.default_page_kind());
+  region_vpn_ = vaddr / kBasePageSize;
+  num_pages_ = std::max<uint64_t>(config_.working_set_bytes / kBasePageSize, 1);
+  hot_pages_ = std::max<uint64_t>(
+      static_cast<uint64_t>(static_cast<double>(num_pages_) * config_.hot_fraction), 1);
+}
+
+bool HotsetStream::Next(Rng& rng, MemOp* op) {
+  if (config_.sequential_init && init_cursor_ < num_pages_) {
+    op->vaddr = (region_vpn_ + init_cursor_++) * kBasePageSize;
+    op->is_store = true;
+    op->think_time = 0;
+    return true;
+  }
+  if (config_.op_limit != 0 && ops_issued_ >= config_.op_limit) {
+    return false;
+  }
+  ++ops_issued_;
+  if (config_.phase_ops != 0 && ops_issued_ % config_.phase_ops == 0) {
+    hot_base_ = (hot_base_ + hot_pages_) % num_pages_;
+  }
+  uint64_t page = 0;
+  if (rng.NextBool(config_.hot_access_fraction)) {
+    page = (hot_base_ + rng.NextBelow(hot_pages_)) % num_pages_;
+  } else {
+    page = rng.NextBelow(num_pages_);
+  }
+  op->vaddr = (region_vpn_ + page) * kBasePageSize + RandomOffsetInPage(rng);
+  op->is_store = !rng.NextBool(config_.read_ratio);
+  op->think_time = config_.per_op_delay;
+  return true;
+}
+
+}  // namespace chronotier

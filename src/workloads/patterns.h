@@ -1,0 +1,106 @@
+// Generic synthetic access patterns used by tests and microbenches: uniform, Zipfian,
+// fixed hot-set, and phase-shifting hot-set streams.
+
+#ifndef SRC_WORKLOADS_PATTERNS_H_
+#define SRC_WORKLOADS_PATTERNS_H_
+
+#include <cstdint>
+
+#include "src/workloads/workload.h"
+
+namespace chronotier {
+
+struct UniformConfig {
+  uint64_t working_set_bytes = 16ull * 1024 * 1024;
+  double read_ratio = 0.9;
+  uint64_t op_limit = 0;
+  SimDuration per_op_delay = 0;
+  bool sequential_init = false;  // Address-ordered pre-touch before the pattern starts.
+};
+
+class UniformStream : public AccessStream {
+ public:
+  explicit UniformStream(UniformConfig config) : config_(config) {}
+  void Init(Process& process, Rng& rng) override;
+  bool Next(Rng& rng, MemOp* op) override;
+
+  uint64_t region_start_vpn() const { return region_vpn_; }
+  uint64_t num_pages() const { return num_pages_; }
+
+ private:
+  UniformConfig config_;
+  uint64_t region_vpn_ = 0;
+  uint64_t num_pages_ = 0;
+  uint64_t ops_issued_ = 0;
+  uint64_t init_cursor_ = 0;
+};
+
+struct ZipfConfig {
+  uint64_t working_set_bytes = 16ull * 1024 * 1024;
+  double skew = 0.99;
+  double read_ratio = 0.9;
+  uint64_t op_limit = 0;
+  bool shuffle = true;  // Permute ranks over the address space (hot pages scattered).
+  SimDuration per_op_delay = 0;
+  bool sequential_init = false;
+};
+
+class ZipfStream : public AccessStream {
+ public:
+  explicit ZipfStream(ZipfConfig config) : config_(config) {}
+  void Init(Process& process, Rng& rng) override;
+  bool Next(Rng& rng, MemOp* op) override;
+
+  uint64_t region_start_vpn() const { return region_vpn_; }
+  uint64_t num_pages() const { return num_pages_; }
+  // Page holding the given popularity rank (0 = hottest).
+  uint64_t VpnForRank(uint64_t rank) const;
+
+ private:
+  ZipfConfig config_;
+  uint64_t region_vpn_ = 0;
+  uint64_t num_pages_ = 0;
+  uint64_t ops_issued_ = 0;
+  uint64_t init_cursor_ = 0;
+  uint64_t shuffle_multiplier_ = 1;  // Odd multiplier => bijective page permutation.
+  std::unique_ptr<ZipfSampler> sampler_;
+};
+
+// A fixed hot set: `hot_fraction` of the pages receive `hot_access_fraction` of accesses.
+struct HotsetConfig {
+  uint64_t working_set_bytes = 16ull * 1024 * 1024;
+  double hot_fraction = 0.2;
+  double hot_access_fraction = 0.8;
+  double read_ratio = 0.9;
+  uint64_t op_limit = 0;
+  // When > 0, the hot set rotates by `hot_fraction` of the space every `phase_ops` ops
+  // (phase-change workloads for adaptivity tests).
+  uint64_t phase_ops = 0;
+  SimDuration per_op_delay = 0;
+  bool sequential_init = false;
+};
+
+class HotsetStream : public AccessStream {
+ public:
+  explicit HotsetStream(HotsetConfig config) : config_(config) {}
+  void Init(Process& process, Rng& rng) override;
+  bool Next(Rng& rng, MemOp* op) override;
+
+  uint64_t region_start_vpn() const { return region_vpn_; }
+  uint64_t num_pages() const { return num_pages_; }
+  uint64_t hot_pages() const { return hot_pages_; }
+  uint64_t current_hot_base() const { return hot_base_; }
+
+ private:
+  HotsetConfig config_;
+  uint64_t region_vpn_ = 0;
+  uint64_t num_pages_ = 0;
+  uint64_t hot_pages_ = 0;
+  uint64_t hot_base_ = 0;
+  uint64_t ops_issued_ = 0;
+  uint64_t init_cursor_ = 0;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_WORKLOADS_PATTERNS_H_

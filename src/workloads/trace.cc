@@ -1,0 +1,92 @@
+#include "src/workloads/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace chronotier {
+
+uint64_t Trace::MaxVaddr() const {
+  uint64_t max = 0;
+  for (const TraceEntry& entry : entries_) {
+    max = std::max(max, entry.vaddr);
+  }
+  return max;
+}
+
+bool Trace::SaveTo(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  bool ok = std::fprintf(file, "# chronotier-trace v1 %" PRIu64 "\n", working_set_bytes_) > 0;
+  for (const TraceEntry& entry : entries_) {
+    if (std::fprintf(file, "%" PRIx64 " %c %" PRId64 "\n", entry.vaddr,
+                     entry.is_store ? 'w' : 'r',
+                     static_cast<int64_t>(entry.think_time)) <= 0) {
+      ok = false;
+      break;
+    }
+  }
+  return std::fclose(file) == 0 && ok;
+}
+
+bool Trace::LoadFrom(const std::string& path, Trace* out) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return false;
+  }
+  *out = Trace();
+
+  uint64_t ws_bytes = 0;
+  if (std::fscanf(file, "# chronotier-trace v1 %" SCNu64 "\n", &ws_bytes) != 1) {
+    std::fclose(file);
+    return false;
+  }
+  out->set_working_set_bytes(ws_bytes);
+
+  uint64_t vaddr = 0;
+  char kind = 0;
+  int64_t think = 0;
+  while (true) {
+    const int matched = std::fscanf(file, "%" SCNx64 " %c %" SCNd64 "\n", &vaddr, &kind,
+                                    &think);
+    if (matched == EOF) {
+      break;
+    }
+    if (matched != 3 || (kind != 'r' && kind != 'w') || think < 0) {
+      std::fclose(file);
+      *out = Trace();
+      return false;
+    }
+    out->Append(MemOp{vaddr, kind == 'w', think});
+  }
+  std::fclose(file);
+  return true;
+}
+
+void TraceStream::Init(Process& process, Rng& /*rng*/) {
+  const uint64_t bytes =
+      std::max<uint64_t>(trace_->working_set_bytes(), trace_->MaxVaddr() + kBasePageSize);
+  base_vaddr_ = process.aspace().MapRegion(bytes, process.default_page_kind());
+}
+
+bool TraceStream::Next(Rng& /*rng*/, MemOp* op) {
+  if (trace_->empty()) {
+    return false;
+  }
+  if (position_ >= trace_->size()) {
+    ++repeats_done_;
+    if (repeat_ > 0 && repeats_done_ >= repeat_) {
+      return false;
+    }
+    position_ = 0;
+  }
+  const TraceEntry& entry = trace_->entries()[position_++];
+  op->vaddr = base_vaddr_ + entry.vaddr;
+  op->is_store = entry.is_store;
+  op->think_time = entry.think_time;
+  return true;
+}
+
+}  // namespace chronotier

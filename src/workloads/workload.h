@@ -1,0 +1,39 @@
+// Workload abstraction: a stream of memory operations issued by a simulated process.
+
+#ifndef SRC_WORKLOADS_WORKLOAD_H_
+#define SRC_WORKLOADS_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/vm/process.h"
+
+namespace chronotier {
+
+// One memory operation.
+struct MemOp {
+  uint64_t vaddr = 0;
+  bool is_store = false;
+  // Compute time spent before this access (models instruction work / artificial delay).
+  SimDuration think_time = 0;
+};
+
+// A generator of MemOps bound to one process.
+class AccessStream {
+ public:
+  virtual ~AccessStream() = default;
+
+  // Maps the working set into the process's address space. Called exactly once, before any
+  // Next() call.
+  virtual void Init(Process& process, Rng& rng) = 0;
+
+  // Produces the next operation. Returns false when the stream is exhausted (finite
+  // workloads such as graph traversals); infinite workloads always return true.
+  virtual bool Next(Rng& rng, MemOp* op) = 0;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,328 @@
+// Integration tests for the Machine: access path, demand paging, hint faults, migration,
+// reclaim, huge pages, metrics, and the experiment runner.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/harness/experiment.h"
+#include "src/harness/machine.h"
+#include "src/workloads/patterns.h"
+
+namespace chronotier {
+namespace {
+
+// A policy that does nothing (no scanning, no migration) — isolates machine mechanics.
+class NullPolicy : public TieringPolicy {
+ public:
+  std::string_view name() const override { return "null"; }
+  void Attach(Machine&) override {}
+  SimDuration OnHintFault(Process&, Vma&, PageInfo&, bool, SimTime) override { return 0; }
+};
+
+// A policy that poisons everything once per second and promotes on every hint fault (a
+// minimal MRU policy used to exercise the fault + migration paths deterministically).
+class PoisonAllPolicy : public TieringPolicy {
+ public:
+  std::string_view name() const override { return "poison-all"; }
+  void Attach(Machine& machine) override {
+    machine_ = &machine;
+    machine.queue().SchedulePeriodic(kSecond, [this](SimTime) {
+      for (auto& process : machine_->processes()) {
+        process->aspace().ForEachPage([this](Vma& vma, PageInfo& page) {
+          machine_->PoisonUnit(vma.HotnessUnit(page.vpn));
+        });
+      }
+    });
+  }
+  SimDuration OnHintFault(Process&, Vma& vma, PageInfo& unit, bool, SimTime) override {
+    SimDuration extra = 0;
+    if (unit.node != kFastNode) {
+      machine_->MigrateUnit(vma, unit, kFastNode, /*synchronous=*/true, &extra);
+    }
+    return extra;
+  }
+
+ private:
+  Machine* machine_ = nullptr;
+};
+
+MachineConfig SmallMachine(uint64_t pages = 4096) {
+  return MachineConfig::StandardTwoTier(pages, 0.25);
+}
+
+TEST(MachineTest, DemandPagingAllocatesFastFirst) {
+  Machine machine(SmallMachine(), std::make_unique<NullPolicy>());
+  Process& process = machine.CreateProcess("app");
+  UniformConfig w;
+  w.working_set_bytes = 512 * kBasePageSize;  // Half the fast tier.
+  machine.AttachWorkload(process, std::make_unique<UniformStream>(w), 1);
+  machine.Start();
+  machine.Run(kSecond);
+
+  EXPECT_GT(machine.metrics().demand_faults(), 0u);
+  EXPECT_GT(process.resident_pages(kFastNode), 0u);
+  EXPECT_EQ(process.resident_pages(kSlowNode), 0u);  // Everything fits in fast.
+  EXPECT_DOUBLE_EQ(process.FastTierResidencyPercent(), 100.0);
+}
+
+TEST(MachineTest, OverflowSpillsToSlowTier) {
+  Machine machine(SmallMachine(4096), std::make_unique<NullPolicy>());
+  Process& process = machine.CreateProcess("big");
+  UniformConfig w;
+  w.working_set_bytes = 3000 * kBasePageSize;  // Fast tier holds 1024.
+  w.sequential_init = true;
+  machine.AttachWorkload(process, std::make_unique<UniformStream>(w), 1);
+  machine.Start();
+  machine.Run(kSecond);
+
+  EXPECT_GT(process.resident_pages(kSlowNode), 0u);
+  EXPECT_GT(process.resident_pages(kFastNode), 0u);
+  EXPECT_EQ(process.resident_pages(kFastNode) + process.resident_pages(kSlowNode), 3000u);
+}
+
+TEST(MachineTest, SlowTierAccessesCostMore) {
+  Machine machine(SmallMachine(4096), std::make_unique<NullPolicy>());
+  Process& process = machine.CreateProcess("app");
+  UniformConfig w;
+  w.working_set_bytes = 3000 * kBasePageSize;
+  w.sequential_init = true;
+  w.read_ratio = 1.0;
+  machine.AttachWorkload(process, std::make_unique<UniformStream>(w), 1);
+  machine.Start();
+  machine.Run(2 * kSecond);
+  machine.metrics().Reset();
+  machine.Run(2 * kSecond);
+
+  // Mean read latency must sit between pure-DRAM and pure-NVM device latency.
+  const double mean = machine.metrics().read_latency().Mean();
+  EXPECT_GT(mean, 80.0);
+  EXPECT_LT(mean, 260.0);
+  EXPECT_GT(machine.metrics().slow_accesses(), 0u);
+  EXPECT_GT(machine.metrics().fast_accesses(), 0u);
+}
+
+TEST(MachineTest, HintFaultsFireAfterPoison) {
+  Machine machine(SmallMachine(), std::make_unique<PoisonAllPolicy>());
+  Process& process = machine.CreateProcess("app");
+  UniformConfig w;
+  w.working_set_bytes = 256 * kBasePageSize;
+  machine.AttachWorkload(process, std::make_unique<UniformStream>(w), 1);
+  machine.Start();
+  machine.Run(3 * kSecond);
+
+  EXPECT_GT(machine.metrics().hint_faults(), 0u);
+  EXPECT_GT(machine.metrics().context_switches(), machine.metrics().hint_faults() / 2);
+}
+
+TEST(MachineTest, MruPolicyPromotesSlowPages) {
+  Machine machine(SmallMachine(4096), std::make_unique<PoisonAllPolicy>());
+  Process& process = machine.CreateProcess("app");
+  UniformConfig w;
+  w.working_set_bytes = 2048 * kBasePageSize;
+  w.sequential_init = true;
+  machine.AttachWorkload(process, std::make_unique<UniformStream>(w), 1);
+  machine.Start();
+  machine.Run(5 * kSecond);
+
+  EXPECT_GT(machine.metrics().promoted_pages(), 0u);
+  // Reclaim must have demoted to make room (fast tier is 1024 pages, WS is 2048).
+  EXPECT_GT(machine.metrics().demoted_pages(), 0u);
+}
+
+TEST(MachineTest, FrameAccountingConsistent) {
+  Machine machine(SmallMachine(4096), std::make_unique<PoisonAllPolicy>());
+  Process& process = machine.CreateProcess("app");
+  UniformConfig w;
+  w.working_set_bytes = 2048 * kBasePageSize;
+  w.sequential_init = true;
+  machine.AttachWorkload(process, std::make_unique<UniformStream>(w), 1);
+  machine.Start();
+  machine.Run(5 * kSecond);
+
+  // Sum of per-node resident pages == used frames == pages with present flag.
+  uint64_t present_pages = 0;
+  uint64_t resident_fast = 0;
+  uint64_t resident_slow = 0;
+  process.aspace().ForEachPage([&](Vma& vma, PageInfo& page) {
+    PageInfo& unit = vma.HotnessUnit(page.vpn);
+    if (&unit == &page && unit.present()) {
+      const uint64_t pages = vma.UnitPages(unit.vpn);
+      present_pages += pages;
+      (unit.node == kFastNode ? resident_fast : resident_slow) += pages;
+    }
+  });
+  EXPECT_EQ(present_pages, 2048u);
+  EXPECT_EQ(machine.memory().total_used_pages(), 2048u);
+  EXPECT_EQ(process.resident_pages(kFastNode), resident_fast);
+  EXPECT_EQ(process.resident_pages(kSlowNode), resident_slow);
+}
+
+TEST(MachineTest, LruTracksResidentUnits) {
+  Machine machine(SmallMachine(4096), std::make_unique<NullPolicy>());
+  Process& process = machine.CreateProcess("app");
+  UniformConfig w;
+  w.working_set_bytes = 512 * kBasePageSize;
+  w.sequential_init = true;
+  machine.AttachWorkload(process, std::make_unique<UniformStream>(w), 1);
+  machine.Start();
+  machine.Run(kSecond);
+  EXPECT_EQ(machine.lru(kFastNode).total(), 512u);
+  EXPECT_EQ(machine.lru(kSlowNode).total(), 0u);
+}
+
+TEST(MachineTest, HugePageDemandFaultAllocatesWholeUnit) {
+  Machine machine(SmallMachine(8192), std::make_unique<NullPolicy>());
+  Process& process = machine.CreateProcess("huge");
+  process.set_default_page_kind(PageSizeKind::kHuge);
+  UniformConfig w;
+  w.working_set_bytes = kHugePageSize;  // One huge unit.
+  machine.AttachWorkload(process, std::make_unique<UniformStream>(w), 1);
+  machine.Start();
+  machine.Run(100 * kMillisecond);
+
+  // A single touch materializes all 512 base pages (memory bloat under huge pages).
+  EXPECT_EQ(process.resident_pages(kFastNode) + process.resident_pages(kSlowNode),
+            kBasePagesPerHugePage);
+  EXPECT_EQ(machine.metrics().demand_faults(), 1u);
+}
+
+TEST(MachineTest, SplitHugeUnitPreservesResidency) {
+  Machine machine(SmallMachine(8192), std::make_unique<NullPolicy>());
+  Process& process = machine.CreateProcess("huge");
+  process.set_default_page_kind(PageSizeKind::kHuge);
+  UniformConfig w;
+  w.working_set_bytes = kHugePageSize;
+  machine.AttachWorkload(process, std::make_unique<UniformStream>(w), 1);
+  machine.Start();
+  machine.Run(100 * kMillisecond);
+
+  Vma* vma = process.aspace().vmas().front().get();
+  PageInfo& head = vma->GroupHead(0);
+  const NodeId node = head.node;
+  ASSERT_TRUE(machine.SplitHugeUnit(*vma, head));
+  EXPECT_FALSE(machine.SplitHugeUnit(*vma, head));  // Already split.
+
+  // All 512 base pages present on the same node; LRU holds them individually now.
+  uint64_t present = 0;
+  for (auto& page : vma->pages()) {
+    if (page.present()) {
+      ++present;
+      EXPECT_EQ(page.node, node);
+    }
+  }
+  EXPECT_EQ(present, kBasePagesPerHugePage);
+  EXPECT_EQ(machine.lru(node).total(), kBasePagesPerHugePage);
+  EXPECT_EQ(machine.memory().total_used_pages(), kBasePagesPerHugePage);
+}
+
+TEST(MachineTest, MigrationEngineRefusesWhenSaturated) {
+  MachineConfig config = SmallMachine(4096);
+  config.bandwidth_scale = 1e6;  // Absurdly slow copies: one migration saturates.
+  Machine machine(config, std::make_unique<PoisonAllPolicy>());
+  Process& process = machine.CreateProcess("app");
+  UniformConfig w;
+  w.working_set_bytes = 2048 * kBasePageSize;
+  w.sequential_init = true;
+  machine.AttachWorkload(process, std::make_unique<UniformStream>(w), 1);
+  machine.Start();
+  machine.Run(3 * kSecond);
+  EXPECT_GT(machine.metrics().promotion_failures(), 0u);
+  // A couple of migrations got through before saturation.
+  EXPECT_LT(machine.metrics().promoted_pages(), 100u);
+}
+
+TEST(MachineTest, RunToCompletionStopsAtStreamEnd) {
+  Machine machine(SmallMachine(), std::make_unique<NullPolicy>());
+  Process& process = machine.CreateProcess("finite");
+  UniformConfig w;
+  w.working_set_bytes = 64 * kBasePageSize;
+  w.op_limit = 10000;
+  machine.AttachWorkload(process, std::make_unique<UniformStream>(w), 1);
+  machine.Start();
+  const SimDuration elapsed = machine.RunToCompletion(kMinute);
+  EXPECT_TRUE(machine.AllProcessesFinished());
+  EXPECT_LT(elapsed, kMinute);
+  EXPECT_EQ(process.completed_accesses(), 10000u);
+}
+
+TEST(MachineTest, AccessDelayThrottlesProcess) {
+  Machine machine(SmallMachine(), std::make_unique<NullPolicy>());
+  Process& fast_proc = machine.CreateProcess("fast");
+  Process& slow_proc = machine.CreateProcess("slow");
+  slow_proc.set_access_delay(10 * kMicrosecond);
+  UniformConfig w;
+  w.working_set_bytes = 64 * kBasePageSize;
+  machine.AttachWorkload(fast_proc, std::make_unique<UniformStream>(w), 1);
+  machine.AttachWorkload(slow_proc, std::make_unique<UniformStream>(w), 2);
+  machine.Start();
+  machine.Run(kSecond);
+  EXPECT_GT(fast_proc.completed_accesses(), 10 * slow_proc.completed_accesses());
+}
+
+TEST(ExperimentTest, RunsAndReportsMetrics) {
+  ExperimentConfig config;
+  config.total_pages = 8192;
+  config.warmup = kSecond;
+  config.measure = 2 * kSecond;
+  UniformConfig w;
+  w.working_set_bytes = 1024 * kBasePageSize;
+  std::vector<ProcessSpec> procs = {
+      {"p0", [w] { return std::make_unique<UniformStream>(w); }},
+      {"p1", [w] { return std::make_unique<UniformStream>(w); }}};
+  const ExperimentResult result = Experiment::Run(
+      config, [] { return std::make_unique<NullPolicy>(); }, procs);
+  EXPECT_EQ(result.policy_name, "null");
+  EXPECT_GT(result.throughput_ops, 0.0);
+  EXPECT_GT(result.avg_latency_ns, 0.0);
+  EXPECT_GE(result.p99_latency_ns, result.median_latency_ns);
+  EXPECT_GT(result.fmar, 0.0);
+}
+
+TEST(ExperimentTest, ResidencySamplingProducesSeries) {
+  ExperimentConfig config;
+  config.total_pages = 8192;
+  config.warmup = 0;
+  config.measure = 2 * kSecond;
+  config.residency_sample_interval = 500 * kMillisecond;
+  UniformConfig w;
+  w.working_set_bytes = 512 * kBasePageSize;
+  std::vector<ProcessSpec> procs = {
+      {"p0", [w] { return std::make_unique<UniformStream>(w); }}};
+  const ExperimentResult result = Experiment::Run(
+      config, [] { return std::make_unique<NullPolicy>(); }, procs);
+  ASSERT_EQ(result.residency_percent.size(), 1u);
+  EXPECT_EQ(result.sample_times.size(), 4u);
+  EXPECT_EQ(result.residency_percent[0].size(), 4u);
+}
+
+TEST(ExperimentTest, NormalizeToFirst) {
+  EXPECT_EQ(NormalizeToFirst({2.0, 4.0, 1.0}), (std::vector<double>{1.0, 2.0, 0.5}));
+  EXPECT_EQ(NormalizeToFirst({}), (std::vector<double>{}));
+  EXPECT_EQ(NormalizeToFirst({0.0, 5.0}), (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(MetricsTest, DerivedQuantities) {
+  Metrics metrics;
+  metrics.CountAccess(false, true, 100);
+  metrics.CountAccess(true, false, 300);
+  EXPECT_DOUBLE_EQ(metrics.Fmar(), 0.5);
+  EXPECT_EQ(metrics.total_ops(), 2u);
+  EXPECT_EQ(metrics.app_time(), 400);
+
+  metrics.ChargeKernel(KernelWork::kScan, 100);
+  metrics.ChargeKernel(KernelWork::kMigration, 300);
+  EXPECT_EQ(metrics.TotalKernelTime(), 400);
+  EXPECT_DOUBLE_EQ(metrics.KernelTimeFraction(), 0.5);
+
+  metrics.CountContextSwitch();
+  EXPECT_DOUBLE_EQ(metrics.ContextSwitchRate(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.Throughput(kSecond), 2.0);
+
+  metrics.Reset();
+  EXPECT_EQ(metrics.total_ops(), 0u);
+  EXPECT_EQ(metrics.TotalKernelTime(), 0);
+}
+
+}  // namespace
+}  // namespace chronotier

@@ -1,0 +1,136 @@
+// Unit tests for the discrete-event queue.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace chronotier {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(30, [&order](SimTime) { order.push_back(3); });
+  queue.ScheduleAt(10, [&order](SimTime) { order.push_back(1); });
+  queue.ScheduleAt(20, [&order](SimTime) { order.push_back(2); });
+  queue.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 100);
+}
+
+TEST(EventQueueTest, SameTimeFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.ScheduleAt(50, [&order, i](SimTime) { order.push_back(i); });
+  }
+  queue.RunUntil(50);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ClockAdvancesToEventTime) {
+  EventQueue queue;
+  SimTime seen = -1;
+  queue.ScheduleAt(42, [&seen](SimTime now) { seen = now; });
+  EXPECT_TRUE(queue.RunNext());
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(queue.now(), 42);
+  EXPECT_FALSE(queue.RunNext());
+}
+
+TEST(EventQueueTest, ScheduleAfterIsRelative) {
+  EventQueue queue;
+  queue.AdvanceTo(100);
+  SimTime seen = 0;
+  queue.ScheduleAfter(25, [&seen](SimTime now) { seen = now; });
+  queue.RunUntil(200);
+  EXPECT_EQ(seen, 125);
+}
+
+TEST(EventQueueTest, PeriodicFiresRepeatedly) {
+  EventQueue queue;
+  int fires = 0;
+  queue.SchedulePeriodic(10, [&fires](SimTime) { ++fires; });
+  queue.RunUntil(100);
+  EXPECT_EQ(fires, 10);  // t = 10, 20, ..., 100.
+}
+
+TEST(EventQueueTest, CancelStopsPeriodic) {
+  EventQueue queue;
+  int fires = 0;
+  const EventId id = queue.SchedulePeriodic(10, [&fires](SimTime) { ++fires; });
+  queue.RunUntil(35);
+  EXPECT_EQ(fires, 3);
+  EXPECT_TRUE(queue.Cancel(id));
+  queue.RunUntil(100);
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, PeriodicCanCancelItself) {
+  EventQueue queue;
+  int fires = 0;
+  EventId id = kInvalidEventId;
+  id = queue.SchedulePeriodic(10, [&queue, &fires, &id](SimTime) {
+    if (++fires == 3) {
+      queue.Cancel(id);
+    }
+  });
+  queue.RunUntil(200);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(EventQueueTest, NextEventTimeSkipsCancelled) {
+  EventQueue queue;
+  const EventId early = queue.ScheduleAt(10, [](SimTime) {});
+  queue.ScheduleAt(50, [](SimTime) {});
+  EXPECT_EQ(queue.NextEventTime(), 10);
+  queue.Cancel(early);
+  EXPECT_EQ(queue.NextEventTime(), 50);
+}
+
+TEST(EventQueueTest, RunUntilDoesNotRunFutureEvents) {
+  EventQueue queue;
+  int fires = 0;
+  queue.ScheduleAt(100, [&fires](SimTime) { ++fires; });
+  queue.RunUntil(99);
+  EXPECT_EQ(fires, 0);
+  EXPECT_EQ(queue.now(), 99);
+  queue.RunUntil(100);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue queue;
+  std::vector<SimTime> times;
+  queue.ScheduleAt(10, [&queue, &times](SimTime now) {
+    times.push_back(now);
+    queue.ScheduleAfter(5, [&times](SimTime inner) { times.push_back(inner); });
+  });
+  queue.RunUntil(100);
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(EventQueueTest, ScheduleInPastClampsToNow) {
+  EventQueue queue;
+  queue.AdvanceTo(100);
+  SimTime seen = -1;
+  queue.ScheduleAt(10, [&seen](SimTime now) { seen = now; });
+  queue.RunUntil(100);
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventQueueTest, PendingCount) {
+  EventQueue queue;
+  EXPECT_EQ(queue.pending(), 0u);
+  const EventId a = queue.ScheduleAt(10, [](SimTime) {});
+  queue.SchedulePeriodic(10, [](SimTime) {});
+  EXPECT_EQ(queue.pending(), 2u);
+  queue.Cancel(a);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace chronotier
