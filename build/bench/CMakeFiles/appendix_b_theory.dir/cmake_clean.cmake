@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_b_theory.dir/appendix_b_theory.cc.o"
+  "CMakeFiles/appendix_b_theory.dir/appendix_b_theory.cc.o.d"
+  "appendix_b_theory"
+  "appendix_b_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_b_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_access_frequency.dir/fig01_access_frequency.cc.o"
+  "CMakeFiles/fig01_access_frequency.dir/fig01_access_frequency.cc.o.d"
+  "fig01_access_frequency"
+  "fig01_access_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_access_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02a_identification.dir/fig02a_identification.cc.o"
+  "CMakeFiles/fig02a_identification.dir/fig02a_identification.cc.o.d"
+  "fig02a_identification"
+  "fig02a_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02a_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02b_pebs_bins.dir/fig02b_pebs_bins.cc.o"
+  "CMakeFiles/fig02b_pebs_bins.dir/fig02b_pebs_bins.cc.o.d"
+  "fig02b_pebs_bins"
+  "fig02b_pebs_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02b_pebs_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

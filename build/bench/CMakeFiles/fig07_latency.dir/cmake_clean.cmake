@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_latency.dir/fig07_latency.cc.o"
+  "CMakeFiles/fig07_latency.dir/fig07_latency.cc.o.d"
+  "fig07_latency"
+  "fig07_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cgroup_history.dir/fig09_cgroup_history.cc.o"
+  "CMakeFiles/fig09_cgroup_history.dir/fig09_cgroup_history.cc.o.d"
+  "fig09_cgroup_history"
+  "fig09_cgroup_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cgroup_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_graph500.dir/fig11_graph500.cc.o"
+  "CMakeFiles/fig11_graph500.dir/fig11_graph500.cc.o.d"
+  "fig11_graph500"
+  "fig11_graph500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_graph500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

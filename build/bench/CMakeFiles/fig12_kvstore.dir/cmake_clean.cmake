@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_kvstore.dir/fig12_kvstore.cc.o"
+  "CMakeFiles/fig12_kvstore.dir/fig12_kvstore.cc.o.d"
+  "fig12_kvstore"
+  "fig12_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

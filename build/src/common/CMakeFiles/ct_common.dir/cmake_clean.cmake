@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_common.dir/histogram.cc.o"
+  "CMakeFiles/ct_common.dir/histogram.cc.o.d"
+  "CMakeFiles/ct_common.dir/rng.cc.o"
+  "CMakeFiles/ct_common.dir/rng.cc.o.d"
+  "CMakeFiles/ct_common.dir/stats.cc.o"
+  "CMakeFiles/ct_common.dir/stats.cc.o.d"
+  "CMakeFiles/ct_common.dir/table.cc.o"
+  "CMakeFiles/ct_common.dir/table.cc.o.d"
+  "CMakeFiles/ct_common.dir/time.cc.o"
+  "CMakeFiles/ct_common.dir/time.cc.o.d"
+  "libct_common.a"
+  "libct_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidate_filter.cc" "src/core/CMakeFiles/ct_core.dir/candidate_filter.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/candidate_filter.cc.o.d"
+  "/root/repo/src/core/chrono_config.cc" "src/core/CMakeFiles/ct_core.dir/chrono_config.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/chrono_config.cc.o.d"
+  "/root/repo/src/core/chrono_policy.cc" "src/core/CMakeFiles/ct_core.dir/chrono_policy.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/chrono_policy.cc.o.d"
+  "/root/repo/src/core/controls.cc" "src/core/CMakeFiles/ct_core.dir/controls.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/controls.cc.o.d"
+  "/root/repo/src/core/dcsc.cc" "src/core/CMakeFiles/ct_core.dir/dcsc.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/dcsc.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/ct_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/promotion_queue.cc" "src/core/CMakeFiles/ct_core.dir/promotion_queue.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/promotion_queue.cc.o.d"
+  "/root/repo/src/core/standard_policies.cc" "src/core/CMakeFiles/ct_core.dir/standard_policies.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/standard_policies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ct_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/ct_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ct_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pebs/CMakeFiles/ct_pebs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ct_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_core.dir/candidate_filter.cc.o"
+  "CMakeFiles/ct_core.dir/candidate_filter.cc.o.d"
+  "CMakeFiles/ct_core.dir/chrono_config.cc.o"
+  "CMakeFiles/ct_core.dir/chrono_config.cc.o.d"
+  "CMakeFiles/ct_core.dir/chrono_policy.cc.o"
+  "CMakeFiles/ct_core.dir/chrono_policy.cc.o.d"
+  "CMakeFiles/ct_core.dir/controls.cc.o"
+  "CMakeFiles/ct_core.dir/controls.cc.o.d"
+  "CMakeFiles/ct_core.dir/dcsc.cc.o"
+  "CMakeFiles/ct_core.dir/dcsc.cc.o.d"
+  "CMakeFiles/ct_core.dir/estimator.cc.o"
+  "CMakeFiles/ct_core.dir/estimator.cc.o.d"
+  "CMakeFiles/ct_core.dir/promotion_queue.cc.o"
+  "CMakeFiles/ct_core.dir/promotion_queue.cc.o.d"
+  "CMakeFiles/ct_core.dir/standard_policies.cc.o"
+  "CMakeFiles/ct_core.dir/standard_policies.cc.o.d"
+  "libct_core.a"
+  "libct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

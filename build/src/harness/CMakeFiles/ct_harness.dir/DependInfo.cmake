@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/ct_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/ct_harness.dir/experiment.cc.o.d"
+  "/root/repo/src/harness/machine.cc" "src/harness/CMakeFiles/ct_harness.dir/machine.cc.o" "gcc" "src/harness/CMakeFiles/ct_harness.dir/machine.cc.o.d"
+  "/root/repo/src/harness/metrics.cc" "src/harness/CMakeFiles/ct_harness.dir/metrics.cc.o" "gcc" "src/harness/CMakeFiles/ct_harness.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ct_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ct_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pebs/CMakeFiles/ct_pebs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

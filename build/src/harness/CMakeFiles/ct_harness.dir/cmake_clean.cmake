@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_harness.dir/experiment.cc.o"
+  "CMakeFiles/ct_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/ct_harness.dir/machine.cc.o"
+  "CMakeFiles/ct_harness.dir/machine.cc.o.d"
+  "CMakeFiles/ct_harness.dir/metrics.cc.o"
+  "CMakeFiles/ct_harness.dir/metrics.cc.o.d"
+  "libct_harness.a"
+  "libct_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/tier.cc" "src/mem/CMakeFiles/ct_mem.dir/tier.cc.o" "gcc" "src/mem/CMakeFiles/ct_mem.dir/tier.cc.o.d"
+  "/root/repo/src/mem/tiered_memory.cc" "src/mem/CMakeFiles/ct_mem.dir/tiered_memory.cc.o" "gcc" "src/mem/CMakeFiles/ct_mem.dir/tiered_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_mem.dir/tier.cc.o"
+  "CMakeFiles/ct_mem.dir/tier.cc.o.d"
+  "CMakeFiles/ct_mem.dir/tiered_memory.cc.o"
+  "CMakeFiles/ct_mem.dir/tiered_memory.cc.o.d"
+  "libct_mem.a"
+  "libct_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_pebs.dir/pebs.cc.o"
+  "CMakeFiles/ct_pebs.dir/pebs.cc.o.d"
+  "libct_pebs.a"
+  "libct_pebs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_pebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

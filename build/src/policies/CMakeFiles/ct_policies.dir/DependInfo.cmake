@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/autotiering.cc" "src/policies/CMakeFiles/ct_policies.dir/autotiering.cc.o" "gcc" "src/policies/CMakeFiles/ct_policies.dir/autotiering.cc.o.d"
+  "/root/repo/src/policies/linux_nb.cc" "src/policies/CMakeFiles/ct_policies.dir/linux_nb.cc.o" "gcc" "src/policies/CMakeFiles/ct_policies.dir/linux_nb.cc.o.d"
+  "/root/repo/src/policies/memtis.cc" "src/policies/CMakeFiles/ct_policies.dir/memtis.cc.o" "gcc" "src/policies/CMakeFiles/ct_policies.dir/memtis.cc.o.d"
+  "/root/repo/src/policies/multiclock.cc" "src/policies/CMakeFiles/ct_policies.dir/multiclock.cc.o" "gcc" "src/policies/CMakeFiles/ct_policies.dir/multiclock.cc.o.d"
+  "/root/repo/src/policies/scan_policy_base.cc" "src/policies/CMakeFiles/ct_policies.dir/scan_policy_base.cc.o" "gcc" "src/policies/CMakeFiles/ct_policies.dir/scan_policy_base.cc.o.d"
+  "/root/repo/src/policies/tpp.cc" "src/policies/CMakeFiles/ct_policies.dir/tpp.cc.o" "gcc" "src/policies/CMakeFiles/ct_policies.dir/tpp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ct_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ct_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pebs/CMakeFiles/ct_pebs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ct_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

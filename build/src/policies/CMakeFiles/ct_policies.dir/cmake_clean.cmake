@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_policies.dir/autotiering.cc.o"
+  "CMakeFiles/ct_policies.dir/autotiering.cc.o.d"
+  "CMakeFiles/ct_policies.dir/linux_nb.cc.o"
+  "CMakeFiles/ct_policies.dir/linux_nb.cc.o.d"
+  "CMakeFiles/ct_policies.dir/memtis.cc.o"
+  "CMakeFiles/ct_policies.dir/memtis.cc.o.d"
+  "CMakeFiles/ct_policies.dir/multiclock.cc.o"
+  "CMakeFiles/ct_policies.dir/multiclock.cc.o.d"
+  "CMakeFiles/ct_policies.dir/scan_policy_base.cc.o"
+  "CMakeFiles/ct_policies.dir/scan_policy_base.cc.o.d"
+  "CMakeFiles/ct_policies.dir/tpp.cc.o"
+  "CMakeFiles/ct_policies.dir/tpp.cc.o.d"
+  "libct_policies.a"
+  "libct_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ct_sim.dir/event_queue.cc.o.d"
+  "libct_sim.a"
+  "libct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/address_space.cc" "src/vm/CMakeFiles/ct_vm.dir/address_space.cc.o" "gcc" "src/vm/CMakeFiles/ct_vm.dir/address_space.cc.o.d"
+  "/root/repo/src/vm/lru.cc" "src/vm/CMakeFiles/ct_vm.dir/lru.cc.o" "gcc" "src/vm/CMakeFiles/ct_vm.dir/lru.cc.o.d"
+  "/root/repo/src/vm/scanner.cc" "src/vm/CMakeFiles/ct_vm.dir/scanner.cc.o" "gcc" "src/vm/CMakeFiles/ct_vm.dir/scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ct_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_vm.dir/address_space.cc.o"
+  "CMakeFiles/ct_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/ct_vm.dir/lru.cc.o"
+  "CMakeFiles/ct_vm.dir/lru.cc.o.d"
+  "CMakeFiles/ct_vm.dir/scanner.cc.o"
+  "CMakeFiles/ct_vm.dir/scanner.cc.o.d"
+  "libct_vm.a"
+  "libct_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/graph500.cc" "src/workloads/CMakeFiles/ct_workloads.dir/graph500.cc.o" "gcc" "src/workloads/CMakeFiles/ct_workloads.dir/graph500.cc.o.d"
+  "/root/repo/src/workloads/kvstore.cc" "src/workloads/CMakeFiles/ct_workloads.dir/kvstore.cc.o" "gcc" "src/workloads/CMakeFiles/ct_workloads.dir/kvstore.cc.o.d"
+  "/root/repo/src/workloads/patterns.cc" "src/workloads/CMakeFiles/ct_workloads.dir/patterns.cc.o" "gcc" "src/workloads/CMakeFiles/ct_workloads.dir/patterns.cc.o.d"
+  "/root/repo/src/workloads/pmbench.cc" "src/workloads/CMakeFiles/ct_workloads.dir/pmbench.cc.o" "gcc" "src/workloads/CMakeFiles/ct_workloads.dir/pmbench.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/ct_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/ct_workloads.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ct_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ct_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_workloads.dir/graph500.cc.o"
+  "CMakeFiles/ct_workloads.dir/graph500.cc.o.d"
+  "CMakeFiles/ct_workloads.dir/kvstore.cc.o"
+  "CMakeFiles/ct_workloads.dir/kvstore.cc.o.d"
+  "CMakeFiles/ct_workloads.dir/patterns.cc.o"
+  "CMakeFiles/ct_workloads.dir/patterns.cc.o.d"
+  "CMakeFiles/ct_workloads.dir/pmbench.cc.o"
+  "CMakeFiles/ct_workloads.dir/pmbench.cc.o.d"
+  "CMakeFiles/ct_workloads.dir/trace.cc.o"
+  "CMakeFiles/ct_workloads.dir/trace.cc.o.d"
+  "libct_workloads.a"
+  "libct_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chrono_policy_test.cc" "tests/CMakeFiles/ct_tests.dir/chrono_policy_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/chrono_policy_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/ct_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/ct_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/estimator_test.cc" "tests/CMakeFiles/ct_tests.dir/estimator_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/estimator_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/ct_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/ct_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/ct_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/pebs_test.cc" "tests/CMakeFiles/ct_tests.dir/pebs_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/pebs_test.cc.o.d"
+  "/root/repo/tests/policies_test.cc" "tests/CMakeFiles/ct_tests.dir/policies_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/policies_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ct_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/scan_daemon_test.cc" "tests/CMakeFiles/ct_tests.dir/scan_daemon_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/scan_daemon_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/ct_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/three_tier_test.cc" "tests/CMakeFiles/ct_tests.dir/three_tier_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/three_tier_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/ct_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/ct_tests.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/vm_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/ct_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/ct_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/ct_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ct_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pebs/CMakeFiles/ct_pebs.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ct_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ct_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
