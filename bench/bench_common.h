@@ -81,6 +81,23 @@ inline const std::vector<std::pair<std::string, double>>& RwRatios() {
   return kRatios;
 }
 
+// Migration-engine table shared by the figure benches: one row per (label, result) pair,
+// reusing results from runs the caller already made.
+inline void PrintMigrationEngineTable(
+    const std::vector<std::pair<std::string, ExperimentResult>>& rows) {
+  TextTable table({"policy", "submitted", "committed", "aborted", "refused",
+                   "attempts/commit", "copy-BW util"});
+  for (const auto& [label, result] : rows) {
+    table.AddRow({label, TextTable::Int(static_cast<long long>(result.migrations_submitted)),
+                  TextTable::Int(static_cast<long long>(result.migrations_committed)),
+                  TextTable::Int(static_cast<long long>(result.migrations_aborted)),
+                  TextTable::Int(static_cast<long long>(result.migrations_refused)),
+                  TextTable::Num(result.migration_mean_attempts),
+                  TextTable::Percent(result.copy_bandwidth_utilization)});
+  }
+  table.Print();
+}
+
 }  // namespace chronotier
 
 #endif  // BENCH_BENCH_COMMON_H_

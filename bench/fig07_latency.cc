@@ -51,18 +51,20 @@ void RunRatio(const char* title, double read_ratio) {
   ct::TextTable table(
       {"policy", "avg (norm)", "median (norm)", "P99.9 (norm)", "avg (ns)", "P99.9 (ns)"});
   std::vector<LatencyRow> rows;
+  std::vector<std::pair<std::string, ct::ExperimentResult>> engine_rows;
   for (const auto& named : ct::StandardPolicySet(ct::BenchGeometry())) {
     ct::ExperimentConfig config = ct::BenchMachine();
     config.measure = 20 * ct::kSecond;
     std::vector<ct::ProcessSpec> procs = {ct::BenchPmbenchProc(96, read_ratio),
                                           ct::BenchPmbenchProc(96, read_ratio)};
     double tail = 0;
-    const ct::ExperimentResult result = ct::Experiment::Run(
+    ct::ExperimentResult result = ct::Experiment::Run(
         config, named.make, procs, nullptr,
         [&tail](ct::Machine& machine, ct::ExperimentResult&) {
           tail = machine.metrics().LatencyPercentile(99.9);
         });
     rows.push_back({named.name, result.avg_latency_ns, result.median_latency_ns, tail});
+    engine_rows.emplace_back(named.name, std::move(result));
   }
   const LatencyRow& base = rows.front();
   for (const LatencyRow& row : rows) {
@@ -72,6 +74,8 @@ void RunRatio(const char* title, double read_ratio) {
                   ct::TextTable::Num(row.tail, 0)});
   }
   table.Print();
+  std::printf("Migration engine:\n");
+  ct::PrintMigrationEngineTable(engine_rows);
   std::fflush(stdout);
 }
 

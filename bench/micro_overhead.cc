@@ -13,6 +13,7 @@
 #include "src/core/cit.h"
 #include "src/core/estimator.h"
 #include "src/core/promotion_queue.h"
+#include "src/migration/migration_engine.h"
 #include "src/vm/address_space.h"
 #include "src/vm/scanner.h"
 
@@ -128,6 +129,114 @@ void BM_SelectionEfficiencyNumeric(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SelectionEfficiencyNumeric);
+
+// --- Migration engine ---
+
+// Minimal host for driving the engine without a full Machine: applies committed moves to
+// the page metadata and swallows reclaim/kernel-time callbacks.
+class BareMigrationEnv : public ct::MigrationEnv {
+ public:
+  BareMigrationEnv() : memory_(ct::TieredMemory::DramOptane(1u << 16)) {}
+
+  ct::EventQueue& queue() override { return queue_; }
+  ct::TieredMemory& memory() override { return memory_; }
+  void ReclaimForPromotion(uint64_t) override {}
+  void ApplyMigration(ct::Vma&, ct::PageInfo& unit, ct::NodeId, ct::NodeId to) override {
+    unit.node = to;
+  }
+  void ChargeMigrationKernelTime(ct::SimDuration) override {}
+  void OnPromotionRefused() override {}
+
+  ct::EventQueue queue_;
+  ct::TieredMemory memory_;
+};
+
+// Async transaction pipeline vs. write intensity. Arg = percent chance that a store lands
+// mid-copy (bumping write_gen inside the copy window), forcing a dirty abort + retry.
+// Counters: txns/s of engine bookkeeping, abort rate per copy pass, copy passes per commit.
+void BM_MigrationEngineAsync(benchmark::State& state) {
+  const double store_prob = static_cast<double>(state.range(0)) / 100.0;
+  BareMigrationEnv env;
+  ct::MigrationStats stats;
+  ct::MigrationEngineConfig config;
+  ct::MigrationEngine engine(config, &env, &stats);
+
+  constexpr uint64_t kPages = 1024;
+  ct::AddressSpace aspace(1);
+  const uint64_t base_vpn = aspace.MapRegion(kPages * ct::kBasePageSize) / ct::kBasePageSize;
+  ct::Vma& vma = *aspace.FindVma(base_vpn);
+  env.memory_.node(ct::kSlowNode).TryAllocate(kPages);
+  for (uint64_t i = 0; i < kPages; ++i) {
+    ct::PageInfo& page = vma.PageAt(base_vpn + i);
+    page.Set(ct::kPagePresent);
+    page.node = ct::kSlowNode;
+  }
+
+  const ct::SimDuration half_copy =
+      env.memory_.CostOfMigration(ct::kSlowNode, ct::kFastNode, ct::kBasePageSize).copy_time /
+      2;
+  ct::Rng rng(7);
+  uint64_t idx = 0;
+  for (auto _ : state) {
+    ct::PageInfo& unit = vma.PageAt(base_vpn + (idx++ % kPages));
+    const ct::NodeId target = unit.node == ct::kFastNode ? ct::kSlowNode : ct::kFastNode;
+    const ct::MigrationTicket ticket =
+        engine.Submit(vma, unit, target, ct::MigrationClass::kAsync,
+                      ct::MigrationSource::kPolicyDaemon);
+    if (ticket.admitted && rng.NextDouble() < store_prob) {
+      ct::PageInfo* page = &unit;
+      env.queue_.ScheduleAt(env.queue_.now() + half_copy,
+                            [page](ct::SimTime) { ++page->write_gen; });
+    }
+    while (env.queue_.pending() > 0) {
+      env.queue_.RunNext();
+    }
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(stats.TotalCommitted()));
+  state.counters["txns_per_sec"] = benchmark::Counter(
+      static_cast<double>(stats.TotalCommitted()), benchmark::Counter::kIsRate);
+  state.counters["abort_rate"] =
+      stats.copy_attempts == 0 ? 0.0
+                               : static_cast<double>(stats.dirty_aborted_copies) /
+                                     static_cast<double>(stats.copy_attempts);
+  state.counters["attempts_per_commit"] = stats.MeanAttemptsPerCommit();
+  state.counters["final_aborts"] = static_cast<double>(stats.TotalAborted());
+}
+BENCHMARK(BM_MigrationEngineAsync)->Arg(0)->Arg(25)->Arg(50)->Arg(95);
+
+// Sync (fault-inline) submission: the whole transaction executes inside Submit, so this is
+// the per-fault engine overhead a hint-fault promotion pays.
+void BM_MigrationEngineSyncSubmit(benchmark::State& state) {
+  BareMigrationEnv env;
+  ct::MigrationStats stats;
+  ct::MigrationEngineConfig config;
+  config.sync_slack = 365ll * 24 * 3600 * ct::kSecond;  // Never refuse on backlog.
+  ct::MigrationEngine engine(config, &env, &stats);
+
+  constexpr uint64_t kPages = 1024;
+  ct::AddressSpace aspace(1);
+  const uint64_t base_vpn = aspace.MapRegion(kPages * ct::kBasePageSize) / ct::kBasePageSize;
+  ct::Vma& vma = *aspace.FindVma(base_vpn);
+  env.memory_.node(ct::kSlowNode).TryAllocate(kPages);
+  for (uint64_t i = 0; i < kPages; ++i) {
+    ct::PageInfo& page = vma.PageAt(base_vpn + i);
+    page.Set(ct::kPagePresent);
+    page.node = ct::kSlowNode;
+  }
+
+  uint64_t idx = 0;
+  for (auto _ : state) {
+    ct::PageInfo& unit = vma.PageAt(base_vpn + (idx++ % kPages));
+    const ct::NodeId target = unit.node == ct::kFastNode ? ct::kSlowNode : ct::kFastNode;
+    benchmark::DoNotOptimize(engine.Submit(vma, unit, target, ct::MigrationClass::kSync,
+                                           ct::MigrationSource::kFaultPath,
+                                           env.queue_.now()));
+  }
+  state.counters["txns_per_sec"] = benchmark::Counter(
+      static_cast<double>(stats.TotalCommitted()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MigrationEngineSyncSubmit);
 
 }  // namespace
 

@@ -154,7 +154,10 @@ void ChronoPolicy::DrainTick(SimTime /*now*/) {
       continue;
     }
     const uint64_t unit_pages = vma->UnitPages(unit->vpn);
-    machine()->MigrateUnit(*vma, *unit, kFastNode);
+    // Tokens are consumed whether or not the engine admits: the rate limit models the
+    // daemon's submission budget, and a refusal still spent that budget slot.
+    machine()->migration().Submit(*vma, *unit, kFastNode, MigrationClass::kAsync,
+                                  MigrationSource::kPolicyDaemon);
     drain_tokens_ -= static_cast<double>(unit_pages);
   }
 }

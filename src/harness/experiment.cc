@@ -74,6 +74,14 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   result.promotion_events = metrics.promotion_events();
   result.thrash_events = metrics.thrash_events();
   result.hint_faults = metrics.hint_faults();
+  const MigrationStats& migration = metrics.migration();
+  result.migrations_submitted = migration.TotalSubmitted();
+  result.migrations_committed = migration.TotalCommitted();
+  result.migrations_aborted = migration.TotalAborted();
+  result.migrations_refused = migration.TotalRefused();
+  result.migration_mean_attempts = migration.MeanAttemptsPerCommit();
+  result.copy_bandwidth_utilization = migration.CopyBandwidthUtilization(
+      result.elapsed, machine.migration().num_channels());
   if (finish) {
     finish(machine, result);
   }

@@ -59,6 +59,14 @@ struct ExperimentResult {
   uint64_t thrash_events = 0;
   uint64_t hint_faults = 0;
 
+  // Migration-engine counters over the measured window.
+  uint64_t migrations_submitted = 0;
+  uint64_t migrations_committed = 0;
+  uint64_t migrations_aborted = 0;   // Final aborts: dirtied on every copy attempt.
+  uint64_t migrations_refused = 0;   // Admission refusals across all reasons.
+  double migration_mean_attempts = 0;          // Copy passes per committed transaction.
+  double copy_bandwidth_utilization = 0;       // Channel busy fraction over the window.
+
   // Residency time series (per process, per sample) and the sample times.
   std::vector<SimTime> sample_times;
   std::vector<std::vector<double>> residency_percent;

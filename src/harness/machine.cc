@@ -35,6 +35,11 @@ Machine::Machine(MachineConfig config, std::unique_ptr<TieringPolicy> policy)
     lrus_.emplace_back();
   }
   assert(policy_ != nullptr);
+  // The engine shares the machine's bandwidth scaling so copy CPU is charged unscaled.
+  MigrationEngineConfig engine_config = config_.migration;
+  engine_config.bandwidth_scale = config_.bandwidth_scale;
+  engine_ = std::make_unique<MigrationEngine>(engine_config, static_cast<MigrationEnv*>(this),
+                                              metrics_.mutable_migration());
 }
 
 Machine::~Machine() = default;
@@ -184,6 +189,9 @@ SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_stor
   unit.Set(kPageAccessed);
   if (is_store) {
     unit.Set(kPageDirty);
+    // Advance the store generation: an in-flight migration copy of this unit is now stale
+    // and will abort at its commit check.
+    ++unit.write_gen;
   }
   unit.oracle_last_access = now;
   ++unit.oracle_access_count;
@@ -224,77 +232,37 @@ SimDuration Machine::HandleDemandFault(Process& process, Vma& vma, PageInfo& uni
   return config_.demand_fault_cost;
 }
 
-bool Machine::MigrateUnit(Vma& vma, PageInfo& unit, NodeId target, bool synchronous,
-                          SimDuration* sync_latency, SimTime now) {
-  if (!unit.present() || unit.node == target) {
-    return false;
+void Machine::ReclaimForPromotion(uint64_t pages) {
+  // Promotion pressure: wake direct reclaim to demote cold pages so the engine's retry can
+  // reserve frames. This mirrors the kernel's allocate-for-migration slow path and is what
+  // keeps huge-page promotions (512-page units) from deadlocking against the min watermark.
+  if (reclaim_in_progress_) {
+    return;
   }
+  const MemoryTier& fast = memory_.node(kFastNode);
+  ReclaimFastTier(std::max(fast.watermarks().high, pages + fast.watermarks().min + pages));
+}
+
+void Machine::ApplyMigration(Vma& vma, PageInfo& unit, NodeId from, NodeId to) {
   const uint64_t pages = vma.UnitPages(unit.vpn);
-  const bool is_promotion = target == kFastNode;
-  if (!memory_.node(target).TryAllocate(pages, /*allow_below_min=*/!is_promotion)) {
-    if (!is_promotion) {
-      return false;
-    }
-    // Promotion pressure: wake direct reclaim to demote cold pages, then retry once. This
-    // mirrors the kernel's allocate-for-migration slow path and is what keeps huge-page
-    // promotions (512-page units) from deadlocking against the min watermark.
-    if (!reclaim_in_progress_) {
-      const MemoryTier& fast = memory_.node(kFastNode);
-      ReclaimFastTier(std::max(fast.watermarks().high,
-                               pages + fast.watermarks().min + pages));
-    }
-    if (!memory_.node(target).TryAllocate(pages)) {
-      metrics_.CountPromotionFailure();
-      return false;
-    }
-  }
-  const NodeId source = unit.node;
+  const bool is_promotion = to == kFastNode;
 
-  // The copy runs on a shared migration engine: it starts when the engine frees up, and a
-  // synchronous (inline, NUMA-balancing-style) migration stalls the faulting access for the
-  // queueing delay too. A saturated engine refuses new migrations.
-  const MigrationCost cost = memory_.CostOfMigration(source, target, pages * kBasePageSize);
-  if (now == kNeverTime) {
-    now = queue_.now();
-  }
-  const SimTime backlog_start = std::max(now, migration_engine_free_at_);
-  const SimDuration backlog_limit =
-      synchronous ? config_.sync_migration_slack : config_.migration_backlog_limit;
-  if (backlog_start - now > backlog_limit) {
-    memory_.FreePages(target, pages);  // Return the reserved target frames.
-    if (is_promotion) {
-      metrics_.CountPromotionFailure();
-    }
-    return false;
-  }
-  memory_.FreePages(source, pages);
-  migration_engine_free_at_ = backlog_start + cost.copy_time;
-  // Kernel CPU time: the software path plus the *unscaled* copy cost — the scaled
-  // copy_time models engine queueing on the miniature machine, not CPU burn.
-  const SimDuration copy_cpu = static_cast<SimDuration>(
-      static_cast<double>(cost.copy_time) / std::max(config_.bandwidth_scale, 1.0));
-  metrics_.ChargeKernel(KernelWork::kMigration, cost.software_overhead + copy_cpu);
-  if (synchronous && sync_latency != nullptr) {
-    *sync_latency += (migration_engine_free_at_ - now) + cost.software_overhead;
-  }
-
-  lrus_[static_cast<size_t>(source)].Erase(&unit);
-  unit.node = target;
+  lrus_[static_cast<size_t>(from)].Erase(&unit);
+  unit.node = to;
   // Promoted pages are hot: front of active. Demoted pages are cold: inactive.
-  lrus_[static_cast<size_t>(target)].Insert(&unit, /*active=*/is_promotion);
+  lrus_[static_cast<size_t>(to)].Insert(&unit, /*active=*/is_promotion);
 
   if (Process* owner = ProcessByPid(unit.owner)) {
-    owner->AddResident(source, -static_cast<int64_t>(pages));
-    owner->AddResident(target, static_cast<int64_t>(pages));
+    owner->AddResident(from, -static_cast<int64_t>(pages));
+    owner->AddResident(to, static_cast<int64_t>(pages));
   }
   if (is_promotion) {
     metrics_.CountPromotion(pages);
   } else {
     metrics_.CountDemotion(pages);
   }
-  // Concurrent touches during unmap-copy-remap take a migration-entry fault.
+  // Concurrent touches during the commit's unmap-remap window take a migration-entry fault.
   metrics_.CountContextSwitch();
-  return true;
 }
 
 bool Machine::DemoteUnit(Vma& vma, PageInfo& unit) {
@@ -303,7 +271,9 @@ bool Machine::DemoteUnit(Vma& vma, PageInfo& unit) {
   if (target == unit.node) {
     return false;
   }
-  if (!MigrateUnit(vma, unit, target)) {
+  const MigrationTicket ticket = engine_->Submit(vma, unit, target, MigrationClass::kReclaim,
+                                                 MigrationSource::kReclaimDaemon);
+  if (!ticket.admitted) {
     return false;
   }
   policy_->OnDemotion(vma, unit, queue_.now());
@@ -312,6 +282,11 @@ bool Machine::DemoteUnit(Vma& vma, PageInfo& unit) {
 
 bool Machine::SplitHugeUnit(Vma& vma, PageInfo& head) {
   if (vma.page_kind() != PageSizeKind::kHuge || !head.huge_head() || !head.present()) {
+    return false;
+  }
+  if (head.Has(kPageMigrating)) {
+    // A 512-page copy of this unit is in flight; splitting now would orphan the reserved
+    // target frames. The policy can retry after the transaction retires.
     return false;
   }
   const uint64_t group = vma.GroupIndex(head.vpn);
@@ -363,7 +338,9 @@ uint64_t Machine::ReclaimFastTier(uint64_t refill_target) {
       fast_lru.Activate(page);
       continue;
     }
-    if (page->Has(kPageUnevictable)) {
+    if (page->Has(kPageUnevictable) || page->Has(kPageMigrating)) {
+      // Unevictable, or owned by an in-flight migration transaction (its source frames
+      // must stay resident until the transaction commits or aborts).
       fast_lru.inactive().Rotate(page);
       continue;
     }

@@ -19,6 +19,7 @@
 #include "src/harness/metrics.h"
 #include "src/harness/policy.h"
 #include "src/mem/tiered_memory.h"
+#include "src/migration/migration_engine.h"
 #include "src/pebs/pebs.h"
 #include "src/sim/event_queue.h"
 #include "src/vm/lru.h"
@@ -50,12 +51,12 @@ struct MachineConfig {
   // its copy engines by N or migration pressure becomes free. Benches use the same factor
   // as the capacity scaling (see EXPERIMENTS.md); unit tests keep 1.0 (testbed bandwidth).
   double bandwidth_scale = 1.0;
-  // Migrations queue on a shared engine; when the backlog exceeds this, new migrations are
-  // refused (the kernel's promotion rate-limit analogue).
-  SimDuration migration_backlog_limit = 250 * kMillisecond;
-  // Synchronous (fault-inline) migrations tolerate far less queueing: the kernel skips the
-  // migration rather than stall a fault, so a busy engine refuses them almost immediately.
-  SimDuration sync_migration_slack = 2 * kMillisecond;
+  // Migration-engine knobs (admission limits, retry policy). Replaces the old
+  // `migration_backlog_limit` / `sync_migration_slack` scalars: the former is now
+  // `migration.async_backlog_limit` (+ `migration.reclaim_backlog_limit`), the latter
+  // `migration.sync_slack`. `migration.bandwidth_scale` is overwritten with
+  // `bandwidth_scale` at construction — set only the top-level knob.
+  MigrationEngineConfig migration;
 
   uint64_t seed = 42;
 
@@ -63,7 +64,7 @@ struct MachineConfig {
   static MachineConfig StandardTwoTier(uint64_t total_pages, double fast_fraction = 0.25);
 };
 
-class Machine {
+class Machine : private MigrationEnv {
  public:
   Machine(MachineConfig config, std::unique_ptr<TieringPolicy> policy);
   ~Machine();
@@ -90,9 +91,12 @@ class Machine {
   bool AllProcessesFinished() const;
 
   // --- services for policies ---
-  EventQueue& queue() { return queue_; }
-  TieredMemory& memory() { return memory_; }
+  EventQueue& queue() override { return queue_; }
+  TieredMemory& memory() override { return memory_; }
   NodeLru& lru(NodeId node) { return lrus_[static_cast<size_t>(node)]; }
+  // The migration engine: the only path by which pages move between tiers.
+  MigrationEngine& migration() { return *engine_; }
+  const MigrationEngine& migration() const { return *engine_; }
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
   PebsSampler& pebs() { return pebs_; }
@@ -112,15 +116,6 @@ class Machine {
       unit.Set(kPageProtNone);
     }
   }
-
-  // Migrates a unit to `target`. Promotion to the fast node respects the min watermark
-  // (fails when the tier is too full); demotion may dip below it. When `synchronous`, the
-  // migration cost is also returned through `sync_latency` so the caller can charge it to
-  // the faulting access (NUMA-balancing-style inline promotion).
-  // `now` is the caller's current time (a faulting process's clock runs ahead of the event
-  // queue within a horizon); kNeverTime means "use the event-queue clock".
-  bool MigrateUnit(Vma& vma, PageInfo& unit, NodeId target, bool synchronous = false,
-                   SimDuration* sync_latency = nullptr, SimTime now = kNeverTime);
 
   // Demotes one unit from the fast tier (reclaim path; notifies the policy).
   bool DemoteUnit(Vma& vma, PageInfo& unit);
@@ -153,6 +148,14 @@ class Machine {
   void RunProcessUntil(Process& process, WorkloadBinding& binding, SimTime horizon);
   void ReclaimTick(SimTime now);
 
+  // --- MigrationEnv (the engine's view of the machine) ---
+  void ReclaimForPromotion(uint64_t pages) override;
+  void ApplyMigration(Vma& vma, PageInfo& unit, NodeId from, NodeId to) override;
+  void ChargeMigrationKernelTime(SimDuration d) override {
+    metrics_.ChargeKernel(KernelWork::kMigration, d);
+  }
+  void OnPromotionRefused() override { metrics_.CountPromotionFailure(); }
+
   MachineConfig config_;
   EventQueue queue_;
   TieredMemory memory_;
@@ -163,7 +166,7 @@ class Machine {
   bool pebs_active_ = false;
   bool started_ = false;
   bool reclaim_in_progress_ = false;  // Re-entrancy guard: demotions never recurse.
-  SimTime migration_engine_free_at_ = 0;  // Shared copy engine: serialized migrations.
+  std::unique_ptr<MigrationEngine> engine_;  // After metrics_: stats live there.
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<WorkloadBinding> bindings_;  // Indexed by pid.

@@ -48,6 +48,7 @@ void Metrics::Reset() {
   kernel_time_.fill(0);
   read_latency_.Clear();
   write_latency_.Clear();
+  migration_.Reset();
 }
 
 }  // namespace chronotier

@@ -8,6 +8,7 @@
 
 #include "src/common/stats.h"
 #include "src/common/time.h"
+#include "src/migration/migration_types.h"
 
 namespace chronotier {
 
@@ -118,6 +119,13 @@ class Metrics {
   const ReservoirSampler& read_latency() const { return read_latency_; }
   const ReservoirSampler& write_latency() const { return write_latency_; }
 
+  // Migration-engine counters (submitted/committed/aborted/refused, retry histogram,
+  // channel busy time). The counters live here — updated in place by the MigrationEngine —
+  // so a warmup Reset() discards them together with every other run counter; the engine
+  // keeps only live gauges (in-flight work) itself.
+  const MigrationStats& migration() const { return migration_; }
+  MigrationStats* mutable_migration() { return &migration_; }
+
   // Combined-latency percentile over both reservoirs, weighted by op counts.
   double LatencyPercentile(double p) const;
   double MeanLatency() const;
@@ -144,6 +152,7 @@ class Metrics {
   std::array<SimDuration, kNumKernelWorkKinds> kernel_time_ = {};
   ReservoirSampler read_latency_;
   ReservoirSampler write_latency_;
+  MigrationStats migration_;
 };
 
 }  // namespace chronotier

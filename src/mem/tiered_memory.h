@@ -44,7 +44,13 @@ class TieredMemory {
 
   void FreePages(NodeId node, uint64_t pages);
 
-  // Cost of migrating `bytes` from `from` to `to`; bounded by the slower side's bandwidth.
+  // *Uncontended* device cost of migrating `bytes` from `from` to `to`: the copy time an
+  // otherwise-idle channel would take (bounded by the slower side's bandwidth) plus the
+  // fixed software overhead. Contention is NOT modelled here — concurrent in-flight
+  // migrations on the same tier pair share bandwidth through the migration engine's
+  // CopyChannel (src/migration), which books copies FIFO on a finite-bandwidth cursor.
+  // Nothing on the promotion/demotion paths may charge this cost directly; submit through
+  // MigrationEngine instead.
   MigrationCost CostOfMigration(NodeId from, NodeId to, uint64_t bytes) const;
 
   uint64_t total_capacity_pages() const;

@@ -1,0 +1,64 @@
+// Admission control in front of the migration engine (TierBPF-style): a submission is
+// refused *before* it can reserve frames or book channel time when (a) the channel backlog
+// exceeds what its class tolerates, or (b) its source already has too many pages in flight.
+// Replaces the old ad-hoc `migration_backlog_limit` / `sync_migration_slack` scalars with
+// per-class limits plus per-source throttling.
+
+#ifndef SRC_MIGRATION_ADMISSION_H_
+#define SRC_MIGRATION_ADMISSION_H_
+
+#include <cstdint>
+
+#include "src/migration/migration_types.h"
+
+namespace chronotier {
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const MigrationEngineConfig* config) : config_(config) {}
+
+  // Backlog a request of `klass` tolerates before refusal.
+  SimDuration BacklogLimit(MigrationClass klass) const {
+    switch (klass) {
+      case MigrationClass::kSync:
+        return config_->sync_slack;
+      case MigrationClass::kAsync:
+        return config_->async_backlog_limit;
+      case MigrationClass::kReclaim:
+        return config_->reclaim_backlog_limit;
+    }
+    return 0;
+  }
+
+  // Verdict for a request seeing `backlog` on its channel. Does not book anything.
+  MigrationRefusal Check(MigrationClass klass, MigrationSource source, SimDuration backlog,
+                         uint64_t pages) const {
+    if (backlog > BacklogLimit(klass)) {
+      return MigrationRefusal::kBacklog;
+    }
+    const uint64_t inflight = inflight_pages_[static_cast<size_t>(source)];
+    if (inflight > 0 && inflight + pages > config_->source_inflight_page_limit) {
+      return MigrationRefusal::kSourceThrottled;
+    }
+    return MigrationRefusal::kNone;
+  }
+
+  void OnAdmit(MigrationSource source, uint64_t pages) {
+    inflight_pages_[static_cast<size_t>(source)] += pages;
+  }
+  void OnRetire(MigrationSource source, uint64_t pages) {
+    inflight_pages_[static_cast<size_t>(source)] -= pages;
+  }
+
+  uint64_t inflight_pages(MigrationSource source) const {
+    return inflight_pages_[static_cast<size_t>(source)];
+  }
+
+ private:
+  const MigrationEngineConfig* config_;
+  uint64_t inflight_pages_[kNumMigrationSources] = {};
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_MIGRATION_ADMISSION_H_

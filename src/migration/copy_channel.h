@@ -1,0 +1,64 @@
+// A copy channel: the finite-bandwidth path that moves page bytes between one *unordered*
+// pair of tiers. Both directions share one channel — a promotion (slow->fast) and a
+// demotion (fast->slow) each read one device and write the other, so they contend for the
+// same two devices' bandwidth — while distinct tier pairs copy concurrently. Concurrent
+// copies on a channel share its bandwidth; the model books them FIFO on a virtual cursor,
+// which conserves bandwidth exactly (N concurrent copies of duration d finish no earlier
+// than N*d after the first starts) and makes the queueing delay each new copy sees
+// explicit — the quantity admission control decides on. This replaces the old model in
+// which every migration saw the channel's full bandwidth regardless of queue depth.
+
+#ifndef SRC_MIGRATION_COPY_CHANNEL_H_
+#define SRC_MIGRATION_COPY_CHANNEL_H_
+
+#include <algorithm>
+
+#include "src/common/time.h"
+#include "src/mem/tier.h"
+
+namespace chronotier {
+
+class CopyChannel {
+ public:
+  CopyChannel() = default;
+  // `lo` < `hi`: the unordered pair of tiers the channel connects.
+  CopyChannel(NodeId lo, NodeId hi) : lo_(lo), hi_(hi) {}
+
+  NodeId lo() const { return lo_; }
+  NodeId hi() const { return hi_; }
+
+  // Queueing delay a copy submitted at `now` would wait before its bytes start moving.
+  SimDuration Backlog(SimTime now) const { return cursor_ > now ? cursor_ - now : 0; }
+
+  struct Booking {
+    SimTime start = 0;
+    SimTime finish = 0;
+  };
+
+  // Books a copy of `copy_time` submitted at `now`, starting no earlier than `earliest`
+  // (retry backoff). FIFO: the copy begins when the channel drains.
+  Booking Book(SimTime now, SimTime earliest, SimDuration copy_time) {
+    Booking booking;
+    booking.start = std::max({now, earliest, cursor_});
+    booking.finish = booking.start + copy_time;
+    cursor_ = booking.finish;
+    busy_ += copy_time;
+    ++copies_booked_;
+    return booking;
+  }
+
+  // Total copy time ever booked (includes copies later invalidated by a dirty abort).
+  SimDuration busy_time() const { return busy_; }
+  uint64_t copies_booked() const { return copies_booked_; }
+
+ private:
+  NodeId lo_ = kInvalidNode;
+  NodeId hi_ = kInvalidNode;
+  SimTime cursor_ = 0;  // When the last booked copy drains.
+  SimDuration busy_ = 0;
+  uint64_t copies_booked_ = 0;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_MIGRATION_COPY_CHANNEL_H_

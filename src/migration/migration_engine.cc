@@ -1,0 +1,232 @@
+#include "src/migration/migration_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chronotier {
+
+MigrationEngine::MigrationEngine(MigrationEngineConfig config, MigrationEnv* env,
+                                 MigrationStats* stats)
+    : config_(config), env_(env), stats_(stats), admission_(&config_) {
+  assert(env_ != nullptr && stats_ != nullptr);
+  num_nodes_ = env_->memory().num_nodes();
+  // One channel per unordered tier pair {lo, hi}, lo < hi: both copy directions between two
+  // tiers contend for the same device bandwidth.
+  for (NodeId lo = 0; lo < num_nodes_; ++lo) {
+    for (NodeId hi = lo + 1; hi < num_nodes_; ++hi) {
+      channels_.emplace_back(lo, hi);
+    }
+  }
+}
+
+size_t MigrationEngine::ChannelIndex(NodeId from, NodeId to) const {
+  const size_t lo = static_cast<size_t>(std::min(from, to));
+  const size_t hi = static_cast<size_t>(std::max(from, to));
+  const size_t n = static_cast<size_t>(num_nodes_);
+  // Row-major upper triangle: pairs {0,1}, {0,2}, ..., {0,n-1}, {1,2}, ...
+  return lo * n - lo * (lo + 1) / 2 + (hi - lo - 1);
+}
+
+const CopyChannel& MigrationEngine::channel(NodeId from, NodeId to) const {
+  return channels_[ChannelIndex(from, to)];
+}
+
+CopyChannel& MigrationEngine::channel_mutable(NodeId from, NodeId to) {
+  return channels_[ChannelIndex(from, to)];
+}
+
+MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
+                                        MigrationClass klass, MigrationSource source,
+                                        SimTime now) {
+  MigrationTicket ticket;
+  const auto refuse = [&](MigrationRefusal reason, bool count_promotion_failure) {
+    ticket.refusal = reason;
+    ++stats_->refused[static_cast<size_t>(reason)];
+    if (count_promotion_failure) {
+      env_->OnPromotionRefused();
+    }
+    return ticket;
+  };
+
+  if (!unit.present() || unit.node == target || target < 0 || target >= num_nodes_) {
+    return refuse(MigrationRefusal::kInvalid, false);
+  }
+  if (unit.Has(kPageMigrating)) {
+    return refuse(MigrationRefusal::kAlreadyInFlight, false);
+  }
+  if (now == kNeverTime) {
+    now = env_->queue().now();
+  }
+
+  const NodeId from = unit.node;
+  const uint64_t pages = vma.UnitPages(unit.vpn);
+  const bool is_promotion = target == kFastNode;
+
+  // Admission: channel backlog against the class limit, then per-source throttling. Both
+  // are checked before any frame or channel state is touched.
+  const SimDuration backlog = channel(from, target).Backlog(now);
+  const MigrationRefusal verdict = admission_.Check(klass, source, backlog, pages);
+  if (verdict != MigrationRefusal::kNone) {
+    return refuse(verdict, is_promotion);
+  }
+
+  // Reserve target frames for the whole transaction (non-exclusive copy: source stays
+  // resident until commit). Promotion pressure wakes direct reclaim once, mirroring the
+  // kernel's allocate-for-migration slow path.
+  TieredMemory& memory = env_->memory();
+  if (!memory.node(target).TryAllocate(pages, /*allow_below_min=*/!is_promotion)) {
+    if (!is_promotion) {
+      return refuse(MigrationRefusal::kNoCapacity, false);
+    }
+    env_->ReclaimForPromotion(pages);
+    if (!memory.node(target).TryAllocate(pages)) {
+      return refuse(MigrationRefusal::kNoCapacity, true);
+    }
+    // Direct reclaim books demotions on this same channel, so the backlog this request
+    // faces may have grown past its class limit. Re-check before copying; on refusal the
+    // reserved frames go back (the demotions stay — reclaim progress is never undone).
+    const SimDuration backlog_after = channel(from, target).Backlog(now);
+    const MigrationRefusal recheck = admission_.Check(klass, source, backlog_after, pages);
+    if (recheck != MigrationRefusal::kNone) {
+      memory.FreePages(target, pages);
+      return refuse(recheck, is_promotion);
+    }
+  }
+
+  Transaction txn;
+  txn.id = next_txn_id_++;
+  txn.vma = &vma;
+  txn.unit = &unit;
+  txn.from = from;
+  txn.to = target;
+  txn.pages = pages;
+  txn.klass = klass;
+  txn.source = source;
+
+  unit.Set(kPageMigrating);
+  admission_.OnAdmit(source, pages);
+  ++stats_->submitted[static_cast<size_t>(klass)];
+  ticket.admitted = true;
+  ticket.txn_id = txn.id;
+
+  if (klass == MigrationClass::kAsync) {
+    Transaction& stored = inflight_.emplace(txn.id, txn).first->second;
+    inflight_reserved_pages_ += pages;
+    peak_inflight_ = std::max(peak_inflight_, static_cast<uint64_t>(inflight_.size()));
+    ScheduleAsyncPass(stored, now, now);
+    return ticket;
+  }
+
+  // Sync and reclaim classes execute the whole transaction inline: the submitter's context
+  // (faulting thread or kswapd) drives the copy, so there is no window for a concurrent
+  // store to invalidate it and the commit happens at copy completion.
+  const CopyChannel::Booking booking = BookCopy(txn, now, now);
+  Commit(txn, booking.finish);
+  Retire(txn);
+  if (klass == MigrationClass::kSync) {
+    ticket.sync_latency =
+        (booking.finish - now) + memory.migration_software_overhead();
+  }
+  return ticket;
+}
+
+CopyChannel::Booking MigrationEngine::BookCopy(Transaction& txn, SimTime now,
+                                               SimTime earliest) {
+  const uint64_t bytes = txn.pages * kBasePageSize;
+  const MigrationCost cost = env_->memory().CostOfMigration(txn.from, txn.to, bytes);
+  const CopyChannel::Booking booking =
+      channel_mutable(txn.from, txn.to).Book(now, earliest, cost.copy_time);
+
+  ++txn.attempt;
+  txn.write_gen_at_copy = txn.unit->write_gen;
+  ++stats_->copy_attempts;
+  stats_->copied_bytes += bytes;
+  stats_->channel_busy += cost.copy_time;
+  // Copy CPU burns at the unscaled rate: the scaled copy_time models channel queueing on a
+  // miniature machine, not extra cycles.
+  env_->ChargeMigrationKernelTime(static_cast<SimDuration>(
+      static_cast<double>(cost.copy_time) / std::max(config_.bandwidth_scale, 1.0)));
+  return booking;
+}
+
+void MigrationEngine::ScheduleAsyncPass(Transaction& txn, SimTime now, SimTime earliest) {
+  const CopyChannel::Booking booking = BookCopy(txn, now, earliest);
+  const uint64_t id = txn.id;
+  // The dirty-check window is the *copy* window [start, finish], not [submit, finish]: a
+  // queued copy has not read any bytes yet, so stores that land while it waits for the
+  // channel cannot stale it. Re-snapshot the store generation when the copy starts.
+  env_->queue().ScheduleAt(booking.start, [this, id](SimTime /*when*/) {
+    auto it = inflight_.find(id);
+    if (it != inflight_.end()) {
+      it->second.write_gen_at_copy = it->second.unit->write_gen;
+    }
+  });
+  env_->queue().ScheduleAt(booking.finish,
+                           [this, id](SimTime when) { OnCopyDone(id, when); });
+}
+
+void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
+  auto it = inflight_.find(txn_id);
+  if (it == inflight_.end()) {
+    return;
+  }
+  Transaction& txn = it->second;
+  assert(txn.unit->present() && txn.unit->node == txn.from);
+
+  if (txn.unit->write_gen != txn.write_gen_at_copy) {
+    // A store landed during the copy: the target copy is stale. Abort this pass.
+    ++stats_->dirty_aborted_copies;
+    if (txn.attempt >= config_.max_copy_attempts) {
+      FinalAbort(txn);
+      Retire(txn);
+      inflight_reserved_pages_ -= txn.pages;
+      inflight_.erase(it);
+      return;
+    }
+    // Retry with exponential backoff: attempt k starts no earlier than
+    // now + retry_backoff * 2^(k-2).
+    const int shift = std::min(txn.attempt - 1, 20);
+    const SimDuration backoff = config_.retry_backoff << shift;
+    ScheduleAsyncPass(txn, now, now + backoff);
+    return;
+  }
+
+  Commit(txn, now);
+  Retire(txn);
+  inflight_reserved_pages_ -= txn.pages;
+  inflight_.erase(it);
+}
+
+void MigrationEngine::Commit(Transaction& txn, SimTime now) {
+  TieredMemory& memory = env_->memory();
+  memory.FreePages(txn.from, txn.pages);
+  env_->ApplyMigration(*txn.vma, *txn.unit, txn.from, txn.to);
+  // Unmap, TLB shootdown, remap, LRU bookkeeping — charged at commit only; aborted copies
+  // waste bandwidth but never a shootdown.
+  env_->ChargeMigrationKernelTime(memory.migration_software_overhead());
+
+  ++stats_->committed[static_cast<size_t>(txn.klass)];
+  stats_->committed_pages += txn.pages;
+  const int bucket = std::min(txn.attempt, kMigrationRetryBuckets - 1);
+  ++stats_->retry_histogram[static_cast<size_t>(bucket)];
+  stats_->MixIntoCommitHash(static_cast<uint64_t>(txn.unit->owner));
+  stats_->MixIntoCommitHash(txn.unit->vpn);
+  stats_->MixIntoCommitHash(static_cast<uint64_t>(txn.to));
+  stats_->MixIntoCommitHash(static_cast<uint64_t>(now));
+}
+
+void MigrationEngine::FinalAbort(Transaction& txn) {
+  // Release the reserved target frames; the unit never left its source node.
+  env_->memory().FreePages(txn.to, txn.pages);
+  ++stats_->aborted[static_cast<size_t>(txn.klass)];
+  if (txn.to == kFastNode) {
+    env_->OnPromotionRefused();
+  }
+}
+
+void MigrationEngine::Retire(const Transaction& txn) {
+  txn.unit->ClearFlag(kPageMigrating);
+  admission_.OnRetire(txn.source, txn.pages);
+}
+
+}  // namespace chronotier

@@ -1,0 +1,139 @@
+// The asynchronous transactional migration engine (the "flexible page migration" half of
+// the system as a first-class subsystem).
+//
+// Every page movement — inline fault promotion, daemon-batched promotion, reclaim
+// demotion — is a *transaction* submitted through this engine:
+//
+//   Submit ──admission──> kCopying ──commit check──> kCommitted
+//      │                      │  ▲
+//      │ refused              │  │ dirty abort + backoff (bounded retries)
+//      ▼                      ▼  │
+//   kRefused               kAborted (retries exhausted)
+//
+// Nomad-style non-exclusive copy: the unit stays mapped, resident and *writable* on its
+// source node for the whole copy phase (target frames are reserved up front, so both copies
+// exist transiently). At commit the engine re-checks the unit's write generation; a store
+// that landed mid-copy invalidates the copy, which retries with exponential backoff up to a
+// bounded attempt count. TLB-shootdown and remap costs are charged at commit only — an
+// aborted copy wastes bandwidth, never a shootdown.
+//
+// Copies are booked on per-tier-pair CopyChannels with finite bandwidth (distinct tier
+// pairs no longer serialize against each other; both directions between the same two tiers
+// still contend, since each copy consumes both devices' bandwidth), and an
+// AdmissionController refuses work per class and per source before it can queue.
+//
+// The engine is host-agnostic: it sees the world through MigrationEnv, which the harness
+// Machine implements (LRU/residency bookkeeping, direct reclaim, kernel-time charging).
+
+#ifndef SRC_MIGRATION_MIGRATION_ENGINE_H_
+#define SRC_MIGRATION_MIGRATION_ENGINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/time.h"
+#include "src/mem/tiered_memory.h"
+#include "src/migration/admission.h"
+#include "src/migration/copy_channel.h"
+#include "src/migration/migration_types.h"
+#include "src/sim/event_queue.h"
+#include "src/vm/address_space.h"
+#include "src/vm/page.h"
+
+namespace chronotier {
+
+// Services the engine needs from its host. Frame accounting (reserve/free) is the engine's
+// own job; the host applies the VM-visible side of a committed move and supplies reclaim.
+class MigrationEnv {
+ public:
+  virtual ~MigrationEnv() = default;
+
+  virtual EventQueue& queue() = 0;
+  virtual TieredMemory& memory() = 0;
+
+  // Best-effort direct reclaim so a promotion of `pages` can reserve fast-tier frames.
+  virtual void ReclaimForPromotion(uint64_t pages) = 0;
+
+  // Applies a committed move: unit.node, LRU lists, per-process residency, harness
+  // promotion/demotion counters. Frames have already been re-pointed by the engine.
+  virtual void ApplyMigration(Vma& vma, PageInfo& unit, NodeId from, NodeId to) = 0;
+
+  // Charges migration work (copy CPU, commit-time shootdown + remap) as kernel time.
+  virtual void ChargeMigrationKernelTime(SimDuration d) = 0;
+
+  // A promotion was refused or could not reserve frames (legacy promotion-failure counter).
+  virtual void OnPromotionRefused() = 0;
+};
+
+class MigrationEngine {
+ public:
+  // `stats` outlives the engine (it lives in harness Metrics so warmup resets cover it).
+  MigrationEngine(MigrationEngineConfig config, MigrationEnv* env, MigrationStats* stats);
+
+  MigrationEngine(const MigrationEngine&) = delete;
+  MigrationEngine& operator=(const MigrationEngine&) = delete;
+
+  // Submits one unit for migration to `target`. `now` lets fault-path callers pass their
+  // process clock (which runs ahead of the event queue); kNeverTime means the queue clock.
+  // kSync/kReclaim transactions are complete when this returns; kAsync transactions commit
+  // (or abort) later via the event queue.
+  MigrationTicket Submit(Vma& vma, PageInfo& unit, NodeId target, MigrationClass klass,
+                         MigrationSource source, SimTime now = kNeverTime);
+
+  const MigrationEngineConfig& config() const { return config_; }
+  const MigrationStats& stats() const { return *stats_; }
+
+  // Live gauges (not part of the resettable stats): async transactions still copying, and
+  // the target frames they hold reserved. total_used_pages() exceeds the sum of present
+  // pages by exactly `inflight_reserved_pages` while copies are in flight.
+  uint64_t inflight_transactions() const { return static_cast<uint64_t>(inflight_.size()); }
+  uint64_t inflight_reserved_pages() const { return inflight_reserved_pages_; }
+  uint64_t peak_inflight_transactions() const { return peak_inflight_; }
+
+  // Channels are per *unordered* tier pair: channel(a, b) == channel(b, a).
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+  const CopyChannel& channel(NodeId from, NodeId to) const;
+
+ private:
+  struct Transaction {
+    uint64_t id = 0;
+    Vma* vma = nullptr;
+    PageInfo* unit = nullptr;
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    uint64_t pages = 0;
+    MigrationClass klass = MigrationClass::kAsync;
+    MigrationSource source = MigrationSource::kPolicyDaemon;
+    int attempt = 0;                 // Copy passes started.
+    uint32_t write_gen_at_copy = 0;  // Snapshot taken when the current pass started.
+  };
+
+  size_t ChannelIndex(NodeId from, NodeId to) const;
+  CopyChannel& channel_mutable(NodeId from, NodeId to);
+
+  // Books one copy pass for `txn` (charging copy CPU), returns its booking.
+  CopyChannel::Booking BookCopy(Transaction& txn, SimTime now, SimTime earliest);
+  // Books an async pass and schedules its copy-start snapshot + copy-done events.
+  void ScheduleAsyncPass(Transaction& txn, SimTime now, SimTime earliest);
+  // Async copy-done event: dirty check, then commit or retry/abort.
+  void OnCopyDone(uint64_t txn_id, SimTime now);
+  void Commit(Transaction& txn, SimTime now);
+  void FinalAbort(Transaction& txn);
+  void Retire(const Transaction& txn);
+
+  MigrationEngineConfig config_;
+  MigrationEnv* env_;
+  MigrationStats* stats_;
+  AdmissionController admission_;
+  std::vector<CopyChannel> channels_;  // Upper-triangle order over unordered pairs.
+  int num_nodes_ = 0;
+
+  std::unordered_map<uint64_t, Transaction> inflight_;  // Async only.
+  uint64_t next_txn_id_ = 1;
+  uint64_t inflight_reserved_pages_ = 0;
+  uint64_t peak_inflight_ = 0;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_MIGRATION_MIGRATION_ENGINE_H_

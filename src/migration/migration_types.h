@@ -1,0 +1,147 @@
+// Shared vocabulary of the migration subsystem: request classes, admission verdicts,
+// engine configuration, and the counters the harness surfaces.
+//
+// A migration is a *transaction* (Nomad-style, non-exclusive): the page stays mapped and
+// writable while its bytes are copied, and the remap commits only if no store landed during
+// the copy window. Requests enter through an admission controller (TierBPF-style) that
+// refuses work per class (sync / async / reclaim) and per source before it can pile onto a
+// copy channel.
+
+#ifndef SRC_MIGRATION_MIGRATION_TYPES_H_
+#define SRC_MIGRATION_MIGRATION_TYPES_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace chronotier {
+
+// How a request behaves when the engine is busy and when its copy completes.
+//   kSync:    fault-inline (NUMA-balancing-style). The faulting access stalls for queueing +
+//             copy + remap; a busy channel refuses almost immediately (the kernel skips the
+//             migration rather than stall a fault).
+//   kAsync:   daemon-batched. Admitted work copies in the background and commits via an
+//             event; concurrent stores abort the commit and the copy retries with backoff.
+//   kReclaim: demotion in reclaim context (kswapd). Executes inline like kSync but never
+//             stalls an application access; it tolerates the full async backlog because
+//             reclaim must make forward progress.
+enum class MigrationClass : uint8_t { kSync = 0, kAsync = 1, kReclaim = 2 };
+inline constexpr int kNumMigrationClasses = 3;
+
+// Who asked. Admission throttles each source independently so one misbehaving submitter
+// (e.g. an over-eager policy daemon) cannot starve the fault path or reclaim.
+enum class MigrationSource : uint8_t {
+  kFaultPath = 0,      // Inline promotion from a hint fault.
+  kPolicyDaemon = 1,   // Promotion queues / scan-batch drains.
+  kReclaimDaemon = 2,  // Watermark demotion.
+};
+inline constexpr int kNumMigrationSources = 3;
+
+// Why a submission was not admitted.
+enum class MigrationRefusal : uint8_t {
+  kNone = 0,
+  kBacklog = 1,          // Channel queueing delay beyond the class limit.
+  kSourceThrottled = 2,  // Per-source in-flight page cap reached.
+  kNoCapacity = 3,       // Target tier cannot hold the unit (even after reclaim).
+  kAlreadyInFlight = 4,  // The unit is owned by another transaction.
+  kInvalid = 5,          // Not present, or already resident on the target node.
+};
+inline constexpr int kNumMigrationRefusals = 6;
+
+struct MigrationEngineConfig {
+  // Sync (fault-inline) migrations tolerate very little queueing before being refused.
+  SimDuration sync_slack = 2 * kMillisecond;
+  // Async (daemon) migrations are refused when the channel backlog exceeds this.
+  SimDuration async_backlog_limit = 250 * kMillisecond;
+  // Reclaim demotions get the same generous limit: kswapd must make progress.
+  SimDuration reclaim_backlog_limit = 250 * kMillisecond;
+  // Copy passes per transaction (1 initial + retries) before a dirty abort becomes final.
+  int max_copy_attempts = 3;
+  // Backoff before retry attempt k is 2^(k-2) times this (attempt 2 waits one unit).
+  SimDuration retry_backoff = 100 * kMicrosecond;
+  // Per-source cap on async in-flight pages (TierBPF-style admission). The default is
+  // generous; the backlog limits bind first unless a test tightens it.
+  uint64_t source_inflight_page_limit = 1u << 16;
+  // Mirrors MachineConfig::bandwidth_scale: scaled copy time models engine queueing on a
+  // miniature machine, so kernel CPU burn is charged at the unscaled rate.
+  double bandwidth_scale = 1.0;
+};
+
+// Histogram of copy attempts needed to commit: bucket k counts transactions that committed
+// on attempt k (bucket 0 is unused; the last bucket absorbs overflow).
+inline constexpr int kMigrationRetryBuckets = 8;
+
+// Cumulative engine counters. Owned by harness Metrics so a warmup Reset() discards them
+// together with every other run counter; live gauges (in-flight work) stay on the engine.
+struct MigrationStats {
+  uint64_t submitted[kNumMigrationClasses] = {};
+  uint64_t committed[kNumMigrationClasses] = {};
+  uint64_t aborted[kNumMigrationClasses] = {};  // Final aborts (retries exhausted).
+  uint64_t refused[kNumMigrationRefusals] = {};
+  uint64_t committed_pages = 0;
+  uint64_t copy_attempts = 0;         // Every copy pass, including retries.
+  uint64_t dirty_aborted_copies = 0;  // Copy passes invalidated by a concurrent store.
+  uint64_t retry_histogram[kMigrationRetryBuckets] = {};
+  uint64_t copied_bytes = 0;          // Includes bytes of aborted copies.
+  SimDuration channel_busy = 0;       // Copy time booked across all channels.
+  // FNV-1a over (owner, vpn, target, commit time) in commit order; two runs of the same
+  // seed must produce the same hash (deterministic replay).
+  uint64_t commit_sequence_hash = 14695981039346656037ull;
+
+  uint64_t TotalSubmitted() const {
+    uint64_t total = 0;
+    for (uint64_t v : submitted) total += v;
+    return total;
+  }
+  uint64_t TotalCommitted() const {
+    uint64_t total = 0;
+    for (uint64_t v : committed) total += v;
+    return total;
+  }
+  uint64_t TotalAborted() const {
+    uint64_t total = 0;
+    for (uint64_t v : aborted) total += v;
+    return total;
+  }
+  uint64_t TotalRefused() const {
+    uint64_t total = 0;
+    for (uint64_t v : refused) total += v;
+    return total;
+  }
+
+  // Mean copy passes per committed transaction (1.0 = no retries).
+  double MeanAttemptsPerCommit() const {
+    const uint64_t commits = TotalCommitted();
+    return commits == 0 ? 0.0
+                        : static_cast<double>(copy_attempts) / static_cast<double>(commits);
+  }
+
+  // Fraction of aggregate channel time spent copying over `elapsed`, across `num_channels`.
+  double CopyBandwidthUtilization(SimDuration elapsed, int num_channels) const {
+    if (elapsed <= 0 || num_channels <= 0) return 0.0;
+    return static_cast<double>(channel_busy) /
+           (static_cast<double>(elapsed) * static_cast<double>(num_channels));
+  }
+
+  void MixIntoCommitHash(uint64_t value) {
+    commit_sequence_hash ^= value;
+    commit_sequence_hash *= 1099511628211ull;
+  }
+
+  void Reset() { *this = MigrationStats(); }
+};
+
+// Submission outcome handed back to the caller.
+struct MigrationTicket {
+  bool admitted = false;
+  MigrationRefusal refusal = MigrationRefusal::kNone;
+  // For kSync: the stall to charge to the faulting access (queueing + copy + remap).
+  SimDuration sync_latency = 0;
+  // Transaction id (0 when refused). Sync/reclaim transactions are already committed when
+  // Submit returns; async ids identify the in-flight transaction until commit/abort.
+  uint64_t txn_id = 0;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_MIGRATION_MIGRATION_TYPES_H_

@@ -27,7 +27,11 @@ SimDuration AutoTieringPolicy::OnHintFault(Process& /*process*/, Vma& vma, PageI
         std::popcount((unit.policy_word & kLapMask) | 1u);  // Count this fault too.
     if (popcount >= config_.promote_lap_popcount) {
       // Opportunistic promotion: inline, stalls the faulting access.
-      machine()->MigrateUnit(vma, unit, kFastNode, /*synchronous=*/true, &extra, now);
+      extra = machine()
+                  ->migration()
+                  .Submit(vma, unit, kFastNode, MigrationClass::kSync,
+                          MigrationSource::kFaultPath, now)
+                  .sync_latency;
     }
   }
   return extra;

@@ -12,11 +12,13 @@ SimDuration LinuxNumaBalancingPolicy::OnHintFault(Process& /*process*/, Vma& vma
                                                   SimTime now) {
   // MRU promotion: the touched slow-tier page is migrated inline toward the faulting CPU's
   // node (the fast tier). The migration copy is synchronous and stalls the access.
-  SimDuration extra = 0;
   if (unit.node != kFastNode) {
-    machine()->MigrateUnit(vma, unit, kFastNode, /*synchronous=*/true, &extra, now);
+    return machine()
+        ->migration()
+        .Submit(vma, unit, kFastNode, MigrationClass::kSync, MigrationSource::kFaultPath, now)
+        .sync_latency;
   }
-  return extra;
+  return 0;
 }
 
 }  // namespace chronotier

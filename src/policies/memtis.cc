@@ -98,7 +98,11 @@ void MemtisPolicy::AdjustTick(SimTime /*now*/) {
       continue;
     }
     Vma* vma = machine_->ResolveVma(*unit);
-    if (vma != nullptr && machine_->MigrateUnit(*vma, *unit, kFastNode)) {
+    if (vma != nullptr &&
+        machine_->migration()
+            .Submit(*vma, *unit, kFastNode, MigrationClass::kAsync,
+                    MigrationSource::kPolicyDaemon)
+            .admitted) {
       ++promoted;
     }
   }

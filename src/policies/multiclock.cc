@@ -44,7 +44,11 @@ void MultiClockPolicy::AfterScanTick(Process& /*process*/, SimTime /*now*/,
     }
     Vma* vma = machine()->ResolveVma(*unit);
     if (vma != nullptr && unit->node != kFastNode &&
-        machine()->MigrateUnit(*vma, *unit, kFastNode)) {
+        machine()
+            ->migration()
+            .Submit(*vma, *unit, kFastNode, MigrationClass::kAsync,
+                    MigrationSource::kPolicyDaemon)
+            .admitted) {
       ++promoted;
     }
   }

@@ -29,7 +29,11 @@ SimDuration TppPolicy::OnHintFault(Process& /*process*/, Vma& vma, PageInfo& uni
         last_fault_ms != 0 && now_ms >= last_fault_ms && now_ms - last_fault_ms <= window_ms;
     if (recently_faulted) {
       // Second fault within the window: the page is on the (conceptual) active list.
-      machine()->MigrateUnit(vma, unit, kFastNode, /*synchronous=*/true, &extra, now);
+      extra = machine()
+                  ->migration()
+                  .Submit(vma, unit, kFastNode, MigrationClass::kSync,
+                          MigrationSource::kFaultPath, now)
+                  .sync_latency;
       unit.policy_word = 0;
     } else {
       unit.policy_word = std::max(now_ms, 1u);

@@ -32,6 +32,10 @@ enum PageFlag : uint16_t {
   // Oracle flag (harness/metrics only, never read by policies): the page was accessed while
   // resident in the slow tier. Denominator of the paper's page promotion ratio (PPR).
   kPageOracleTouchedSlow = 1u << 11,
+  // Owned by an in-flight migration transaction (non-exclusive copy in progress). The page
+  // stays mapped, resident and writable; reclaim skips it and a second submission is
+  // refused until the transaction commits or aborts.
+  kPageMigrating = 1u << 12,
 };
 
 // Which LRU list a page currently sits on.
@@ -59,6 +63,12 @@ struct PageInfo {
   // Per-policy scratch word: AutoTiering LAP vector, Multi-Clock level, Memtis/PEBS access
   // counter, Chrono candidate round count. Policies must treat it as their own.
   uint32_t policy_word = 0;
+
+  // Store generation, bumped by the machine on every write to the unit. The migration
+  // engine's model of the hardware dirty-bit re-check: a generation change across a copy
+  // window means the copy is stale and the transaction must abort. Harness-maintained;
+  // never read by policies.
+  uint32_t write_gen = 0;
 
   // --- oracle fields: harness/test use only, invisible to policies ---
   SimTime oracle_last_access = kNeverTime;

@@ -35,12 +35,14 @@ class PoisonAllPolicy : public TieringPolicy {
       }
     });
   }
-  SimDuration OnHintFault(Process&, Vma& vma, PageInfo& unit, bool, SimTime) override {
-    SimDuration extra = 0;
+  SimDuration OnHintFault(Process&, Vma& vma, PageInfo& unit, bool, SimTime now) override {
     if (unit.node != kFastNode) {
-      machine_->MigrateUnit(vma, unit, kFastNode, /*synchronous=*/true, &extra);
+      return machine_->migration()
+          .Submit(vma, unit, kFastNode, MigrationClass::kSync, MigrationSource::kFaultPath,
+                  now)
+          .sync_latency;
     }
-    return extra;
+    return 0;
   }
 
  private:

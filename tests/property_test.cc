@@ -54,7 +54,8 @@ class MachineInvariantTest : public ::testing::TestWithParam<PropertyParam> {
 
 TEST_P(MachineInvariantTest, FrameAccountingBalances) {
   auto machine = RunMachine();
-  // Present base pages across all address spaces == used frames across all tiers.
+  // Present base pages across all address spaces, plus the target frames reserved by
+  // in-flight (non-exclusive copy) migration transactions, == used frames across all tiers.
   uint64_t present = 0;
   for (auto& process : machine->processes()) {
     process->aspace().ForEachPage([&](Vma& vma, PageInfo& page) {
@@ -64,7 +65,8 @@ TEST_P(MachineInvariantTest, FrameAccountingBalances) {
       }
     });
   }
-  EXPECT_EQ(present, machine->memory().total_used_pages());
+  EXPECT_EQ(present + machine->migration().inflight_reserved_pages(),
+            machine->memory().total_used_pages());
 }
 
 TEST_P(MachineInvariantTest, ResidencyCountersMatchPageTables) {
