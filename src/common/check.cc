@@ -1,0 +1,31 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace chronotier {
+namespace internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* expression) {
+  stream_ << file << ":" << line << ": CHECK failed: " << expression << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+
+std::string SimError::Format() const {
+  std::ostringstream os;
+  os << what_ << " [tick=" << tick_ << "ns]";
+  for (const auto& [key, value] : context_) {
+    os << " " << key << "=" << value;
+  }
+  return os.str();
+}
+
+}  // namespace chronotier

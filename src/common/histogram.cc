@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
+#include "src/common/check.h"
 
 namespace chronotier {
 
 Log2Histogram::Log2Histogram(int num_buckets) {
-  assert(num_buckets > 0);
+  CHECK_GT(num_buckets, 0);
   buckets_.assign(static_cast<size_t>(num_buckets), 0);
 }
 
@@ -48,7 +48,7 @@ void Log2Histogram::Clear() {
 }
 
 void Log2Histogram::Merge(const Log2Histogram& other) {
-  assert(other.num_buckets() == num_buckets());
+  CHECK_EQ(other.num_buckets(), num_buckets()) << "merging histograms of different shapes";
   for (size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
@@ -136,7 +136,7 @@ uint64_t Log2Histogram::CumulativeCount(int bucket) const {
 }
 
 LinearHistogram::LinearHistogram(double lo, double hi, int num_buckets) : lo_(lo), hi_(hi) {
-  assert(hi > lo && num_buckets > 0);
+  CHECK(hi > lo && num_buckets > 0) << "degenerate range [" << lo << ", " << hi << ")";
   buckets_.assign(static_cast<size_t>(num_buckets), 0);
 }
 

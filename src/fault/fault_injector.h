@@ -1,0 +1,79 @@
+// Deterministic, seeded fault injector.
+//
+// One FaultInjector owns one Rng seeded from FaultPlan::seed and is consulted at exactly two
+// kinds of simulation points: migration copy-pass completions (as the engine's
+// CopyFaultOracle) and its own periodic window events on the event queue. Because the event
+// queue is deterministic, the same plan + seed produces the identical fault sequence — and
+// therefore identical degradation responses — on every run.
+//
+// Injectable events and their graceful-degradation responses:
+//   * transient copy faults   -> engine retries with backoff, parks after the budget
+//   * persistent copy faults  -> engine quarantines the reserved target frames and parks
+//   * channel stalls / bandwidth collapse -> admission refuses over-backlog work (kBacklog)
+//   * fast-tier pressure spikes -> frames stolen, tier degraded (promotions pause while
+//     demotions drain), emergency reclaim makes room, frames returned at window end
+//   * allocation-failure windows -> strict-min floor; demand faults refuse gracefully
+//
+// Parked pages stay mapped at their source; nothing is ever lost.
+
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/fault/fault_types.h"
+#include "src/mem/tiered_memory.h"
+#include "src/migration/migration_engine.h"
+#include "src/sim/event_queue.h"
+
+namespace chronotier {
+
+class FaultInjector : public CopyFaultOracle {
+ public:
+  // `stats` outlives the injector (it lives in harness Metrics).
+  FaultInjector(FaultPlan plan, FaultStats* stats);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules the plan's periodic fault windows. `emergency_reclaim(target)` demotes
+  // fast-tier pages until free >= target (the machine's ReclaimFastTier); called when a
+  // pressure spike leaves the fast tier below its high watermark.
+  void Arm(EventQueue& queue, TieredMemory& memory, MigrationEngine& engine,
+           std::function<uint64_t(uint64_t)> emergency_reclaim);
+
+  // CopyFaultOracle: per copy pass, draw persistent then transient failure.
+  CopyFault OnCopyPassDone(NodeId from, NodeId to, uint64_t pages, int attempt,
+                           SimTime now) override;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  bool Active(SimTime now) const { return plan_.enabled && now >= plan_.start_after; }
+
+  void StallTick(SimTime now);
+  void PressureTick(SimTime now);
+  void AllocFailTick(SimTime now);
+
+  FaultPlan plan_;
+  FaultStats* stats_;
+  Rng rng_;
+
+  // Wired by Arm().
+  EventQueue* queue_ = nullptr;
+  TieredMemory* memory_ = nullptr;
+  MigrationEngine* engine_ = nullptr;
+  std::function<uint64_t(uint64_t)> emergency_reclaim_;
+
+  // Windows never overlap themselves: a tick that fires while its window is still open is
+  // skipped (keeps the stolen-frame / strict-floor bookkeeping trivially balanced).
+  bool pressure_active_ = false;
+  bool alloc_fail_active_ = false;
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,213 @@
+#include "src/fault/invariant_auditor.h"
+
+#include <array>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/vm/address_space.h"
+
+namespace chronotier {
+
+namespace {
+
+const char* MembershipName(LruMembership m) {
+  switch (m) {
+    case LruMembership::kNone:
+      return "none";
+    case LruMembership::kActive:
+      return "active";
+    case LruMembership::kInactive:
+      return "inactive";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string AuditReport::Summary() const {
+  if (clean()) {
+    return "clean";
+  }
+  std::string out = "audit found " + std::to_string(violations.size()) + " violation(s):";
+  for (const std::string& v : violations) {
+    out += "\n  ";
+    out += v;
+  }
+  return out;
+}
+
+AuditReport InvariantAuditor::Audit(SimTime now, const TieredMemory& memory,
+                                    const std::vector<std::unique_ptr<Process>>& processes,
+                                    const std::deque<NodeLru>& lrus,
+                                    const MigrationEngine* engine) {
+  AuditReport report;
+  report.tick = now;
+  const auto violate = [&report](const SimError& err) {
+    report.violations.push_back(err.Format());
+  };
+  const int num_nodes = memory.num_nodes();
+
+  // (5) Watermark ordering.
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    const MemoryTier& tier = memory.node(node);
+    const Watermarks& wm = tier.watermarks();
+    if (!(wm.min <= wm.low && wm.low <= wm.high && wm.high <= wm.pro &&
+          wm.pro <= tier.capacity_pages())) {
+      violate(SimError("watermark ordering violated", now)
+                  .Add("tier", tier.spec().name)
+                  .Add("min", wm.min)
+                  .Add("low", wm.low)
+                  .Add("high", wm.high)
+                  .Add("pro", wm.pro)
+                  .Add("capacity", tier.capacity_pages()));
+    }
+  }
+
+  // (3) Walk every LRU list, recording which (node, list) each page claims to be on.
+  // Duplicates across or within lists are violations; leftovers after the page-table walk
+  // below are stale entries.
+  std::unordered_map<const PageInfo*, std::pair<NodeId, LruMembership>> on_lru;
+  for (NodeId node = 0; node < num_nodes && static_cast<size_t>(node) < lrus.size(); ++node) {
+    const NodeLru& lru = lrus[static_cast<size_t>(node)];
+    for (const LruMembership membership : {LruMembership::kActive, LruMembership::kInactive}) {
+      const PageList& list =
+          membership == LruMembership::kActive ? lru.active() : lru.inactive();
+      for (const PageInfo* page = list.Head(); page != nullptr; page = page->lru_next) {
+        if (!on_lru.emplace(page, std::make_pair(node, membership)).second) {
+          violate(SimError("page on more than one LRU position", now)
+                      .Add("owner", page->owner)
+                      .Add("vpn", page->vpn)
+                      .Add("node", node)
+                      .Add("list", MembershipName(membership)));
+          continue;
+        }
+        if (!page->present()) {
+          violate(SimError("non-present page on LRU list", now)
+                      .Add("owner", page->owner)
+                      .Add("vpn", page->vpn)
+                      .Add("node", node)
+                      .Add("list", MembershipName(membership)));
+        }
+        if (page->node != node) {
+          violate(SimError("page on wrong node's LRU list", now)
+                      .Add("owner", page->owner)
+                      .Add("vpn", page->vpn)
+                      .Add("page_node", page->node)
+                      .Add("list_node", node));
+        }
+        if (page->lru != membership) {
+          violate(SimError("LRU membership tag disagrees with list", now)
+                      .Add("owner", page->owner)
+                      .Add("vpn", page->vpn)
+                      .Add("tag", MembershipName(page->lru))
+                      .Add("list", MembershipName(membership)));
+        }
+      }
+    }
+  }
+
+  // (2) + (4) Page-table walk: classify every PTE as a hotness unit or an unsplit-group
+  // shadow tail, accumulate per-node residency, and cross off LRU entries.
+  std::vector<uint64_t> resident(static_cast<size_t>(num_nodes), 0);
+  uint64_t migrating_units = 0;
+  for (const std::unique_ptr<Process>& process : processes) {
+    std::array<uint64_t, kMaxNodes> proc_resident = {};
+    for (const std::unique_ptr<Vma>& vma : process->aspace().vmas()) {
+      for (PageInfo& page : vma->pages()) {
+        const bool shadow_tail = vma->page_kind() == PageSizeKind::kHuge &&
+                                 !vma->IsGroupSplit(vma->GroupIndex(page.vpn)) &&
+                                 !page.huge_head();
+        if (shadow_tail) {
+          if (page.present() || page.lru != LruMembership::kNone) {
+            violate(SimError("shadow tail of unsplit huge group has state", now)
+                        .Add("owner", page.owner)
+                        .Add("vpn", page.vpn)
+                        .Add("present", page.present() ? 1 : 0)
+                        .Add("lru", MembershipName(page.lru)));
+          }
+          continue;
+        }
+        if (!page.present()) {
+          if (page.lru != LruMembership::kNone) {
+            violate(SimError("absent unit carries an LRU tag", now)
+                        .Add("owner", page.owner)
+                        .Add("vpn", page.vpn)
+                        .Add("lru", MembershipName(page.lru)));
+          }
+          continue;
+        }
+        if (page.node < 0 || page.node >= num_nodes) {
+          violate(SimError("present unit on invalid node", now)
+                      .Add("owner", page.owner)
+                      .Add("vpn", page.vpn)
+                      .Add("node", page.node));
+          continue;
+        }
+        const uint64_t pages = vma->UnitPages(page.vpn);
+        resident[static_cast<size_t>(page.node)] += pages;
+        proc_resident[static_cast<size_t>(page.node)] += pages;
+        if (page.Has(kPageMigrating)) {
+          ++migrating_units;
+        }
+        const auto it = on_lru.find(&page);
+        if (it == on_lru.end()) {
+          violate(SimError("present unit missing from every LRU list", now)
+                      .Add("owner", page.owner)
+                      .Add("vpn", page.vpn)
+                      .Add("node", page.node));
+        } else {
+          on_lru.erase(it);
+        }
+      }
+    }
+    for (int node = 0; node < num_nodes && node < kMaxNodes; ++node) {
+      if (process->resident_pages(node) != proc_resident[static_cast<size_t>(node)]) {
+        violate(SimError("process residency counter disagrees with page table", now)
+                    .Add("pid", process->pid())
+                    .Add("node", node)
+                    .Add("counter", process->resident_pages(node))
+                    .Add("walked", proc_resident[static_cast<size_t>(node)]));
+      }
+    }
+  }
+  if (!on_lru.empty()) {
+    const auto& [page, where] = *on_lru.begin();
+    violate(SimError("stale LRU entries (pages not in any page table walk)", now)
+                .Add("count", on_lru.size())
+                .Add("first_owner", page->owner)
+                .Add("first_vpn", page->vpn)
+                .Add("node", where.first));
+  }
+
+  // (1) Frame accounting: what the tier thinks is handed out must equal walked residency
+  // plus target frames reserved by in-flight migration transactions.
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    const MemoryTier& tier = memory.node(node);
+    const uint64_t reserved =
+        engine != nullptr ? engine->inflight_reserved_pages_on(node) : 0;
+    const uint64_t expected = resident[static_cast<size_t>(node)] + reserved;
+    if (tier.allocated_pages() != expected) {
+      violate(SimError("tier frame accounting mismatch", now)
+                  .Add("tier", tier.spec().name)
+                  .Add("allocated", tier.allocated_pages())
+                  .Add("resident", resident[static_cast<size_t>(node)])
+                  .Add("inflight_reserved", reserved)
+                  .Add("free", tier.free_pages())
+                  .Add("quarantined", tier.quarantined_pages())
+                  .Add("pressure_stolen", tier.pressure_stolen_pages())
+                  .Add("capacity", tier.capacity_pages()));
+    }
+  }
+
+  // (6) kPageMigrating is set iff an async transaction owns the unit.
+  if (engine != nullptr && migrating_units != engine->inflight_transactions()) {
+    violate(SimError("migrating-flag population disagrees with engine in-flight set", now)
+                .Add("flagged_units", migrating_units)
+                .Add("inflight_transactions", engine->inflight_transactions()));
+  }
+
+  return report;
+}
+
+}  // namespace chronotier

@@ -1,0 +1,56 @@
+// System-wide invariant auditing.
+//
+// The auditor cross-checks the simulator's redundant bookkeeping — tier frame counters,
+// page-table residency, intrusive LRU lists, per-process residency counters, in-flight
+// migration reservations — against each other by exhaustive walk. It runs periodically on
+// the event queue and at end-of-run; under fault injection it is the proof that every
+// degradation path conserved frames and pages. Violations are structured SimError dumps,
+// never silent.
+//
+// Invariants checked, per node N:
+//   1. Frame accounting:  allocated(N) == resident_unit_pages(N) + inflight_reserved(N)
+//      and free + allocated + quarantined + pressure_stolen == capacity (by construction).
+//   2. Page-table/frame bijection: present pages are exactly the hotness units (tails of an
+//      unsplit huge group are never individually present) and carry a valid node.
+//   3. LRU membership: every present unit sits on exactly one list of its node, its
+//      membership tag matches the list, and no list holds duplicates or stale entries.
+//   4. Per-process residency counters match the page-table walk.
+//   5. Watermark ordering: min <= low <= high <= pro <= capacity.
+//   6. Exactly engine.inflight_transactions() units carry kPageMigrating.
+
+#ifndef SRC_FAULT_INVARIANT_AUDITOR_H_
+#define SRC_FAULT_INVARIANT_AUDITOR_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/mem/tiered_memory.h"
+#include "src/migration/migration_engine.h"
+#include "src/vm/lru.h"
+#include "src/vm/process.h"
+
+namespace chronotier {
+
+struct AuditReport {
+  SimTime tick = 0;
+  std::vector<std::string> violations;
+
+  bool clean() const { return violations.empty(); }
+  // "clean" or the joined violation dumps (one per line).
+  std::string Summary() const;
+};
+
+class InvariantAuditor {
+ public:
+  // `engine` may be null (no migration engine => no in-flight reservations to account).
+  static AuditReport Audit(SimTime now, const TieredMemory& memory,
+                           const std::vector<std::unique_ptr<Process>>& processes,
+                           const std::deque<NodeLru>& lrus, const MigrationEngine* engine);
+};
+
+}  // namespace chronotier
+
+#endif  // SRC_FAULT_INVARIANT_AUDITOR_H_

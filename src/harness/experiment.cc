@@ -1,6 +1,6 @@
 #include "src/harness/experiment.h"
 
-#include <cassert>
+#include "src/common/check.h"
 
 namespace chronotier {
 
@@ -9,7 +9,7 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
                                  const std::vector<ProcessSpec>& process_specs,
                                  const InspectFn& inspect, const FinishFn& finish) {
   std::unique_ptr<TieringPolicy> policy = make_policy();
-  assert(policy != nullptr);
+  CHECK(policy != nullptr);
   const PageSizeKind page_kind = config.page_kind.value_or(policy->PreferredPageSize());
 
   ExperimentResult result;
@@ -19,6 +19,8 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
       MachineConfig::StandardTwoTier(config.total_pages, config.fast_fraction);
   machine_config.seed = config.seed;
   machine_config.bandwidth_scale = config.bandwidth_scale;
+  machine_config.fault = config.fault;
+  machine_config.audit_period = config.audit_period;
   Machine machine(machine_config, std::move(policy));
 
   for (size_t i = 0; i < process_specs.size(); ++i) {
@@ -82,6 +84,23 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   result.migration_mean_attempts = migration.MeanAttemptsPerCommit();
   result.copy_bandwidth_utilization = migration.CopyBandwidthUtilization(
       result.elapsed, machine.migration().num_channels());
+  result.migrations_parked = migration.TotalParked();
+  result.faults_injected_transient = migration.injected_transient_faults;
+  result.faults_injected_persistent = migration.injected_persistent_faults;
+  result.frames_quarantined = migration.quarantined_pages;
+  const FaultStats& fault = metrics.fault();
+  result.alloc_refusals = fault.alloc_refusals;
+  result.emergency_reclaims = fault.emergency_reclaims;
+  result.pressure_spikes = fault.pressure_spikes;
+  result.stall_windows = fault.stall_windows;
+
+  // End-of-run audit: every experiment, faulted or not, must finish with consistent
+  // bookkeeping. CHECK here so a silent corruption can never make it into a figure.
+  const AuditReport final_audit = machine.AuditNow();
+  CHECK(final_audit.clean()) << "end-of-run " << final_audit.Summary() << "\n"
+                             << machine.FatalDump();
+  result.audits_run = metrics.fault().audits_run;
+
   if (finish) {
     finish(machine, result);
   }

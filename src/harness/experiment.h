@@ -36,6 +36,10 @@ struct ExperimentConfig {
   uint64_t seed = 42;
   // When > 0, samples every process's fast-tier residency at this cadence (Fig. 9).
   SimDuration residency_sample_interval = 0;
+  // Fault-injection plan (chaos experiments) and invariant-audit period, forwarded to the
+  // MachineConfig. Every experiment ends with a final audit that CHECK-fails on violation.
+  FaultPlan fault;
+  SimDuration audit_period = kSecond;
 };
 
 struct ExperimentResult {
@@ -66,6 +70,17 @@ struct ExperimentResult {
   uint64_t migrations_refused = 0;   // Admission refusals across all reasons.
   double migration_mean_attempts = 0;          // Copy passes per committed transaction.
   double copy_bandwidth_utilization = 0;       // Channel busy fraction over the window.
+
+  // Fault-injection / degradation counters over the measured window.
+  uint64_t migrations_parked = 0;            // Fault terminals: page stayed at source.
+  uint64_t faults_injected_transient = 0;
+  uint64_t faults_injected_persistent = 0;
+  uint64_t frames_quarantined = 0;
+  uint64_t alloc_refusals = 0;
+  uint64_t emergency_reclaims = 0;
+  uint64_t pressure_spikes = 0;
+  uint64_t stall_windows = 0;
+  uint64_t audits_run = 0;
 
   // Residency time series (per process, per sample) and the sample times.
   std::vector<SimTime> sample_times;

@@ -1,9 +1,9 @@
 #include "src/harness/machine.h"
 
 #include <algorithm>
-#include <cassert>
-#include <cstdio>
-#include <cstdlib>
+#include <sstream>
+
+#include "src/common/check.h"
 
 namespace chronotier {
 
@@ -13,6 +13,71 @@ MachineConfig MachineConfig::StandardTwoTier(uint64_t total_pages, double fast_f
       static_cast<uint64_t>(static_cast<double>(total_pages) * fast_fraction);
   config.tiers = {TierSpec::Dram(fast_pages), TierSpec::OptanePmem(total_pages - fast_pages)};
   return config;
+}
+
+std::vector<std::string> MachineConfig::Validate() const {
+  std::vector<std::string> errors;
+  const auto require = [&errors](bool ok, const std::string& what) {
+    if (!ok) {
+      errors.push_back(what);
+    }
+  };
+  const auto probability = [&require](double p, const std::string& name) {
+    require(p >= 0.0 && p <= 1.0, name + " must be a probability in [0, 1]");
+  };
+
+  require(!tiers.empty(), "at least one tier is required");
+  if (!tiers.empty()) {
+    require(tiers.front().kind == TierKind::kFast, "tier 0 must be the fast tier");
+  }
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    const TierSpec& spec = tiers[i];
+    const std::string which = "tier " + std::to_string(i) + " (" + spec.name + ")";
+    require(spec.capacity_pages > 0, which + ": capacity_pages must be > 0");
+    require(spec.migration_bandwidth_bytes_per_sec > 0,
+            which + ": migration bandwidth must be > 0");
+    require(spec.load_latency >= 0, which + ": load_latency must be >= 0");
+    require(spec.store_latency >= 0, which + ": store_latency must be >= 0");
+  }
+
+  require(demand_fault_cost >= 0, "demand_fault_cost must be >= 0");
+  require(hint_fault_cost >= 0, "hint_fault_cost must be >= 0");
+  require(pte_visit_cost >= 0, "pte_visit_cost must be >= 0");
+  require(lru_visit_cost >= 0, "lru_visit_cost must be >= 0");
+  require(reclaim_check_period > 0, "reclaim_check_period must be > 0");
+  require(process_quantum > 0, "process_quantum must be > 0");
+  require(reclaim_batch_limit > 0, "reclaim_batch_limit must be > 0");
+  require(bandwidth_scale >= 1.0, "bandwidth_scale must be >= 1");
+
+  require(migration.max_copy_attempts >= 1, "migration.max_copy_attempts must be >= 1");
+  require(migration.retry_backoff >= 0, "migration.retry_backoff must be >= 0");
+  require(migration.sync_slack >= 0, "migration.sync_slack must be >= 0");
+  require(migration.async_backlog_limit >= 0, "migration.async_backlog_limit must be >= 0");
+  require(migration.reclaim_backlog_limit >= 0,
+          "migration.reclaim_backlog_limit must be >= 0");
+  require(migration.source_inflight_page_limit > 0,
+          "migration.source_inflight_page_limit must be > 0");
+
+  probability(fault.copy_fail_transient_p, "fault.copy_fail_transient_p");
+  probability(fault.copy_fail_persistent_p, "fault.copy_fail_persistent_p");
+  probability(fault.stall_fire_p, "fault.stall_fire_p");
+  probability(fault.pressure_fire_p, "fault.pressure_fire_p");
+  probability(fault.alloc_fail_fire_p, "fault.alloc_fail_fire_p");
+  require(fault.start_after >= 0, "fault.start_after must be >= 0");
+  require(fault.stall_period >= 0, "fault.stall_period must be >= 0");
+  require(fault.stall_duration >= 0, "fault.stall_duration must be >= 0");
+  require(fault.stall_window >= 0, "fault.stall_window must be >= 0");
+  require(fault.stall_bandwidth_slowdown >= 1.0,
+          "fault.stall_bandwidth_slowdown must be >= 1");
+  require(fault.pressure_period >= 0, "fault.pressure_period must be >= 0");
+  require(fault.pressure_duration >= 0, "fault.pressure_duration must be >= 0");
+  require(fault.pressure_fraction >= 0.0 && fault.pressure_fraction < 1.0,
+          "fault.pressure_fraction must be in [0, 1)");
+  require(fault.alloc_fail_period >= 0, "fault.alloc_fail_period must be >= 0");
+  require(fault.alloc_fail_duration >= 0, "fault.alloc_fail_duration must be >= 0");
+  require(alloc_retry_stall >= 0, "alloc_retry_stall must be >= 0");
+  require(audit_period >= 0, "audit_period must be >= 0");
+  return errors;
 }
 
 namespace {
@@ -34,12 +99,19 @@ Machine::Machine(MachineConfig config, std::unique_ptr<TieringPolicy> policy)
   for (int i = 0; i < memory_.num_nodes(); ++i) {
     lrus_.emplace_back();
   }
-  assert(policy_ != nullptr);
+  CHECK(policy_ != nullptr);
+  const std::vector<std::string> errors = config_.Validate();
+  CHECK(errors.empty()) << "invalid MachineConfig (" << errors.size() << " error(s)): first: "
+                        << (errors.empty() ? "" : errors.front());
   // The engine shares the machine's bandwidth scaling so copy CPU is charged unscaled.
   MigrationEngineConfig engine_config = config_.migration;
   engine_config.bandwidth_scale = config_.bandwidth_scale;
   engine_ = std::make_unique<MigrationEngine>(engine_config, static_cast<MigrationEnv*>(this),
                                               metrics_.mutable_migration());
+  if (config_.fault.enabled) {
+    injector_ = std::make_unique<FaultInjector>(config_.fault, metrics_.mutable_fault());
+    engine_->set_fault_oracle(injector_.get());
+  }
 }
 
 Machine::~Machine() = default;
@@ -65,13 +137,50 @@ void Machine::AttachWorkload(Process& process, std::unique_ptr<AccessStream> str
 }
 
 void Machine::Start() {
-  assert(!started_);
+  CHECK(!started_) << "Machine::Start() called twice";
   started_ = true;
   policy_->Attach(*this);
   if (policy_->WantsSharedReclaim()) {
     queue_.SchedulePeriodic(config_.reclaim_check_period,
                             [this](SimTime now) { ReclaimTick(now); });
   }
+  if (injector_ != nullptr) {
+    injector_->Arm(queue_, memory_, *engine_,
+                   [this](uint64_t target) { return ReclaimFastTier(target); });
+  }
+  if (config_.audit_period > 0) {
+    // The always-on auditor: any bookkeeping divergence dies loudly at the next period
+    // boundary instead of silently skewing results.
+    queue_.SchedulePeriodic(config_.audit_period, [this](SimTime /*now*/) {
+      const AuditReport report = AuditNow();
+      CHECK(report.clean()) << report.Summary() << "\n" << FatalDump();
+    });
+  }
+}
+
+AuditReport Machine::AuditNow() {
+  ++metrics_.mutable_fault()->audits_run;
+  return InvariantAuditor::Audit(queue_.now(), memory_, processes_, lrus_, engine_.get());
+}
+
+std::string Machine::FatalDump() const {
+  std::ostringstream os;
+  os << "machine state at tick=" << queue_.now() << "ns:";
+  for (NodeId node = 0; node < memory_.num_nodes(); ++node) {
+    const MemoryTier& tier = memory_.node(node);
+    const Watermarks& wm = tier.watermarks();
+    os << "\n  tier " << node << " (" << tier.spec().name << "): free=" << tier.free_pages()
+       << " allocated=" << tier.allocated_pages()
+       << " quarantined=" << tier.quarantined_pages()
+       << " pressure_stolen=" << tier.pressure_stolen_pages()
+       << " capacity=" << tier.capacity_pages() << " watermarks(min=" << wm.min
+       << " low=" << wm.low << " high=" << wm.high << " pro=" << wm.pro << ")"
+       << (tier.degraded() ? " DEGRADED" : "")
+       << (tier.strict_min_floor() ? " STRICT-MIN" : "");
+  }
+  os << "\n  migration: inflight_transactions=" << engine_->inflight_transactions()
+     << " inflight_reserved_pages=" << engine_->inflight_reserved_pages();
+  return os.str();
 }
 
 Process* Machine::ProcessByPid(int32_t pid) {
@@ -87,7 +196,7 @@ Vma* Machine::ResolveVma(const PageInfo& page) {
 }
 
 void Machine::Run(SimDuration duration) {
-  assert(started_);
+  CHECK(started_) << "Run() before Start()";
   const SimTime end = queue_.now() + duration;
   while (queue_.now() < end) {
     SimTime horizon = queue_.NextEventTime();
@@ -107,7 +216,7 @@ void Machine::Run(SimDuration duration) {
 }
 
 SimDuration Machine::RunToCompletion(SimDuration max_duration) {
-  assert(started_);
+  CHECK(started_) << "RunToCompletion() before Start()";
   const SimTime start = queue_.now();
   const SimTime deadline = start + max_duration;
   // Slice execution so completion is detected promptly without busy-checking per op.
@@ -160,17 +269,23 @@ SimDuration Machine::ExecuteOp(Process& process, const MemOp& op) {
 SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_store) {
   const uint64_t vpn = vaddr / kBasePageSize;
   Vma* vma = process.aspace().FindVma(vpn);
-  if (vma == nullptr) {
-    std::fprintf(stderr, "machine: access to unmapped vpn 0x%llx by pid %d\n",
-                 static_cast<unsigned long long>(vpn), process.pid());
-    std::abort();
-  }
+  CHECK(vma != nullptr) << SimError("access to unmapped virtual page", queue_.now())
+                               .Add("vpn", vpn)
+                               .Add("pid", process.pid())
+                               .Add("process", process.name())
+                               .Format()
+                        << "\n" << FatalDump();
   PageInfo& unit = vma->HotnessUnit(vpn);
   const SimTime now = std::max(process.clock(), queue_.now());
   SimDuration latency = 0;
 
   if (!unit.present()) {
     latency += HandleDemandFault(process, *vma, unit);
+    if (!unit.present()) {
+      // Graceful allocation refusal (injected allocation-failure window): the page stays
+      // absent, the access is charged the fault + retry stall, and a later touch retries.
+      return latency;
+    }
   }
 
   if (unit.prot_none()) {
@@ -215,9 +330,25 @@ SimDuration Machine::HandleDemandFault(Process& process, Vma& vma, PageInfo& uni
     ReclaimFastTier(memory_.node(kFastNode).watermarks().high);
     node = memory_.AllocatePages(kFastNode, pages);
     if (node == kInvalidNode) {
-      std::fprintf(stderr, "machine: out of physical memory (%llu pages requested)\n",
-                   static_cast<unsigned long long>(pages));
-      std::abort();
+      if (injector_ != nullptr) {
+        // Under fault injection an exhausted allocation degrades gracefully: refuse the
+        // fault, charge the wasted fault entry plus a retry stall, and leave the page
+        // absent so a later access retries (the strict-min window will have passed).
+        FaultStats* fault_stats = metrics_.mutable_fault();
+        ++fault_stats->alloc_refusals;
+        ++fault_stats->emergency_reclaims;
+        const SimDuration stall = config_.demand_fault_cost + config_.alloc_retry_stall;
+        fault_stats->alloc_stall_time += stall;
+        metrics_.ChargeKernel(KernelWork::kFaultHandling, config_.demand_fault_cost);
+        metrics_.CountContextSwitch();
+        return stall;
+      }
+      CHECK(false) << SimError("out of physical memory", queue_.now())
+                          .Add("pages_requested", pages)
+                          .Add("pid", process.pid())
+                          .Add("vpn", unit.vpn)
+                          .Format()
+                   << "\n" << FatalDump();
     }
   }
   unit.Set(kPagePresent);

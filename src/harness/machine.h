@@ -16,6 +16,9 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_types.h"
+#include "src/fault/invariant_auditor.h"
 #include "src/harness/metrics.h"
 #include "src/harness/policy.h"
 #include "src/mem/tiered_memory.h"
@@ -59,6 +62,22 @@ struct MachineConfig {
   MigrationEngineConfig migration;
 
   uint64_t seed = 42;
+
+  // Fault-injection plan (disabled by default). When enabled, genuine allocation
+  // exhaustion degrades gracefully instead of being fatal: the demand fault is refused,
+  // the page stays absent, and the access is charged `alloc_retry_stall` before retrying
+  // on a later touch.
+  FaultPlan fault;
+  SimDuration alloc_retry_stall = 100 * kMicrosecond;
+
+  // Period of the always-on invariant audit (frame accounting, LRU membership, residency
+  // counters, watermark ordering); 0 disables the periodic audit but not the end-of-run
+  // audit run by the experiment harness.
+  SimDuration audit_period = kSecond;
+
+  // Configuration validation, run at Machine construction (CHECK-fatal on any error).
+  // Returns every violated constraint as a human-readable string; empty means valid.
+  std::vector<std::string> Validate() const;
 
   // Convenience: the paper's standard 25%-DRAM two-tier box sized in base pages.
   static MachineConfig StandardTwoTier(uint64_t total_pages, double fast_fraction = 0.25);
@@ -130,6 +149,17 @@ class Machine : private MigrationEnv {
 
   void ChargeKernel(KernelWork work, SimDuration d) { metrics_.ChargeKernel(work, d); }
 
+  // Runs a full invariant audit right now and returns the report (also counted in
+  // FaultStats::audits_run). The periodic audit CHECK-fails on any violation.
+  AuditReport AuditNow();
+
+  // One-line-per-fact dump of machine state for structured fatal errors: sim time,
+  // per-tier frame/watermark/degradation state, migration-engine in-flight gauges.
+  std::string FatalDump() const;
+
+  // The fault injector, or nullptr when config.fault.enabled is false.
+  FaultInjector* fault_injector() { return injector_.get(); }
+
   // Charges the cost of a scanner chunk (units * pte_visit_cost) and returns it.
   SimDuration ChargeScanCost(uint64_t units_visited);
 
@@ -167,6 +197,7 @@ class Machine : private MigrationEnv {
   bool started_ = false;
   bool reclaim_in_progress_ = false;  // Re-entrancy guard: demotions never recurse.
   std::unique_ptr<MigrationEngine> engine_;  // After metrics_: stats live there.
+  std::unique_ptr<FaultInjector> injector_;  // Null unless config.fault.enabled.
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<WorkloadBinding> bindings_;  // Indexed by pid.

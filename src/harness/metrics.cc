@@ -49,6 +49,7 @@ void Metrics::Reset() {
   read_latency_.Clear();
   write_latency_.Clear();
   migration_.Reset();
+  fault_.Reset();
 }
 
 }  // namespace chronotier

@@ -8,6 +8,7 @@
 
 #include "src/common/stats.h"
 #include "src/common/time.h"
+#include "src/fault/fault_types.h"
 #include "src/migration/migration_types.h"
 
 namespace chronotier {
@@ -126,6 +127,11 @@ class Metrics {
   const MigrationStats& migration() const { return migration_; }
   MigrationStats* mutable_migration() { return &migration_; }
 
+  // Fault-injection and degradation counters (same in-place update arrangement: the
+  // FaultInjector and the machine's graceful-degradation paths write here).
+  const FaultStats& fault() const { return fault_; }
+  FaultStats* mutable_fault() { return &fault_; }
+
   // Combined-latency percentile over both reservoirs, weighted by op counts.
   double LatencyPercentile(double p) const;
   double MeanLatency() const;
@@ -153,6 +159,7 @@ class Metrics {
   ReservoirSampler read_latency_;
   ReservoirSampler write_latency_;
   MigrationStats migration_;
+  FaultStats fault_;
 };
 
 }  // namespace chronotier

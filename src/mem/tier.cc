@@ -1,7 +1,8 @@
 #include "src/mem/tier.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/common/check.h"
 
 namespace chronotier {
 
@@ -60,7 +61,7 @@ void MemoryTier::SetProWatermarkGap(uint64_t gap_pages) {
 }
 
 bool MemoryTier::TryAllocate(uint64_t pages, bool allow_below_min) {
-  const uint64_t floor = allow_below_min ? 0 : watermarks_.min;
+  const uint64_t floor = (allow_below_min && !strict_min_floor_) ? 0 : watermarks_.min;
   if (free_pages_ < pages || free_pages_ - pages < floor) {
     ++failed_allocations_;
     return false;
@@ -71,7 +72,38 @@ bool MemoryTier::TryAllocate(uint64_t pages, bool allow_below_min) {
 }
 
 void MemoryTier::Release(uint64_t pages) {
-  assert(free_pages_ + pages <= spec_.capacity_pages);
+  CHECK_LE(free_pages_ + quarantined_pages_ + pressure_stolen_pages_ + pages,
+           spec_.capacity_pages)
+      << "tier=" << spec_.name << " double free of " << pages << " pages";
+  free_pages_ += pages;
+}
+
+void MemoryTier::QuarantineAllocated(uint64_t pages) {
+  // The frames being quarantined are allocated (a migration target reservation), so free
+  // is untouched; they move from the allocated population to the quarantined list.
+  CHECK_LE(pages, allocated_pages())
+      << "tier=" << spec_.name << " quarantining more frames than are allocated";
+  quarantined_pages_ += pages;
+}
+
+uint64_t MemoryTier::ReleaseQuarantined(uint64_t pages) {
+  const uint64_t released = std::min(pages, quarantined_pages_);
+  quarantined_pages_ -= released;
+  free_pages_ += released;
+  return released;
+}
+
+uint64_t MemoryTier::StealFreePages(uint64_t pages) {
+  const uint64_t stolen = std::min(pages, free_pages_);
+  free_pages_ -= stolen;
+  pressure_stolen_pages_ += stolen;
+  return stolen;
+}
+
+void MemoryTier::ReturnStolenPages(uint64_t pages) {
+  CHECK_LE(pages, pressure_stolen_pages_)
+      << "tier=" << spec_.name << " returning more pressure-stolen pages than were stolen";
+  pressure_stolen_pages_ -= pages;
   free_pages_ += pages;
 }
 

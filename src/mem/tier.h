@@ -59,7 +59,9 @@ class MemoryTier {
   explicit MemoryTier(TierSpec spec);
 
   // Reserves `pages` frames. Fails (returns false) when it would push free below the `min`
-  // watermark; pass allow_below_min for migration targets, which may dip to zero.
+  // watermark; pass allow_below_min for migration targets, which may dip to zero. While an
+  // injected allocation-failure window holds the strict-min floor, allow_below_min is
+  // ignored and every allocation honours `min`.
   bool TryAllocate(uint64_t pages = 1, bool allow_below_min = false);
   void Release(uint64_t pages = 1);
 
@@ -94,12 +96,47 @@ class MemoryTier {
   uint64_t total_allocations() const { return total_allocations_; }
   uint64_t failed_allocations() const { return failed_allocations_; }
 
+  // --- fault & degradation surface (src/fault) ---
+
+  // Moves already-allocated frames onto the quarantined list (persistent copy fault on a
+  // reserved migration target). Quarantined frames stay unusable until released.
+  void QuarantineAllocated(uint64_t pages);
+  // Returns up to `pages` quarantined frames to the free list (repair/recovery); returns
+  // the number actually released.
+  uint64_t ReleaseQuarantined(uint64_t pages);
+  uint64_t quarantined_pages() const { return quarantined_pages_; }
+
+  // Degraded mode: the migration engine pauses new promotions into a degraded tier while
+  // demotion keeps draining it.
+  bool degraded() const { return degraded_; }
+  void set_degraded(bool degraded) { degraded_ = degraded; }
+
+  // Pressure spike: steals up to `pages` free frames (shrinking effective capacity) and
+  // returns the number stolen; ReturnStolenPages gives them back when the spike ends.
+  uint64_t StealFreePages(uint64_t pages);
+  void ReturnStolenPages(uint64_t pages);
+  uint64_t pressure_stolen_pages() const { return pressure_stolen_pages_; }
+
+  // Injected allocation-failure window: every allocation honours the `min` floor, even
+  // ALLOC_HARDER-style allow_below_min callers.
+  void set_strict_min_floor(bool strict) { strict_min_floor_ = strict; }
+  bool strict_min_floor() const { return strict_min_floor_; }
+
+  // Frames live for page data right now: capacity minus free, quarantined and stolen.
+  uint64_t allocated_pages() const {
+    return spec_.capacity_pages - free_pages_ - quarantined_pages_ - pressure_stolen_pages_;
+  }
+
  private:
   TierSpec spec_;
   Watermarks watermarks_;
   uint64_t free_pages_;
+  uint64_t quarantined_pages_ = 0;
+  uint64_t pressure_stolen_pages_ = 0;
   uint64_t total_allocations_ = 0;
   uint64_t failed_allocations_ = 0;
+  bool degraded_ = false;
+  bool strict_min_floor_ = false;
 };
 
 }  // namespace chronotier

@@ -36,16 +36,36 @@ class CopyChannel {
   };
 
   // Books a copy of `copy_time` submitted at `now`, starting no earlier than `earliest`
-  // (retry backoff). FIFO: the copy begins when the channel drains.
+  // (retry backoff). FIFO: the copy begins when the channel drains. A copy that starts
+  // inside an injected bandwidth-collapse window is slowed by the window's factor.
   Booking Book(SimTime now, SimTime earliest, SimDuration copy_time) {
     Booking booking;
     booking.start = std::max({now, earliest, cursor_});
-    booking.finish = booking.start + copy_time;
+    SimDuration effective = copy_time;
+    if (booking.start < degraded_until_ && degrade_factor_ > 1.0) {
+      effective = static_cast<SimDuration>(static_cast<double>(copy_time) * degrade_factor_);
+    }
+    booking.finish = booking.start + effective;
     cursor_ = booking.finish;
-    busy_ += copy_time;
+    busy_ += effective;
     ++copies_booked_;
     return booking;
   }
+
+  // --- fault injection (src/fault) ---
+  // Stalls the channel: the cursor jumps forward by `stall`, so every queued and future
+  // copy waits it out. Models a device hiccup that moves no bytes.
+  void InjectStall(SimTime now, SimDuration stall) {
+    cursor_ = std::max(cursor_, now) + stall;
+    ++stalls_injected_;
+  }
+  // Bandwidth collapse: copies starting before `until` take `factor`x as long.
+  void DegradeBandwidth(SimTime until, double factor) {
+    degraded_until_ = until;
+    degrade_factor_ = factor;
+  }
+  bool degraded_at(SimTime t) const { return t < degraded_until_; }
+  uint64_t stalls_injected() const { return stalls_injected_; }
 
   // Total copy time ever booked (includes copies later invalidated by a dirty abort).
   SimDuration busy_time() const { return busy_; }
@@ -57,6 +77,9 @@ class CopyChannel {
   SimTime cursor_ = 0;  // When the last booked copy drains.
   SimDuration busy_ = 0;
   uint64_t copies_booked_ = 0;
+  SimTime degraded_until_ = 0;  // Injected bandwidth-collapse window end.
+  double degrade_factor_ = 1.0;
+  uint64_t stalls_injected_ = 0;
 };
 
 }  // namespace chronotier

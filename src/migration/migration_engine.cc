@@ -1,14 +1,15 @@
 #include "src/migration/migration_engine.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/common/check.h"
 
 namespace chronotier {
 
 MigrationEngine::MigrationEngine(MigrationEngineConfig config, MigrationEnv* env,
                                  MigrationStats* stats)
     : config_(config), env_(env), stats_(stats), admission_(&config_) {
-  assert(env_ != nullptr && stats_ != nullptr);
+  CHECK(env_ != nullptr && stats_ != nullptr);
   num_nodes_ = env_->memory().num_nodes();
   // One channel per unordered tier pair {lo, hi}, lo < hi: both copy directions between two
   // tiers contend for the same device bandwidth.
@@ -33,6 +34,16 @@ const CopyChannel& MigrationEngine::channel(NodeId from, NodeId to) const {
 
 CopyChannel& MigrationEngine::channel_mutable(NodeId from, NodeId to) {
   return channels_[ChannelIndex(from, to)];
+}
+
+uint64_t MigrationEngine::inflight_reserved_pages_on(NodeId node) const {
+  uint64_t pages = 0;
+  for (const auto& [id, txn] : inflight_) {
+    if (txn.to == node) {
+      pages += txn.pages;
+    }
+  }
+  return pages;
 }
 
 MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
@@ -61,6 +72,12 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
   const NodeId from = unit.node;
   const uint64_t pages = vma.UnitPages(unit.vpn);
   const bool is_promotion = target == kFastNode;
+
+  // Degraded target tier: promotions pause (graceful degradation under injected faults or
+  // capacity pressure) while demotions keep draining the tier.
+  if (is_promotion && env_->memory().node(target).degraded()) {
+    return refuse(MigrationRefusal::kTierDegraded, true);
+  }
 
   // Admission: channel backlog against the class limit, then per-source throttling. Both
   // are checked before any frame or channel state is touched.
@@ -110,6 +127,7 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
   ticket.txn_id = txn.id;
 
   if (klass == MigrationClass::kAsync) {
+    ticket.outcome = MigrationOutcome::kPending;
     Transaction& stored = inflight_.emplace(txn.id, txn).first->second;
     inflight_reserved_pages_ += pages;
     peak_inflight_ = std::max(peak_inflight_, static_cast<uint64_t>(inflight_.size()));
@@ -119,13 +137,42 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
 
   // Sync and reclaim classes execute the whole transaction inline: the submitter's context
   // (faulting thread or kswapd) drives the copy, so there is no window for a concurrent
-  // store to invalidate it and the commit happens at copy completion.
-  const CopyChannel::Booking booking = BookCopy(txn, now, now);
-  Commit(txn, booking.finish);
+  // store to invalidate it and the commit happens at copy completion. Injected copy faults
+  // retry inline (back-to-back passes — the submitter is stalled anyway) and park after
+  // the attempt budget, leaving the unit mapped at its source.
+  CopyChannel::Booking booking = BookCopy(txn, now, now);
+  ticket.outcome = MigrationOutcome::kCommitted;
+  for (;;) {
+    const CopyFault fault =
+        fault_oracle_ == nullptr
+            ? CopyFault::kNone
+            : fault_oracle_->OnCopyPassDone(txn.from, txn.to, txn.pages, txn.attempt,
+                                            booking.finish);
+    if (fault == CopyFault::kNone) {
+      Commit(txn, booking.finish);
+      break;
+    }
+    if (fault == CopyFault::kPersistent) {
+      ParkQuarantined(txn);
+      ticket.outcome = MigrationOutcome::kParked;
+      break;
+    }
+    ++stats_->injected_transient_faults;
+    if (txn.attempt >= config_.max_copy_attempts) {
+      ParkTransient(txn);
+      ticket.outcome = MigrationOutcome::kParked;
+      break;
+    }
+    booking = BookCopy(txn, booking.finish, booking.finish);
+  }
   Retire(txn);
   if (klass == MigrationClass::kSync) {
-    ticket.sync_latency =
-        (booking.finish - now) + memory.migration_software_overhead();
+    // The faulting access stalls for queueing + every copy pass; remap overhead is charged
+    // only when the transaction actually committed.
+    ticket.sync_latency = (booking.finish - now) +
+                          (ticket.outcome == MigrationOutcome::kCommitted
+                               ? memory.migration_software_overhead()
+                               : 0);
   }
   return ticket;
 }
@@ -141,7 +188,9 @@ CopyChannel::Booking MigrationEngine::BookCopy(Transaction& txn, SimTime now,
   txn.write_gen_at_copy = txn.unit->write_gen;
   ++stats_->copy_attempts;
   stats_->copied_bytes += bytes;
-  stats_->channel_busy += cost.copy_time;
+  // Booked duration, not the uncontended copy time: an injected bandwidth collapse makes
+  // the channel busy for longer than the bytes alone would.
+  stats_->channel_busy += booking.finish - booking.start;
   // Copy CPU burns at the unscaled rate: the scaled copy_time models channel queueing on a
   // miniature machine, not extra cycles.
   env_->ChargeMigrationKernelTime(static_cast<SimDuration>(
@@ -171,16 +220,51 @@ void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
     return;
   }
   Transaction& txn = it->second;
-  assert(txn.unit->present() && txn.unit->node == txn.from);
+  CHECK(txn.unit->present() && txn.unit->node == txn.from)
+      << SimError("in-flight migration source vanished", now)
+             .Add("vpn", txn.unit->vpn)
+             .Add("owner", txn.unit->owner)
+             .Add("node", txn.unit->node)
+             .Add("from", txn.from)
+             .Add("to", txn.to)
+             .Format();
+
+  const auto finish_inflight = [this, &it](Transaction& finished) {
+    Retire(finished);
+    inflight_reserved_pages_ -= finished.pages;
+    inflight_.erase(it);
+  };
+
+  // Injected copy faults are checked first: a pass that failed in hardware never produced
+  // a consistent target copy, so its dirty state is irrelevant.
+  const CopyFault fault =
+      fault_oracle_ == nullptr
+          ? CopyFault::kNone
+          : fault_oracle_->OnCopyPassDone(txn.from, txn.to, txn.pages, txn.attempt, now);
+  if (fault == CopyFault::kPersistent) {
+    ParkQuarantined(txn);
+    finish_inflight(txn);
+    return;
+  }
+  if (fault == CopyFault::kTransient) {
+    ++stats_->injected_transient_faults;
+    if (txn.attempt >= config_.max_copy_attempts) {
+      ParkTransient(txn);
+      finish_inflight(txn);
+      return;
+    }
+    // Transient (ECC-style) failure: reuse the dirty-abort exponential backoff.
+    const int shift = std::min(txn.attempt - 1, 20);
+    ScheduleAsyncPass(txn, now, now + (config_.retry_backoff << shift));
+    return;
+  }
 
   if (txn.unit->write_gen != txn.write_gen_at_copy) {
     // A store landed during the copy: the target copy is stale. Abort this pass.
     ++stats_->dirty_aborted_copies;
     if (txn.attempt >= config_.max_copy_attempts) {
       FinalAbort(txn);
-      Retire(txn);
-      inflight_reserved_pages_ -= txn.pages;
-      inflight_.erase(it);
+      finish_inflight(txn);
       return;
     }
     // Retry with exponential backoff: attempt k starts no earlier than
@@ -192,9 +276,7 @@ void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
   }
 
   Commit(txn, now);
-  Retire(txn);
-  inflight_reserved_pages_ -= txn.pages;
-  inflight_.erase(it);
+  finish_inflight(txn);
 }
 
 void MigrationEngine::Commit(Transaction& txn, SimTime now) {
@@ -219,6 +301,29 @@ void MigrationEngine::FinalAbort(Transaction& txn) {
   // Release the reserved target frames; the unit never left its source node.
   env_->memory().FreePages(txn.to, txn.pages);
   ++stats_->aborted[static_cast<size_t>(txn.klass)];
+  if (txn.to == kFastNode) {
+    env_->OnPromotionRefused();
+  }
+}
+
+void MigrationEngine::ParkTransient(Transaction& txn) {
+  // Retries exhausted on transient copy faults: the frames are healthy, so they go back to
+  // the free list. The unit stays mapped at its source — no commit cost, nothing lost.
+  env_->memory().FreePages(txn.to, txn.pages);
+  CountPark(txn);
+}
+
+void MigrationEngine::ParkQuarantined(Transaction& txn) {
+  // Persistent copy fault: the reserved target frames are suspect and must not be handed
+  // back out. Quarantine them; the unit stays mapped at its source.
+  env_->memory().node(txn.to).QuarantineAllocated(txn.pages);
+  ++stats_->injected_persistent_faults;
+  stats_->quarantined_pages += txn.pages;
+  CountPark(txn);
+}
+
+void MigrationEngine::CountPark(const Transaction& txn) {
+  ++stats_->parked[static_cast<size_t>(txn.klass)];
   if (txn.to == kFastNode) {
     env_->OnPromotionRefused();
   }

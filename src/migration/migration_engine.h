@@ -80,6 +80,12 @@ class MigrationEngine {
   MigrationTicket Submit(Vma& vma, PageInfo& unit, NodeId target, MigrationClass klass,
                          MigrationSource source, SimTime now = kNeverTime);
 
+  // Installs a copy-fault oracle (the fault injector). nullptr (default) = no injection.
+  // Injected transient faults retry through the dirty-abort backoff machinery; persistent
+  // faults quarantine the reserved target frames; either way a transaction that cannot
+  // complete *parks* — the unit stays mapped at its source and no commit cost is charged.
+  void set_fault_oracle(CopyFaultOracle* oracle) { fault_oracle_ = oracle; }
+
   const MigrationEngineConfig& config() const { return config_; }
   const MigrationStats& stats() const { return *stats_; }
 
@@ -89,10 +95,14 @@ class MigrationEngine {
   uint64_t inflight_transactions() const { return static_cast<uint64_t>(inflight_.size()); }
   uint64_t inflight_reserved_pages() const { return inflight_reserved_pages_; }
   uint64_t peak_inflight_transactions() const { return peak_inflight_; }
+  // Target frames reserved on `node` by in-flight transactions (invariant auditing).
+  uint64_t inflight_reserved_pages_on(NodeId node) const;
 
   // Channels are per *unordered* tier pair: channel(a, b) == channel(b, a).
   int num_channels() const { return static_cast<int>(channels_.size()); }
   const CopyChannel& channel(NodeId from, NodeId to) const;
+  // Mutable access for the fault injector (stall / bandwidth-collapse injection).
+  CopyChannel& mutable_channel(NodeId from, NodeId to) { return channel_mutable(from, to); }
 
  private:
   struct Transaction {
@@ -115,15 +125,22 @@ class MigrationEngine {
   CopyChannel::Booking BookCopy(Transaction& txn, SimTime now, SimTime earliest);
   // Books an async pass and schedules its copy-start snapshot + copy-done events.
   void ScheduleAsyncPass(Transaction& txn, SimTime now, SimTime earliest);
-  // Async copy-done event: dirty check, then commit or retry/abort.
+  // Async copy-done event: fault-oracle verdict, dirty check, then commit or retry/abort.
   void OnCopyDone(uint64_t txn_id, SimTime now);
   void Commit(Transaction& txn, SimTime now);
   void FinalAbort(Transaction& txn);
+  // Graceful-degradation terminals: the unit stays mapped at its source. ParkTransient
+  // releases the reserved target frames; ParkQuarantined quarantines them (persistent
+  // copy fault — the frames are suspect).
+  void ParkTransient(Transaction& txn);
+  void ParkQuarantined(Transaction& txn);
+  void CountPark(const Transaction& txn);
   void Retire(const Transaction& txn);
 
   MigrationEngineConfig config_;
   MigrationEnv* env_;
   MigrationStats* stats_;
+  CopyFaultOracle* fault_oracle_ = nullptr;
   AdmissionController admission_;
   std::vector<CopyChannel> channels_;  // Upper-triangle order over unordered pairs.
   int num_nodes_ = 0;

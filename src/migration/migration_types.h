@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "src/common/time.h"
+#include "src/mem/tier.h"
 
 namespace chronotier {
 
@@ -45,8 +46,35 @@ enum class MigrationRefusal : uint8_t {
   kNoCapacity = 3,       // Target tier cannot hold the unit (even after reclaim).
   kAlreadyInFlight = 4,  // The unit is owned by another transaction.
   kInvalid = 5,          // Not present, or already resident on the target node.
+  kTierDegraded = 6,     // Target tier is in degraded mode; promotions are paused.
 };
-inline constexpr int kNumMigrationRefusals = 6;
+inline constexpr int kNumMigrationRefusals = 7;
+
+// How a transaction ended. kParked is the graceful-degradation terminal: injected copy
+// faults exhausted their retries (or were persistent), the unit stays mapped at its source,
+// and no commit cost was charged.
+enum class MigrationOutcome : uint8_t {
+  kRefused = 0,    // Never admitted.
+  kPending = 1,    // Async transaction still in flight.
+  kCommitted = 2,  // Remapped onto the target tier.
+  kAborted = 3,    // Dirty retries exhausted; stayed at source.
+  kParked = 4,     // Injected fault terminal; stayed at source.
+};
+
+// Verdict an injected fault oracle renders on one completed copy pass. Transient faults
+// (ECC-style correctable errors) reuse the engine's dirty-abort retry/backoff machinery;
+// persistent faults quarantine the reserved target frames and park the transaction.
+enum class CopyFault : uint8_t { kNone = 0, kTransient = 1, kPersistent = 2 };
+
+// The migration engine's view of a fault injector (implemented by fault::FaultInjector;
+// defined here so src/migration does not depend on src/fault). Consulted once per finished
+// copy pass, before the dirty-generation check.
+class CopyFaultOracle {
+ public:
+  virtual ~CopyFaultOracle() = default;
+  virtual CopyFault OnCopyPassDone(NodeId from, NodeId to, uint64_t pages, int attempt,
+                                   SimTime now) = 0;
+};
 
 struct MigrationEngineConfig {
   // Sync (fault-inline) migrations tolerate very little queueing before being refused.
@@ -77,10 +105,14 @@ struct MigrationStats {
   uint64_t submitted[kNumMigrationClasses] = {};
   uint64_t committed[kNumMigrationClasses] = {};
   uint64_t aborted[kNumMigrationClasses] = {};  // Final aborts (retries exhausted).
+  uint64_t parked[kNumMigrationClasses] = {};   // Fault-injected terminal parks.
   uint64_t refused[kNumMigrationRefusals] = {};
   uint64_t committed_pages = 0;
   uint64_t copy_attempts = 0;         // Every copy pass, including retries.
   uint64_t dirty_aborted_copies = 0;  // Copy passes invalidated by a concurrent store.
+  uint64_t injected_transient_faults = 0;   // Copy passes failed by the fault injector.
+  uint64_t injected_persistent_faults = 0;  // Copy passes failed persistently.
+  uint64_t quarantined_pages = 0;           // Target frames quarantined by those faults.
   uint64_t retry_histogram[kMigrationRetryBuckets] = {};
   uint64_t copied_bytes = 0;          // Includes bytes of aborted copies.
   SimDuration channel_busy = 0;       // Copy time booked across all channels.
@@ -106,6 +138,11 @@ struct MigrationStats {
   uint64_t TotalRefused() const {
     uint64_t total = 0;
     for (uint64_t v : refused) total += v;
+    return total;
+  }
+  uint64_t TotalParked() const {
+    uint64_t total = 0;
+    for (uint64_t v : parked) total += v;
     return total;
   }
 
@@ -135,6 +172,9 @@ struct MigrationStats {
 struct MigrationTicket {
   bool admitted = false;
   MigrationRefusal refusal = MigrationRefusal::kNone;
+  // Terminal state for sync/reclaim submissions (kCommitted or kParked); kPending for
+  // admitted async work, kRefused otherwise.
+  MigrationOutcome outcome = MigrationOutcome::kRefused;
   // For kSync: the stall to charge to the faulting access (queueing + copy + remap).
   SimDuration sync_latency = 0;
   // Transaction id (0 when refused). Sync/reclaim transactions are already committed when

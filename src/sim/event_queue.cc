@@ -1,7 +1,7 @@
 #include "src/sim/event_queue.h"
 
 #include <algorithm>
-#include <cassert>
+#include "src/common/check.h"
 
 namespace chronotier {
 
@@ -31,7 +31,7 @@ EventId EventQueue::ScheduleAfter(SimDuration delay, EventFn fn) {
 }
 
 EventId EventQueue::SchedulePeriodic(SimDuration period, EventFn fn) {
-  assert(period > 0);
+  CHECK_GT(period, 0) << "periodic events need a positive period";
   const EventId id = next_id_++;
   callbacks_.emplace_back(id, std::move(fn));
   ++live_events_;
@@ -74,7 +74,7 @@ bool EventQueue::RunNext() {
     if (fn == nullptr) {
       continue;  // Cancelled.
     }
-    assert(item.when >= now_);
+    CHECK_GE(item.when, now_) << "event scheduled in the past (now=" << now_ << "ns)";
     now_ = item.when;
     // Re-arm periodic events before invoking so the callback can Cancel() itself.
     if (item.period > 0) {
@@ -109,7 +109,7 @@ size_t EventQueue::RunUntil(SimTime horizon) {
 }
 
 void EventQueue::AdvanceTo(SimTime t) {
-  assert(t >= now_);
+  CHECK_GE(t, now_) << "time cannot run backwards";
   now_ = std::max(now_, t);
 }
 

@@ -326,5 +326,93 @@ TEST(MetricsTest, DerivedQuantities) {
   EXPECT_EQ(metrics.TotalKernelTime(), 0);
 }
 
+// --- MachineConfig::Validate ---
+
+bool HasError(const std::vector<std::string>& errors, const std::string& needle) {
+  for (const std::string& error : errors) {
+    if (error.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(MachineConfigValidateTest, StandardTwoTierIsValid) {
+  EXPECT_TRUE(MachineConfig::StandardTwoTier(4096, 0.25).Validate().empty());
+}
+
+TEST(MachineConfigValidateTest, RejectsEmptyTierList) {
+  MachineConfig config;
+  EXPECT_TRUE(HasError(config.Validate(), "at least one tier is required"));
+}
+
+TEST(MachineConfigValidateTest, RejectsSlowTierInSlotZero) {
+  MachineConfig config;
+  config.tiers = {TierSpec::OptanePmem(1024), TierSpec::Dram(1024)};
+  EXPECT_TRUE(HasError(config.Validate(), "tier 0 must be the fast tier"));
+}
+
+TEST(MachineConfigValidateTest, RejectsZeroCapacityTier) {
+  MachineConfig config = MachineConfig::StandardTwoTier(4096);
+  config.tiers[1].capacity_pages = 0;
+  EXPECT_TRUE(HasError(config.Validate(), "capacity_pages must be > 0"));
+}
+
+TEST(MachineConfigValidateTest, RejectsZeroMigrationBandwidth) {
+  MachineConfig config = MachineConfig::StandardTwoTier(4096);
+  config.tiers[0].migration_bandwidth_bytes_per_sec = 0;
+  EXPECT_TRUE(HasError(config.Validate(), "migration bandwidth must be > 0"));
+}
+
+TEST(MachineConfigValidateTest, RejectsNegativeCostsAndZeroPeriods) {
+  MachineConfig config = MachineConfig::StandardTwoTier(4096);
+  config.demand_fault_cost = -1;
+  config.reclaim_check_period = 0;
+  config.process_quantum = 0;
+  config.reclaim_batch_limit = 0;
+  const std::vector<std::string> errors = config.Validate();
+  EXPECT_TRUE(HasError(errors, "demand_fault_cost must be >= 0"));
+  EXPECT_TRUE(HasError(errors, "reclaim_check_period must be > 0"));
+  EXPECT_TRUE(HasError(errors, "process_quantum must be > 0"));
+  EXPECT_TRUE(HasError(errors, "reclaim_batch_limit must be > 0"));
+}
+
+TEST(MachineConfigValidateTest, RejectsFractionalBandwidthScale) {
+  MachineConfig config = MachineConfig::StandardTwoTier(4096);
+  config.bandwidth_scale = 0.5;
+  EXPECT_TRUE(HasError(config.Validate(), "bandwidth_scale must be >= 1"));
+}
+
+TEST(MachineConfigValidateTest, RejectsBadMigrationKnobs) {
+  MachineConfig config = MachineConfig::StandardTwoTier(4096);
+  config.migration.max_copy_attempts = 0;
+  config.migration.source_inflight_page_limit = 0;
+  config.migration.retry_backoff = -1;
+  const std::vector<std::string> errors = config.Validate();
+  EXPECT_TRUE(HasError(errors, "migration.max_copy_attempts must be >= 1"));
+  EXPECT_TRUE(HasError(errors, "migration.source_inflight_page_limit must be > 0"));
+  EXPECT_TRUE(HasError(errors, "migration.retry_backoff must be >= 0"));
+}
+
+TEST(MachineConfigValidateTest, RejectsBadFaultPlan) {
+  MachineConfig config = MachineConfig::StandardTwoTier(4096);
+  config.fault.copy_fail_transient_p = 1.5;
+  config.fault.pressure_fire_p = -0.1;
+  config.fault.pressure_fraction = 1.0;
+  config.fault.stall_bandwidth_slowdown = 0.5;
+  const std::vector<std::string> errors = config.Validate();
+  EXPECT_TRUE(HasError(errors, "fault.copy_fail_transient_p must be a probability"));
+  EXPECT_TRUE(HasError(errors, "fault.pressure_fire_p must be a probability"));
+  EXPECT_TRUE(HasError(errors, "fault.pressure_fraction must be in [0, 1)"));
+  EXPECT_TRUE(HasError(errors, "fault.stall_bandwidth_slowdown must be >= 1"));
+}
+
+TEST(MachineConfigValidateDeathTest, InvalidConfigIsFatalAtConstruction) {
+  MachineConfig config = MachineConfig::StandardTwoTier(4096);
+  config.bandwidth_scale = 0.0;
+  EXPECT_DEATH({ Machine machine(config, std::make_unique<NullPolicy>()); },
+               "invalid MachineConfig");
+}
+
 }  // namespace
 }  // namespace chronotier

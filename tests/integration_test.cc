@@ -151,7 +151,7 @@ TEST(IntegrationTest, ChronoAdaptsToPhaseChange) {
       {"phased", [w] { return std::make_unique<HotsetStream>(w); }}};
 
   double late_fmar = 0;
-  Experiment::Run(SmallExperiment(), FindPolicy("Chrono"), procs, nullptr,
+  Experiment::Run(config, FindPolicy("Chrono"), procs, nullptr,
                   [&late_fmar](Machine& machine, ExperimentResult&) {
                     late_fmar = machine.metrics().Fmar();
                   });
