@@ -11,6 +11,8 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,11 +20,61 @@
 #include "src/common/table.h"
 #include "src/core/standard_policies.h"
 #include "src/harness/experiment.h"
+#include "src/harness/runner.h"
 #include "src/policies/scan_policy_base.h"
 #include "src/workloads/kvstore.h"
 #include "src/workloads/pmbench.h"
 
 namespace chronotier {
+
+// Shared `--jobs N` flag: how many experiments the parallel runner executes concurrently.
+// Defaults to hardware concurrency. `--jobs 1` reproduces the old serial sweep exactly —
+// the runner's determinism contract makes every other value print identical tables.
+inline int ParseJobsFlag(int argc, char** argv) {
+  int jobs = DefaultJobs();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[i + 1]);
+      ++i;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    }
+  }
+  return jobs < 1 ? 1 : jobs;
+}
+
+// One row of a sweep: a machine/experiment configuration plus the processes to run on it.
+// RunMatrix crosses rows with a policy lineup.
+struct MatrixRow {
+  std::string label;
+  ExperimentConfig config;
+  std::vector<ProcessSpec> processes;
+};
+
+// Runs |rows| x |policies| independent experiments through the parallel runner and returns
+// results indexed [row][policy], in input order (bit-identical to the serial nested loop
+// the figure benches used to run). `inspect`/`finish` apply to every cell and must only
+// touch the machine/result they are handed — cells run concurrently.
+inline std::vector<std::vector<ExperimentResult>> RunMatrix(
+    const std::vector<MatrixRow>& rows, const std::vector<NamedPolicyFactory>& policies,
+    int jobs, const Experiment::InspectFn& inspect = nullptr,
+    const Experiment::FinishFn& finish = nullptr) {
+  std::vector<ExperimentJob> batch;
+  batch.reserve(rows.size() * policies.size());
+  for (const MatrixRow& row : rows) {
+    for (const NamedPolicyFactory& policy : policies) {
+      batch.push_back(ExperimentJob{row.label + "/" + policy.name, row.config, policy.make,
+                                    row.processes, inspect, finish});
+    }
+  }
+  std::vector<ExperimentResult> flat = RunExperiments(batch, jobs);
+  std::vector<std::vector<ExperimentResult>> shaped(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    shaped[r].assign(std::make_move_iterator(flat.begin() + r * policies.size()),
+                     std::make_move_iterator(flat.begin() + (r + 1) * policies.size()));
+  }
+  return shaped;
+}
 
 // Miniature-machine factor: 256 GB testbed / 256 MB simulated.
 inline constexpr double kBenchBandwidthScale = 1024.0;

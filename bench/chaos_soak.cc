@@ -38,7 +38,7 @@ ct::FaultPlan SoakPlan(uint64_t seed) {
   return plan;
 }
 
-ct::ExperimentResult RunSoak(const ct::NamedPolicyFactory& named, uint64_t fault_seed) {
+ct::ExperimentConfig SoakMachine(uint64_t fault_seed) {
   ct::ExperimentConfig config;
   config.total_pages = (64ull << 20) / ct::kBasePageSize;  // 64 MB miniature machine.
   config.fast_fraction = 0.25;
@@ -48,39 +48,48 @@ ct::ExperimentResult RunSoak(const ct::NamedPolicyFactory& named, uint64_t fault
   config.seed = 42 + fault_seed;
   config.fault = SoakPlan(fault_seed);
   config.audit_period = 250 * ct::kMillisecond;
+  return config;
+}
 
-  std::vector<ct::ProcessSpec> procs = {ct::BenchPmbenchProc(/*working_set_mb=*/20, 0.5),
-                                        ct::BenchPmbenchProc(/*working_set_mb=*/20, 0.5)};
-
-  return ct::Experiment::Run(
-      config, named.make, procs, /*inspect=*/nullptr,
-      [](ct::Machine& machine, ct::ExperimentResult& result) {
-        // Transaction ledger must balance: nothing a fault touched may simply vanish.
-        // (Counters are from the measured window; in-flight work spans the boundary, so
-        // the retired side can only trail the submitted side.)
-        const uint64_t retired = result.migrations_committed + result.migrations_aborted +
-                                 result.migrations_parked;
-        CHECK_LE(retired, result.migrations_submitted +
-                              machine.migration().inflight_transactions())
-            << "policy " << result.policy_name << " lost track of migrations";
-        CHECK_GT(result.audits_run, 0u)
-            << "soak ran without a single audit — the run proves nothing";
-      });
+// Stateless per-run assertion — safe to share across concurrently running soak cells.
+void CheckLedger(ct::Machine& machine, ct::ExperimentResult& result) {
+  // Transaction ledger must balance: nothing a fault touched may simply vanish.
+  // (Counters are from the measured window; in-flight work spans the boundary, so
+  // the retired side can only trail the submitted side.)
+  const uint64_t retired = result.migrations_committed + result.migrations_aborted +
+                           result.migrations_parked;
+  CHECK_LE(retired, result.migrations_submitted +
+                        machine.migration().inflight_transactions())
+      << "policy " << result.policy_name << " lost track of migrations";
+  CHECK_GT(result.audits_run, 0u)
+      << "soak ran without a single audit — the run proves nothing";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ct::ParseJobsFlag(argc, argv);
   ct::PrintBanner("Chaos soak: all policies under randomized fault schedules");
   const auto policies = ct::StandardPolicySet(ct::BenchGeometry());
   const std::vector<uint64_t> fault_seeds = {7, 19};
 
+  std::vector<ct::MatrixRow> rows;
+  for (const uint64_t seed : fault_seeds) {
+    ct::MatrixRow row;
+    row.label = "seed-" + std::to_string(seed);
+    row.config = SoakMachine(seed);
+    row.processes = {ct::BenchPmbenchProc(/*working_set_mb=*/20, 0.5),
+                     ct::BenchPmbenchProc(/*working_set_mb=*/20, 0.5)};
+    rows.push_back(std::move(row));
+  }
+  const auto results = ct::RunMatrix(rows, policies, jobs, /*inspect=*/nullptr, CheckLedger);
+
   ct::TextTable table({"policy", "seed", "committed", "parked", "transient", "persistent",
                        "quarantined", "stalls", "spikes", "alloc refusals", "audits"});
-  for (const auto& named : policies) {
-    for (const uint64_t seed : fault_seeds) {
-      const ct::ExperimentResult r = RunSoak(named, seed);
-      table.AddRow({named.name, std::to_string(seed),
+  for (size_t p = 0; p < policies.size(); ++p) {
+    for (size_t s = 0; s < fault_seeds.size(); ++s) {
+      const ct::ExperimentResult& r = results[s][p];
+      table.AddRow({policies[p].name, std::to_string(fault_seeds[s]),
                     std::to_string(r.migrations_committed),
                     std::to_string(r.migrations_parked),
                     std::to_string(r.faults_injected_transient),

@@ -25,13 +25,17 @@ struct IdentificationResult {
   double ppr = 0;
 };
 
-IdentificationResult RunOne(const ct::PolicyFactory& make_policy) {
-  ct::ExperimentConfig config = ct::BenchMachine();
-  config.measure = 30 * ct::kSecond;
+// Builds one self-contained runner job: the streams handle and the output slot are private
+// to the job, so jobs from different policies can run concurrently.
+ct::ExperimentJob MakeJob(const ct::NamedPolicyFactory& named, IdentificationResult* out) {
+  ct::ExperimentJob job;
+  job.label = named.name;
+  job.config = ct::BenchMachine();
+  job.config.measure = 30 * ct::kSecond;
+  job.make_policy = named.make;
 
   // Keep handles on the concrete streams so the truth set is recoverable afterwards.
   auto streams = std::make_shared<std::vector<ct::PmbenchStream*>>();
-  std::vector<ct::ProcessSpec> procs;
   for (int p = 0; p < 2; ++p) {
     ct::PmbenchConfig w;
     w.working_set_bytes = 96ull << 20;
@@ -39,16 +43,14 @@ IdentificationResult RunOne(const ct::PolicyFactory& make_policy) {
     w.stride = 2;
     w.per_op_delay = 2 * ct::kMicrosecond;
     w.sequential_init = true;
-    procs.push_back({"pmbench", [w, streams] {
-                       auto stream = std::make_unique<ct::PmbenchStream>(w);
-                       streams->push_back(stream.get());
-                       return stream;
-                     }});
+    job.processes.push_back({"pmbench", [w, streams] {
+                               auto stream = std::make_unique<ct::PmbenchStream>(w);
+                               streams->push_back(stream.get());
+                               return stream;
+                             }});
   }
 
-  IdentificationResult out;
-  ct::Experiment::Run(config, make_policy, procs, nullptr,
-                      [&](ct::Machine& machine, ct::ExperimentResult& result) {
+  job.finish = [streams, out](ct::Machine& machine, ct::ExperimentResult& result) {
     ct::ClassificationStats stats;
     uint64_t touched_slow_pages = 0;
     for (size_t p = 0; p < machine.processes().size(); ++p) {
@@ -75,31 +77,43 @@ IdentificationResult RunOne(const ct::PolicyFactory& make_policy) {
         }
       });
     }
-    out.f1 = stats.F1();
-    out.precision = stats.Precision();
-    out.recall = stats.Recall();
-    out.ppr = touched_slow_pages == 0
-                  ? 0.0
-                  : static_cast<double>(result.promoted_pages) /
-                        static_cast<double>(touched_slow_pages);
-  });
-  return out;
+    out->f1 = stats.F1();
+    out->precision = stats.Precision();
+    out->recall = stats.Recall();
+    out->ppr = touched_slow_pages == 0
+                   ? 0.0
+                   : static_cast<double>(result.promoted_pages) /
+                         static_cast<double>(touched_slow_pages);
+  };
+  return job;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ct::ParseJobsFlag(argc, argv);
   std::printf("Figure 2(a): hot page identification efficiency (F1-score and PPR).\n");
   ct::PrintBanner("Fig 2(a): F1-score / precision / recall / PPR");
   ct::TextTable table({"policy", "F1-score", "precision", "recall", "PPR"});
+
+  std::vector<ct::NamedPolicyFactory> lineup;
   for (const auto& named : ct::StandardPolicySet(ct::BenchGeometry())) {
     if (named.name == "Linux-NB") {
       continue;  // The paper's Fig. 2a compares the five tiering systems.
     }
-    const IdentificationResult r = RunOne(named.make);
-    table.AddRow({named.name, ct::TextTable::Num(r.f1), ct::TextTable::Num(r.precision),
+    lineup.push_back(named);
+  }
+  std::vector<IdentificationResult> outs(lineup.size());
+  std::vector<ct::ExperimentJob> batch;
+  for (size_t i = 0; i < lineup.size(); ++i) {
+    batch.push_back(MakeJob(lineup[i], &outs[i]));
+  }
+  ct::RunExperiments(batch, jobs);
+
+  for (size_t i = 0; i < lineup.size(); ++i) {
+    const IdentificationResult& r = outs[i];
+    table.AddRow({lineup[i].name, ct::TextTable::Num(r.f1), ct::TextTable::Num(r.precision),
                   ct::TextTable::Num(r.recall), ct::TextTable::Num(std::min(r.ppr, 9.99))});
-    std::fflush(stdout);
   }
   table.Print();
   std::printf("Ideal: F1 -> 1, PPR -> small. Chrono should lead F1 at low PPR.\n");

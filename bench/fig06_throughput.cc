@@ -15,29 +15,36 @@ namespace ct = chronotier;
 
 namespace {
 
-void RunSubfigure(const char* title, int num_procs, uint64_t ws_mb, ct::SimDuration measure) {
+void RunSubfigure(const char* title, int num_procs, uint64_t ws_mb, ct::SimDuration measure,
+                  int jobs) {
   ct::PrintBanner(title);
   ct::TextTable table({"R/W ratio", "Linux-NB", "AutoTiering", "Multi-Clock", "TPP", "Memtis",
                        "Chrono", "best"});
   const auto policies = ct::StandardPolicySet(ct::BenchGeometry());
 
+  std::vector<ct::MatrixRow> rows;
+  for (const auto& [label, read_ratio] : ct::RwRatios()) {
+    ct::MatrixRow row;
+    row.label = label;
+    row.config = ct::BenchMachine();
+    row.config.measure = measure;
+    for (int p = 0; p < num_procs; ++p) {
+      row.processes.push_back(ct::BenchPmbenchProc(ws_mb, read_ratio));
+    }
+    rows.push_back(std::move(row));
+  }
+  const auto results = ct::RunMatrix(rows, policies, jobs);
+
   // Engine metrics are reported for the write-heaviest mix, where dirty aborts and
   // admission backpressure are most visible.
   std::vector<std::pair<std::string, ct::ExperimentResult>> engine_rows;
 
-  for (const auto& [label, read_ratio] : ct::RwRatios()) {
+  for (size_t r = 0; r < rows.size(); ++r) {
     std::vector<double> throughput;
-    for (const auto& named : policies) {
-      ct::ExperimentConfig config = ct::BenchMachine();
-      config.measure = measure;
-      std::vector<ct::ProcessSpec> procs;
-      for (int p = 0; p < num_procs; ++p) {
-        procs.push_back(ct::BenchPmbenchProc(ws_mb, read_ratio));
-      }
-      ct::ExperimentResult result = ct::Experiment::Run(config, named.make, procs);
-      throughput.push_back(result.throughput_ops);
-      if (read_ratio == ct::RwRatios().back().second) {
-        engine_rows.emplace_back(named.name, std::move(result));
+    for (size_t i = 0; i < policies.size(); ++i) {
+      throughput.push_back(results[r][i].throughput_ops);
+      if (r + 1 == rows.size()) {
+        engine_rows.emplace_back(policies[i].name, results[r][i]);
       }
     }
     const std::vector<double> normalized = ct::NormalizeToFirst(throughput);
@@ -47,10 +54,10 @@ void RunSubfigure(const char* title, int num_procs, uint64_t ws_mb, ct::SimDurat
         best = i;
       }
     }
-    table.AddRow({label, ct::TextTable::Num(normalized[0]), ct::TextTable::Num(normalized[1]),
-                  ct::TextTable::Num(normalized[2]), ct::TextTable::Num(normalized[3]),
-                  ct::TextTable::Num(normalized[4]), ct::TextTable::Num(normalized[5]),
-                  policies[best].name});
+    table.AddRow({rows[r].label, ct::TextTable::Num(normalized[0]),
+                  ct::TextTable::Num(normalized[1]), ct::TextTable::Num(normalized[2]),
+                  ct::TextTable::Num(normalized[3]), ct::TextTable::Num(normalized[4]),
+                  ct::TextTable::Num(normalized[5]), policies[best].name});
   }
   table.Print();
   std::printf("Migration engine (R/W = %s):\n", ct::RwRatios().back().first.c_str());
@@ -60,14 +67,15 @@ void RunSubfigure(const char* title, int num_procs, uint64_t ws_mb, ct::SimDurat
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ct::ParseJobsFlag(argc, argv);
   std::printf("Figure 6: pmbench normalized throughput (normalized to Linux-NB).\n");
   // (a) high concurrency, ~75% utilization (paper: 50 procs x 5 GB on 256 GB).
-  RunSubfigure("Fig 6(a): 2 procs x 96 MB (high utilization)", 2, 96, 30 * ct::kSecond);
+  RunSubfigure("Fig 6(a): 2 procs x 96 MB (high utilization)", 2, 96, 30 * ct::kSecond, jobs);
   // (b) ~94% utilization (paper: 32 procs x 8 GB = 100%).
   RunSubfigure("Fig 6(b): 2 procs x 120 MB (very high utilization)", 2, 120,
-               20 * ct::kSecond);
+               20 * ct::kSecond, jobs);
   // (c) 50% utilization (paper: 32 procs x 4 GB).
-  RunSubfigure("Fig 6(c): 2 procs x 64 MB (50% utilization)", 2, 64, 20 * ct::kSecond);
+  RunSubfigure("Fig 6(c): 2 procs x 64 MB (50% utilization)", 2, 64, 20 * ct::kSecond, jobs);
   return 0;
 }

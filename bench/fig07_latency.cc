@@ -46,47 +46,71 @@ void PrintBaselineCdf() {
   (void)unused;
 }
 
-void RunRatio(const char* title, double read_ratio) {
-  ct::PrintBanner(title);
-  ct::TextTable table(
-      {"policy", "avg (norm)", "median (norm)", "P99.9 (norm)", "avg (ns)", "P99.9 (ns)"});
-  std::vector<LatencyRow> rows;
-  std::vector<std::pair<std::string, ct::ExperimentResult>> engine_rows;
-  for (const auto& named : ct::StandardPolicySet(ct::BenchGeometry())) {
-    ct::ExperimentConfig config = ct::BenchMachine();
-    config.measure = 20 * ct::kSecond;
-    std::vector<ct::ProcessSpec> procs = {ct::BenchPmbenchProc(96, read_ratio),
-                                          ct::BenchPmbenchProc(96, read_ratio)};
-    double tail = 0;
-    ct::ExperimentResult result = ct::Experiment::Run(
-        config, named.make, procs, nullptr,
-        [&tail](ct::Machine& machine, ct::ExperimentResult&) {
-          tail = machine.metrics().LatencyPercentile(99.9);
-        });
-    rows.push_back({named.name, result.avg_latency_ns, result.median_latency_ns, tail});
-    engine_rows.emplace_back(named.name, std::move(result));
+// All four R/W ratios x six policies run as one 24-job batch through the parallel runner;
+// each job's finish lambda writes the P99.9 tail into its own slot.
+void RunRatios(int jobs) {
+  const auto policies = ct::StandardPolicySet(ct::BenchGeometry());
+  const struct {
+    const char* title;
+    double read_ratio;
+  } kRatios[] = {{"Fig 7(b): R/W = 95:5", 0.95},
+                 {"Fig 7(c): R/W = 70:30", 0.70},
+                 {"Fig 7(d): R/W = 30:70", 0.30},
+                 {"Fig 7(e): R/W = 5:95", 0.05}};
+  const size_t num_ratios = std::size(kRatios);
+
+  std::vector<double> tails(num_ratios * policies.size(), 0.0);
+  std::vector<ct::ExperimentJob> batch;
+  for (size_t r = 0; r < num_ratios; ++r) {
+    for (size_t i = 0; i < policies.size(); ++i) {
+      ct::ExperimentJob job;
+      job.label = std::string(kRatios[r].title) + "/" + policies[i].name;
+      job.config = ct::BenchMachine();
+      job.config.measure = 20 * ct::kSecond;
+      job.processes = {ct::BenchPmbenchProc(96, kRatios[r].read_ratio),
+                       ct::BenchPmbenchProc(96, kRatios[r].read_ratio)};
+      job.make_policy = policies[i].make;
+      double* tail_slot = &tails[r * policies.size() + i];
+      job.finish = [tail_slot](ct::Machine& machine, ct::ExperimentResult&) {
+        *tail_slot = machine.metrics().LatencyPercentile(99.9);
+      };
+      batch.push_back(std::move(job));
+    }
   }
-  const LatencyRow& base = rows.front();
-  for (const LatencyRow& row : rows) {
-    table.AddRow({row.name, ct::TextTable::Num(row.avg / base.avg),
-                  ct::TextTable::Num(row.median / base.median),
-                  ct::TextTable::Num(row.tail / base.tail), ct::TextTable::Num(row.avg, 0),
-                  ct::TextTable::Num(row.tail, 0)});
+  const std::vector<ct::ExperimentResult> results = ct::RunExperiments(batch, jobs);
+
+  for (size_t r = 0; r < num_ratios; ++r) {
+    ct::PrintBanner(kRatios[r].title);
+    ct::TextTable table(
+        {"policy", "avg (norm)", "median (norm)", "P99.9 (norm)", "avg (ns)", "P99.9 (ns)"});
+    std::vector<LatencyRow> rows;
+    std::vector<std::pair<std::string, ct::ExperimentResult>> engine_rows;
+    for (size_t i = 0; i < policies.size(); ++i) {
+      const ct::ExperimentResult& result = results[r * policies.size() + i];
+      rows.push_back({policies[i].name, result.avg_latency_ns, result.median_latency_ns,
+                      tails[r * policies.size() + i]});
+      engine_rows.emplace_back(policies[i].name, result);
+    }
+    const LatencyRow& base = rows.front();
+    for (const LatencyRow& row : rows) {
+      table.AddRow({row.name, ct::TextTable::Num(row.avg / base.avg),
+                    ct::TextTable::Num(row.median / base.median),
+                    ct::TextTable::Num(row.tail / base.tail), ct::TextTable::Num(row.avg, 0),
+                    ct::TextTable::Num(row.tail, 0)});
+    }
+    table.Print();
+    std::printf("Migration engine:\n");
+    ct::PrintMigrationEngineTable(engine_rows);
+    std::fflush(stdout);
   }
-  table.Print();
-  std::printf("Migration engine:\n");
-  ct::PrintMigrationEngineTable(engine_rows);
-  std::fflush(stdout);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ct::ParseJobsFlag(argc, argv);
   std::printf("Figure 7: pmbench latency, normalized to Linux-NB.\n");
   PrintBaselineCdf();
-  RunRatio("Fig 7(b): R/W = 95:5", 0.95);
-  RunRatio("Fig 7(c): R/W = 70:30", 0.70);
-  RunRatio("Fig 7(d): R/W = 30:70", 0.30);
-  RunRatio("Fig 7(e): R/W = 5:95", 0.05);
+  RunRatios(jobs);
   return 0;
 }

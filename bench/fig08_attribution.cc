@@ -10,23 +10,27 @@
 
 namespace ct = chronotier;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ct::ParseJobsFlag(argc, argv);
   std::printf("Figure 8: run-time characteristics (pmbench, R/W=95:5).\n");
   ct::PrintBanner("Fig 8: FMAR / kernel time / context switches");
 
+  const auto policies = ct::StandardPolicySet(ct::BenchGeometry());
+  ct::MatrixRow row;
+  row.label = "fig8";
+  row.config = ct::BenchMachine();
+  row.processes = {ct::BenchPmbenchProc(96, 0.95), ct::BenchPmbenchProc(96, 0.95)};
+  const auto results = ct::RunMatrix({row}, policies, jobs);
+
   ct::TextTable table({"policy", "FMAR", "kernel time", "ctx switches (/s)", "promoted pages",
                        "hint faults"});
-  for (const auto& named : ct::StandardPolicySet(ct::BenchGeometry())) {
-    ct::ExperimentConfig config = ct::BenchMachine();
-    std::vector<ct::ProcessSpec> procs = {ct::BenchPmbenchProc(96, 0.95),
-                                          ct::BenchPmbenchProc(96, 0.95)};
-    const ct::ExperimentResult result = ct::Experiment::Run(config, named.make, procs);
-    table.AddRow({named.name, ct::TextTable::Percent(result.fmar),
+  for (size_t i = 0; i < policies.size(); ++i) {
+    const ct::ExperimentResult& result = results[0][i];
+    table.AddRow({policies[i].name, ct::TextTable::Percent(result.fmar),
                   ct::TextTable::Percent(result.kernel_time_fraction, 2),
                   ct::TextTable::Num(result.context_switches_per_sec, 0),
                   ct::TextTable::Int(static_cast<long long>(result.promoted_pages)),
                   ct::TextTable::Int(static_cast<long long>(result.hint_faults))});
-    std::fflush(stdout);
   }
   table.Print();
   return 0;

@@ -19,32 +19,10 @@ namespace ct = chronotier;
 
 namespace {
 
-void RunPolicy(const ct::NamedPolicyFactory& named) {
-  ct::PrintBanner("Fig 9: DRAM page % history under " + named.name);
-  constexpr int kProcs = 8;
+constexpr int kProcs = 8;
 
-  ct::ExperimentConfig config = ct::BenchMachine();
-  config.warmup = 0;
-  config.measure = 100 * ct::kSecond;
-  config.residency_sample_interval = 10 * ct::kSecond;
-  config.page_kind = ct::PageSizeKind::kBase;  // Residency shares comparable across systems.
-
-  std::vector<ct::ProcessSpec> procs;
-  for (int i = 0; i < kProcs; ++i) {
-    ct::UniformConfig w;  // Paper: random access pattern per cgroup.
-    w.working_set_bytes = 24ull << 20;
-    w.read_ratio = 0.95;
-    w.per_op_delay = 2 * ct::kMicrosecond;
-    w.sequential_init = true;
-    ct::ProcessSpec spec{"cgroup-" + std::to_string(i),
-                         [w] { return std::make_unique<ct::UniformStream>(w); }};
-    // The i-th process stalls i extra delay units per access (paper: i x 50 cycles); the
-    // spread is ~3x hottest-to-coldest, matching the paper's 2.8x cgroup-0 : cgroup-49.
-    spec.access_delay = static_cast<ct::SimDuration>(i) * 600 * ct::kNanosecond;
-    procs.push_back(spec);
-  }
-
-  const ct::ExperimentResult result = ct::Experiment::Run(config, named.make, procs);
+void PrintPolicy(const std::string& name, const ct::ExperimentResult& result) {
+  ct::PrintBanner("Fig 9: DRAM page % history under " + name);
 
   std::vector<std::string> header = {"time"};
   for (int i = 0; i < kProcs; ++i) {
@@ -77,10 +55,35 @@ void RunPolicy(const ct::NamedPolicyFactory& named) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ct::ParseJobsFlag(argc, argv);
   std::printf("Figure 9: per-cgroup DRAM residency under graded access rates.\n");
-  for (const auto& named : ct::StandardPolicySet(ct::BenchGeometry())) {
-    RunPolicy(named);
+
+  ct::MatrixRow row;
+  row.label = "fig9";
+  row.config = ct::BenchMachine();
+  row.config.warmup = 0;
+  row.config.measure = 100 * ct::kSecond;
+  row.config.residency_sample_interval = 10 * ct::kSecond;
+  row.config.page_kind = ct::PageSizeKind::kBase;  // Residency comparable across systems.
+  for (int i = 0; i < kProcs; ++i) {
+    ct::UniformConfig w;  // Paper: random access pattern per cgroup.
+    w.working_set_bytes = 24ull << 20;
+    w.read_ratio = 0.95;
+    w.per_op_delay = 2 * ct::kMicrosecond;
+    w.sequential_init = true;
+    ct::ProcessSpec spec{"cgroup-" + std::to_string(i),
+                         [w] { return std::make_unique<ct::UniformStream>(w); }};
+    // The i-th process stalls i extra delay units per access (paper: i x 50 cycles); the
+    // spread is ~3x hottest-to-coldest, matching the paper's 2.8x cgroup-0 : cgroup-49.
+    spec.access_delay = static_cast<ct::SimDuration>(i) * 600 * ct::kNanosecond;
+    row.processes.push_back(spec);
+  }
+
+  const auto policies = ct::StandardPolicySet(ct::BenchGeometry());
+  const auto results = ct::RunMatrix({row}, policies, jobs);
+  for (size_t i = 0; i < policies.size(); ++i) {
+    PrintPolicy(policies[i].name, results[0][i]);
   }
   std::printf(
       "\nExpected: Linux-NB separates the hotness grades weakly (MRU promotion cannot rank\n"

@@ -139,29 +139,32 @@ void RunTuningHistories() {
   std::fflush(stdout);
 }
 
-double RunSensitivityPoint(ct::ChronoConfig config) {
-  ct::ExperimentConfig experiment = ct::BenchMachine(128);
-  experiment.warmup = 25 * ct::kSecond;
-  experiment.measure = 15 * ct::kSecond;
-  std::vector<ct::ProcessSpec> procs = {ct::BenchPmbenchProc(48, 0.95)};
-  const ct::ExperimentResult result = ct::Experiment::Run(
-      experiment, [config] { return std::make_unique<ct::ChronoPolicy>(config); }, procs);
-  return result.throughput_ops;
+ct::ExperimentJob SensitivityJob(std::string label, ct::ChronoConfig config) {
+  ct::ExperimentJob job;
+  job.label = std::move(label);
+  job.config = ct::BenchMachine(128);
+  job.config.warmup = 25 * ct::kSecond;
+  job.config.measure = 15 * ct::kSecond;
+  job.processes = {ct::BenchPmbenchProc(48, 0.95)};
+  job.make_policy = [config] { return std::make_unique<ct::ChronoPolicy>(config); };
+  return job;
 }
 
-void RunSensitivity() {
+void RunSensitivity(int jobs) {
   ct::PrintBanner("Fig 10(d): sensitivity to Scan-Step / Scan-Period / P-Victim / delta-step");
   const std::vector<double> factors = {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
 
   ct::TextTable table({"normalized parameter", "Scan-Step", "Scan-Period", "P-Victim",
                        "delta-step"});
-  std::vector<std::vector<double>> results(4);
+  // All 4 parameters x 7 factors run as one 28-job batch; batch order is
+  // [factor][parameter], matching the old serial nested loop.
+  std::vector<ct::ExperimentJob> batch;
   for (double factor : factors) {
     {
       ct::ChronoConfig c = BenchChronoConfig();
       c.geometry.scan_step_pages =
           std::max<uint64_t>(static_cast<uint64_t>(c.geometry.scan_step_pages * factor), 64);
-      results[0].push_back(RunSensitivityPoint(c));
+      batch.push_back(SensitivityJob("scan-step x" + std::to_string(factor), c));
     }
     {
       ct::ChronoConfig c = BenchChronoConfig();
@@ -169,20 +172,27 @@ void RunSensitivity() {
           std::max<ct::SimDuration>(static_cast<ct::SimDuration>(
                                         static_cast<double>(c.geometry.scan_period) * factor),
                                     ct::kSecond);
-      results[1].push_back(RunSensitivityPoint(c));
+      batch.push_back(SensitivityJob("scan-period x" + std::to_string(factor), c));
     }
     {
       ct::ChronoConfig c = BenchChronoConfig();
       c.p_victim *= factor;
       c.min_victims_per_process = std::max<uint64_t>(
           static_cast<uint64_t>(64 * factor), 8);
-      results[2].push_back(RunSensitivityPoint(c));
+      batch.push_back(SensitivityJob("p-victim x" + std::to_string(factor), c));
     }
     {
       ct::ChronoConfig c = BenchChronoConfig();
       c.tuning = ct::ChronoTuningMode::kSemiAuto;  // delta only drives the semi-auto loop.
       c.delta_step = std::min(c.delta_step * factor, 1.0);
-      results[3].push_back(RunSensitivityPoint(c));
+      batch.push_back(SensitivityJob("delta-step x" + std::to_string(factor), c));
+    }
+  }
+  const std::vector<ct::ExperimentResult> points = ct::RunExperiments(batch, jobs);
+  std::vector<std::vector<double>> results(4);
+  for (size_t f = 0; f < factors.size(); ++f) {
+    for (size_t param = 0; param < 4; ++param) {
+      results[param].push_back(points[f * 4 + param].throughput_ops);
     }
   }
   // Normalize each parameter's sweep to its own default (factor == 1.0).
@@ -201,10 +211,13 @@ void RunSensitivity() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ct::ParseJobsFlag(argc, argv);
   std::printf("Figure 10: parameter tuning effectiveness and sensitivity analysis.\n");
+  // (a)-(c) are stateful single runs (live observers mutating shared tables); only the
+  // 28-point sensitivity sweep fans out.
   RunCitCorrelation();
   RunTuningHistories();
-  RunSensitivity();
+  RunSensitivity(jobs);
   return 0;
 }

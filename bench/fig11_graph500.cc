@@ -37,21 +37,16 @@ ct::ProcessSpec GraphProc(int scale, ct::GraphKernel kernel, int roots) {
                          [config] { return std::make_unique<ct::Graph500Stream>(config); }};
 }
 
-double RunOne(const ct::PolicyFactory& make_policy, uint64_t machine_mb, int graph_scale,
-              ct::PageSizeKind kind) {
+ct::ExperimentConfig GraphMachine(uint64_t machine_mb, ct::PageSizeKind kind) {
   ct::ExperimentConfig config = ct::BenchMachine(machine_mb);
   config.run_to_completion = true;
   config.warmup = 0;
   config.measure = 30 * ct::kMinute;  // Deadline, not expected to bind.
   config.page_kind = kind;
-  // Two traversal processes: one BFS, one SSSP (the two Graph500 kernels).
-  std::vector<ct::ProcessSpec> procs = {GraphProc(graph_scale, ct::GraphKernel::kBfs, 4),
-                                        GraphProc(graph_scale, ct::GraphKernel::kSssp, 2)};
-  const ct::ExperimentResult result = ct::Experiment::Run(config, make_policy, procs);
-  return ct::ToSeconds(result.elapsed);
+  return config;
 }
 
-void RunExecutionTimes() {
+void RunExecutionTimes(int jobs) {
   ct::PrintBanner("Fig 11(a): Graph500 execution time (simulated seconds)");
   // Machine size fixed; graph scale varies the pressure (paper varies the working set
   // 128->256 GB on a fixed box). scale 13 ~ moderate, 14 ~ high pressure.
@@ -73,48 +68,62 @@ void RunExecutionTimes() {
   };
 
   const auto policies = ct::StandardPolicySet(GraphGeometry());
+  // All 6 pressure points x 6 policies as one 36-job batch.
+  std::vector<ct::MatrixRow> rows;
+  for (const Point& point : points) {
+    ct::MatrixRow row;
+    row.label = point.label;
+    row.config = GraphMachine(point.machine_mb, point.kind);
+    // Two traversal processes: one BFS, one SSSP (the two Graph500 kernels).
+    row.processes = {GraphProc(point.scale, ct::GraphKernel::kBfs, 4),
+                     GraphProc(point.scale, ct::GraphKernel::kSssp, 2)};
+    rows.push_back(std::move(row));
+  }
+  const auto results = ct::RunMatrix(rows, policies, jobs);
+
   ct::TextTable table({"pressure", "Linux-NB", "AutoTiering", "Multi-Clock", "TPP", "Memtis",
                        "Chrono", "fastest"});
-  for (const Point& point : points) {
+  for (size_t p = 0; p < rows.size(); ++p) {
     std::vector<double> seconds;
-    for (const auto& named : policies) {
-      seconds.push_back(RunOne(named.make, point.machine_mb, point.scale, point.kind));
+    for (const ct::ExperimentResult& result : results[p]) {
+      seconds.push_back(ct::ToSeconds(result.elapsed));
     }
-
     size_t best = 0;
     for (size_t i = 1; i < seconds.size(); ++i) {
       if (seconds[i] < seconds[best]) {
         best = i;
       }
     }
-    std::vector<std::string> row = {point.label};
+    std::vector<std::string> row = {rows[p].label};
     for (double s : seconds) {
       row.push_back(ct::TextTable::Num(s, 1));
     }
     row.push_back(policies[best].name);
     table.AddRow(row);
-    std::fflush(stdout);
   }
   table.Print();
+  std::fflush(stdout);
 }
 
-void RunSensitivity() {
+void RunSensitivity(int jobs) {
   ct::PrintBanner("Fig 11(b): Graph500 sensitivity to Chrono parameters");
-  auto run_point = [](ct::ChronoConfig config) {
-    ct::ExperimentConfig experiment = ct::BenchMachine(128);
-    experiment.run_to_completion = true;
-    experiment.warmup = 0;
-    experiment.measure = 30 * ct::kMinute;
-    std::vector<ct::ProcessSpec> procs = {GraphProc(16, ct::GraphKernel::kBfs, 4)};
-    const ct::ExperimentResult result = ct::Experiment::Run(
-        experiment, [config] { return std::make_unique<ct::ChronoPolicy>(config); }, procs);
-    return ct::ToSeconds(result.elapsed);
+  auto make_job = [](std::string label, ct::ChronoConfig config) {
+    ct::ExperimentJob job;
+    job.label = std::move(label);
+    job.config = ct::BenchMachine(128);
+    job.config.run_to_completion = true;
+    job.config.warmup = 0;
+    job.config.measure = 30 * ct::kMinute;
+    job.processes = {GraphProc(16, ct::GraphKernel::kBfs, 4)};
+    job.make_policy = [config] { return std::make_unique<ct::ChronoPolicy>(config); };
+    return job;
   };
 
   const std::vector<double> factors = {0.25, 1.0, 4.0};
   ct::TextTable table({"normalized parameter", "Scan-Step", "Scan-Period", "P-Victim",
                        "delta-step"});
-  std::vector<std::vector<double>> results(4);
+  // 3 factors x 4 parameters as one 12-job batch, in [factor][parameter] order.
+  std::vector<ct::ExperimentJob> batch;
   for (double factor : factors) {
     ct::ChronoConfig base = ct::ChronoConfig::Full();
     base.geometry = GraphGeometry();
@@ -122,25 +131,32 @@ void RunSensitivity() {
       ct::ChronoConfig c = base;
       c.geometry.scan_step_pages =
           std::max<uint64_t>(static_cast<uint64_t>(c.geometry.scan_step_pages * factor), 64);
-      results[0].push_back(run_point(c));
+      batch.push_back(make_job("scan-step x" + std::to_string(factor), c));
     }
     {
       ct::ChronoConfig c = base;
       c.geometry.scan_period = std::max<ct::SimDuration>(
           static_cast<ct::SimDuration>(static_cast<double>(c.geometry.scan_period) * factor),
           ct::kSecond);
-      results[1].push_back(run_point(c));
+      batch.push_back(make_job("scan-period x" + std::to_string(factor), c));
     }
     {
       ct::ChronoConfig c = base;
       c.p_victim *= factor;
-      results[2].push_back(run_point(c));
+      batch.push_back(make_job("p-victim x" + std::to_string(factor), c));
     }
     {
       ct::ChronoConfig c = base;
       c.tuning = ct::ChronoTuningMode::kSemiAuto;
       c.delta_step = std::min(c.delta_step * factor, 1.0);
-      results[3].push_back(run_point(c));
+      batch.push_back(make_job("delta-step x" + std::to_string(factor), c));
+    }
+  }
+  const std::vector<ct::ExperimentResult> points = ct::RunExperiments(batch, jobs);
+  std::vector<std::vector<double>> results(4);
+  for (size_t f = 0; f < factors.size(); ++f) {
+    for (size_t param = 0; param < 4; ++param) {
+      results[param].push_back(ct::ToSeconds(points[f * 4 + param].elapsed));
     }
   }
   const size_t default_index = 1;
@@ -158,9 +174,10 @@ void RunSensitivity() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ct::ParseJobsFlag(argc, argv);
   std::printf("Figure 11: Graph500 (BFS + SSSP on Kronecker graphs).\n");
-  RunExecutionTimes();
-  RunSensitivity();
+  RunExecutionTimes(jobs);
+  RunSensitivity(jobs);
   return 0;
 }

@@ -15,7 +15,7 @@ namespace ct = chronotier;
 
 namespace {
 
-void RunStore(const char* title, uint64_t num_items, uint64_t value_bytes) {
+void RunStore(const char* title, uint64_t num_items, uint64_t value_bytes, int jobs) {
   ct::PrintBanner(title);
   ct::TextTable table({"SET:GET", "Linux-NB", "AutoTiering", "Multi-Clock", "TPP", "Memtis",
                        "Chrono", "best"});
@@ -23,16 +23,22 @@ void RunStore(const char* title, uint64_t num_items, uint64_t value_bytes) {
 
   const std::vector<std::pair<std::string, double>> mixes = {{"1:10", 1.0 / 11.0},
                                                              {"1:1", 0.5}};
+  std::vector<ct::MatrixRow> rows;
   for (const auto& [label, set_fraction] : mixes) {
+    ct::MatrixRow row;
+    row.label = label;
+    row.config = ct::BenchMachine();
+    row.config.warmup = 25 * ct::kSecond;  // Covers sequential initialization + settling.
+    row.config.measure = 20 * ct::kSecond;
+    row.processes = {ct::BenchKvProc("kv-0", num_items, value_bytes, set_fraction),
+                     ct::BenchKvProc("kv-1", num_items, value_bytes, set_fraction)};
+    rows.push_back(std::move(row));
+  }
+  const auto results = ct::RunMatrix(rows, policies, jobs);
+
+  for (size_t m = 0; m < rows.size(); ++m) {
     std::vector<double> throughput;
-    for (const auto& named : policies) {
-      ct::ExperimentConfig config = ct::BenchMachine();
-      config.warmup = 25 * ct::kSecond;  // Covers sequential initialization + settling.
-      config.measure = 20 * ct::kSecond;
-      std::vector<ct::ProcessSpec> procs = {
-          ct::BenchKvProc("kv-0", num_items, value_bytes, set_fraction),
-          ct::BenchKvProc("kv-1", num_items, value_bytes, set_fraction)};
-      const ct::ExperimentResult result = ct::Experiment::Run(config, named.make, procs);
+    for (const ct::ExperimentResult& result : results[m]) {
       throughput.push_back(result.throughput_ops);
     }
     const std::vector<double> normalized = ct::NormalizeToFirst(throughput);
@@ -42,22 +48,23 @@ void RunStore(const char* title, uint64_t num_items, uint64_t value_bytes) {
         best = i;
       }
     }
-    table.AddRow({label, ct::TextTable::Num(normalized[0]), ct::TextTable::Num(normalized[1]),
-                  ct::TextTable::Num(normalized[2]), ct::TextTable::Num(normalized[3]),
-                  ct::TextTable::Num(normalized[4]), ct::TextTable::Num(normalized[5]),
-                  policies[best].name});
-    std::fflush(stdout);
+    table.AddRow({rows[m].label, ct::TextTable::Num(normalized[0]),
+                  ct::TextTable::Num(normalized[1]), ct::TextTable::Num(normalized[2]),
+                  ct::TextTable::Num(normalized[3]), ct::TextTable::Num(normalized[4]),
+                  ct::TextTable::Num(normalized[5]), policies[best].name});
   }
   table.Print();
+  std::fflush(stdout);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ct::ParseJobsFlag(argc, argv);
   std::printf("Figure 12: KV-store throughput (normalized to Linux-NB).\n");
   // Memcached stand-in: small values, larger item count.
-  RunStore("Fig 12(a): Memcached (256 B values, 300k items/proc)", 300000, 256);
+  RunStore("Fig 12(a): Memcached (256 B values, 300k items/proc)", 300000, 256, jobs);
   // Redis stand-in: larger values.
-  RunStore("Fig 12(b): Redis (512 B values, 180k items/proc)", 180000, 512);
+  RunStore("Fig 12(b): Redis (512 B values, 180k items/proc)", 180000, 512, jobs);
   return 0;
 }

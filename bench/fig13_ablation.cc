@@ -13,7 +13,8 @@
 
 namespace ct = chronotier;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ct::ParseJobsFlag(argc, argv);
   std::printf("Figure 13: Chrono design-choice ablation (normalized to Linux-NB).\n");
   ct::PrintBanner("Fig 13: pmbench throughput by variant and R/W ratio");
 
@@ -24,34 +25,40 @@ int main() {
   }
   ct::TextTable table(header);
 
+  std::vector<ct::MatrixRow> rows;
+  for (const auto& [label, read_ratio] : ct::RwRatios()) {
+    ct::MatrixRow row;
+    row.label = label;
+    row.config = ct::BenchMachine();
+    row.config.measure = 25 * ct::kSecond;
+    row.processes = {ct::BenchPmbenchProc(96, read_ratio),
+                     ct::BenchPmbenchProc(96, read_ratio)};
+    rows.push_back(std::move(row));
+  }
+  const auto results = ct::RunMatrix(rows, variants, jobs);
+
   ct::TextTable detail({"variant", "throughput (norm, 95:5)", "FMAR", "promoted pages",
                         "thrash events"});
-  for (const auto& [label, read_ratio] : ct::RwRatios()) {
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const double read_ratio = ct::RwRatios()[r].second;
     std::vector<double> throughput;
-    for (const auto& named : variants) {
-      ct::ExperimentConfig config = ct::BenchMachine();
-      config.measure = 25 * ct::kSecond;
-      std::vector<ct::ProcessSpec> procs = {ct::BenchPmbenchProc(96, read_ratio),
-                                            ct::BenchPmbenchProc(96, read_ratio)};
-      const ct::ExperimentResult result = ct::Experiment::Run(config, named.make, procs);
+    for (size_t i = 0; i < variants.size(); ++i) {
+      const ct::ExperimentResult& result = results[r][i];
       throughput.push_back(result.throughput_ops);
       if (read_ratio == 0.95) {
-        detail.AddRow({named.name,
-                       ct::TextTable::Num(result.throughput_ops / (throughput.empty()
-                                                                       ? result.throughput_ops
-                                                                       : throughput.front())),
+        detail.AddRow({variants[i].name,
+                       ct::TextTable::Num(result.throughput_ops / throughput.front()),
                        ct::TextTable::Percent(result.fmar),
                        ct::TextTable::Int(static_cast<long long>(result.promoted_pages)),
                        ct::TextTable::Int(static_cast<long long>(result.thrash_events))});
       }
     }
     const std::vector<double> normalized = ct::NormalizeToFirst(throughput);
-    std::vector<std::string> row = {label};
+    std::vector<std::string> row = {rows[r].label};
     for (double value : normalized) {
       row.push_back(ct::TextTable::Num(value));
     }
     table.AddRow(row);
-    std::fflush(stdout);
   }
   table.Print();
   ct::PrintBanner("Fig 13 detail (R/W=95:5): mechanism-level effects of the variants");

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
@@ -14,6 +16,7 @@
 #include "src/core/estimator.h"
 #include "src/core/promotion_queue.h"
 #include "src/migration/migration_engine.h"
+#include "src/sim/event_queue.h"
 #include "src/vm/address_space.h"
 #include "src/vm/scanner.h"
 
@@ -129,6 +132,54 @@ void BM_SelectionEfficiencyNumeric(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SelectionEfficiencyNumeric);
+
+// --- Event queue ---
+
+// Cost of one periodic firing (re-arm + dispatch). The queue used to deep-copy the
+// callback's captures on every firing; it now moves the stored std::function out and back,
+// so this should be flat in the capture size (see BM_PeriodicRearmLargeCapture).
+void BM_PeriodicRearm(benchmark::State& state) {
+  ct::EventQueue queue;
+  uint64_t fired = 0;
+  queue.SchedulePeriodic(ct::kMillisecond, [&fired](ct::SimTime) { ++fired; });
+  for (auto _ : state) {
+    queue.RunNext();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(fired));
+}
+BENCHMARK(BM_PeriodicRearm);
+
+// Same, but the callback's captures exceed std::function's small-buffer optimization —
+// with per-firing copies this heap-allocated every tick; with move re-arm it never does.
+void BM_PeriodicRearmLargeCapture(benchmark::State& state) {
+  ct::EventQueue queue;
+  uint64_t fired = 0;
+  std::array<uint64_t, 16> payload{};  // 128 B: safely past any SBO inline buffer.
+  queue.SchedulePeriodic(ct::kMillisecond, [&fired, payload](ct::SimTime) {
+    fired += payload[0] + 1;
+  });
+  for (auto _ : state) {
+    queue.RunNext();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(fired));
+}
+BENCHMARK(BM_PeriodicRearmLargeCapture);
+
+// One-shot schedule + dispatch, the other high-frequency queue pattern (migration
+// completions, fault windows).
+void BM_OneShotScheduleAndRun(benchmark::State& state) {
+  ct::EventQueue queue;
+  uint64_t fired = 0;
+  for (auto _ : state) {
+    queue.ScheduleAfter(ct::kMillisecond, [&fired](ct::SimTime) { ++fired; });
+    queue.RunNext();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(fired));
+}
+BENCHMARK(BM_OneShotScheduleAndRun);
 
 // --- Migration engine ---
 

@@ -20,11 +20,15 @@ namespace ct = chronotier;
 namespace {
 
 // Two-class workload: 25% of pages take 90% of accesses; the rest still get touched
-// several times per scan period.
-double MeasureSelectivity(const ct::PolicyFactory& make_policy) {
-  ct::ExperimentConfig config = ct::BenchMachine();
-  config.measure = 25 * ct::kSecond;
-  config.page_kind = ct::PageSizeKind::kBase;  // Equal footing for the probe.
+// several times per scan period. Each job owns its streams handle and output slot, so the
+// per-policy probes run concurrently through the runner.
+ct::ExperimentJob SelectivityJob(const ct::NamedPolicyFactory& named, double* selectivity) {
+  ct::ExperimentJob job;
+  job.label = named.name;
+  job.config = ct::BenchMachine();
+  job.config.measure = 25 * ct::kSecond;
+  job.config.page_kind = ct::PageSizeKind::kBase;  // Equal footing for the probe.
+  job.make_policy = named.make;
 
   auto streams = std::make_shared<std::vector<ct::HotsetStream*>>();
   ct::HotsetConfig w;
@@ -33,18 +37,15 @@ double MeasureSelectivity(const ct::PolicyFactory& make_policy) {
   w.hot_access_fraction = 0.9;
   w.per_op_delay = 2 * ct::kMicrosecond;
   w.sequential_init = true;
-  std::vector<ct::ProcessSpec> procs;
   for (int p = 0; p < 2; ++p) {
-    procs.push_back({"probe", [w, streams] {
-                       auto stream = std::make_unique<ct::HotsetStream>(w);
-                       streams->push_back(stream.get());
-                       return stream;
-                     }});
+    job.processes.push_back({"probe", [w, streams] {
+                               auto stream = std::make_unique<ct::HotsetStream>(w);
+                               streams->push_back(stream.get());
+                               return stream;
+                             }});
   }
 
-  double selectivity = 0;
-  ct::Experiment::Run(config, make_policy, procs, nullptr,
-                      [&](ct::Machine& machine, ct::ExperimentResult&) {
+  job.finish = [streams, selectivity](ct::Machine& machine, ct::ExperimentResult&) {
     uint64_t fast_pages = 0;
     uint64_t fast_hot_pages = 0;
     for (size_t p = 0; p < machine.processes().size(); ++p) {
@@ -61,16 +62,17 @@ double MeasureSelectivity(const ct::PolicyFactory& make_policy) {
         }
       });
     }
-    selectivity = fast_pages == 0
-                      ? 0.0
-                      : static_cast<double>(fast_hot_pages) / static_cast<double>(fast_pages);
-  });
-  return selectivity;
+    *selectivity = fast_pages == 0
+                       ? 0.0
+                       : static_cast<double>(fast_hot_pages) / static_cast<double>(fast_pages);
+  };
+  return job;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ct::ParseJobsFlag(argc, argv);
   std::printf("Table 1: design characteristics + measured frequency discrimination.\n");
   ct::PrintBanner("Table 1: characteristics of recent tiered-memory systems");
 
@@ -95,10 +97,15 @@ int main() {
   ct::TextTable table({"solution", "type", "migration criterion", "effective freq scale",
                        "default page", "measured selectivity"});
   const auto policies = ct::StandardPolicySet(ct::BenchGeometry());
+  std::vector<double> selectivities(policies.size(), 0.0);
+  std::vector<ct::ExperimentJob> batch;
   for (size_t i = 0; i < policies.size(); ++i) {
-    const double selectivity = MeasureSelectivity(policies[i].make);
+    batch.push_back(SelectivityJob(policies[i], &selectivities[i]));
+  }
+  ct::RunExperiments(batch, jobs);
+  for (size_t i = 0; i < policies.size(); ++i) {
     table.AddRow({rows[i].name, rows[i].type, rows[i].criterion, rows[i].scale,
-                  rows[i].page_size, ct::TextTable::Percent(selectivity)});
+                  rows[i].page_size, ct::TextTable::Percent(selectivities[i])});
     if (i == 2) {
       // The paper's table also lists Telescope and FlexMem; they are not among the five
       // systems the evaluation section runs, so this reproduction documents them only.

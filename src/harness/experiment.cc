@@ -21,6 +21,7 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   machine_config.bandwidth_scale = config.bandwidth_scale;
   machine_config.fault = config.fault;
   machine_config.audit_period = config.audit_period;
+  machine_config.enable_translation_cache = config.enable_translation_cache;
   Machine machine(machine_config, std::move(policy));
 
   for (size_t i = 0; i < process_specs.size(); ++i) {
@@ -85,6 +86,7 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   result.copy_bandwidth_utilization = migration.CopyBandwidthUtilization(
       result.elapsed, machine.migration().num_channels());
   result.migrations_parked = migration.TotalParked();
+  result.migration_commit_hash = migration.commit_sequence_hash;
   result.faults_injected_transient = migration.injected_transient_faults;
   result.faults_injected_persistent = migration.injected_persistent_faults;
   result.frames_quarantined = migration.quarantined_pages;

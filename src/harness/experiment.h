@@ -40,6 +40,9 @@ struct ExperimentConfig {
   // MachineConfig. Every experiment ends with a final audit that CHECK-fails on violation.
   FaultPlan fault;
   SimDuration audit_period = kSecond;
+  // Access-path fast lane (MachineConfig::enable_translation_cache). On by default; the
+  // equivalence tests and bench/sim_throughput run both settings and compare.
+  bool enable_translation_cache = true;
 };
 
 struct ExperimentResult {
@@ -81,6 +84,10 @@ struct ExperimentResult {
   uint64_t pressure_spikes = 0;
   uint64_t stall_windows = 0;
   uint64_t audits_run = 0;
+
+  // FNV-1a over (owner, vpn, target, commit time) in commit order. Deterministic-replay
+  // fingerprint: TLB-on/off and parallel/serial runs of the same config must agree on it.
+  uint64_t migration_commit_hash = 0;
 
   // Residency time series (per process, per sample) and the sample times.
   std::vector<SimTime> sample_times;

@@ -266,15 +266,82 @@ SimDuration Machine::ExecuteOp(Process& process, const MemOp& op) {
   return total;
 }
 
+SimDuration Machine::FastPathAccess(Process& process, PageInfo& unit, bool is_store) {
+  // Mirrors the tail of the slow path exactly for a present, non-PROT_NONE, non-migrating
+  // unit with PEBS inactive: device charge, accessed/dirty maintenance, store-generation
+  // bump, oracle bookkeeping, metrics. Any divergence here breaks the TLB-on/off
+  // equivalence contract (tests/tlb_test.cc).
+  const SimTime now = std::max(process.clock(), queue_.now());
+  const SimDuration latency = memory_.node(unit.node).AccessLatency(is_store);
+
+  unit.Set(kPageAccessed);
+  if (is_store) {
+    unit.Set(kPageDirty);
+    ++unit.write_gen;
+  }
+  unit.oracle_last_access = now;
+  ++unit.oracle_access_count;
+  if (unit.node != kFastNode) {
+    unit.Set(kPageOracleTouchedSlow);
+  }
+
+  metrics_.CountAccess(is_store, unit.node == kFastNode, latency);
+  return latency;
+}
+
+void Machine::InvalidateTranslationsFor(const PageInfo& unit) {
+  Process* owner = ProcessByPid(unit.owner);
+  if (owner == nullptr) {
+    return;
+  }
+  // A huge head aggregates up to 512 tail vpns; over-invalidating a short or already-split
+  // group is harmless (it only evicts entries that would re-install on the next touch), so
+  // the flag alone decides the range and no VMA walk is needed on this path.
+  const uint64_t pages = unit.huge_head() ? kBasePagesPerHugePage : 1;
+  owner->tlb().InvalidateRange(unit.vpn, pages);
+}
+
+Machine::TlbCounters Machine::TlbStats() const {
+  TlbCounters total;
+  for (const auto& process : processes_) {
+    const TranslationCache& tlb = process->tlb();
+    total.hits += tlb.hits();
+    total.misses += tlb.misses();
+    total.invalidations += tlb.invalidations();
+  }
+  return total;
+}
+
 SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_store) {
   const uint64_t vpn = vaddr / kBasePageSize;
-  Vma* vma = process.aspace().FindVma(vpn);
-  CHECK(vma != nullptr) << SimError("access to unmapped virtual page", queue_.now())
-                               .Add("vpn", vpn)
-                               .Add("pid", process.pid())
-                               .Add("process", process.name())
-                               .Format()
-                        << "\n" << FatalDump();
+  TranslationCache& tlb = process.tlb();
+
+  // Fast lane: a cached translation whose unit still satisfies the fast-path flag mask
+  // (present, not PROT_NONE, not migrating) skips VMA resolution and fault handling
+  // entirely. PEBS sampling observes every access, so the lane is bypassed while active.
+  if (config_.enable_translation_cache && !pebs_active_) {
+    if (PageInfo* cached = tlb.Lookup(vpn)) {
+      if ((cached->flags & TranslationCache::kFastPathMask) == kPagePresent) {
+        return FastPathAccess(process, *cached, is_store);
+      }
+      // Stale entry (poisoned, migrating, or demand-fault pending): drop it and take the
+      // slow path, which re-installs once the unit settles.
+      tlb.Invalidate(vpn);
+    }
+  }
+
+  // Slow path. The last-hit VMA short-circuits FindVma for the common same-region miss.
+  Vma* vma = tlb.last_vma();
+  if (vma == nullptr || !vma->Contains(vpn)) {
+    vma = process.aspace().FindVma(vpn);
+    CHECK(vma != nullptr) << SimError("access to unmapped virtual page", queue_.now())
+                                 .Add("vpn", vpn)
+                                 .Add("pid", process.pid())
+                                 .Add("process", process.name())
+                                 .Format()
+                          << "\n" << FatalDump();
+    tlb.set_last_vma(vma);
+  }
   PageInfo& unit = vma->HotnessUnit(vpn);
   const SimTime now = std::max(process.clock(), queue_.now());
   SimDuration latency = 0;
@@ -319,6 +386,13 @@ SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_stor
   }
 
   metrics_.CountAccess(is_store, unit.node == kFastNode, latency);
+
+  // Install the translation for the next touch. Only fully fast-lane-eligible units are
+  // cached; everything else (just-poisoned, migrating, refused allocation) re-resolves.
+  if (config_.enable_translation_cache &&
+      (unit.flags & TranslationCache::kFastPathMask) == kPagePresent) {
+    tlb.Insert(vpn, &unit);
+  }
   return latency;
 }
 
@@ -377,6 +451,9 @@ void Machine::ReclaimForPromotion(uint64_t pages) {
 void Machine::ApplyMigration(Vma& vma, PageInfo& unit, NodeId from, NodeId to) {
   const uint64_t pages = vma.UnitPages(unit.vpn);
   const bool is_promotion = to == kFastNode;
+  // The unit's backing node changes under the commit's unmap-remap window: any cached
+  // translation must be re-resolved (the engine clears kPageMigrating only after this).
+  InvalidateTranslationsFor(unit);
 
   lrus_[static_cast<size_t>(from)].Erase(&unit);
   unit.node = to;
@@ -425,6 +502,10 @@ bool Machine::SplitHugeUnit(Vma& vma, PageInfo& head) {
     return false;
   }
   const NodeId node = head.node;
+  // Splitting remaps every tail vpn from the group head to its own base page: cached
+  // head-translations for those vpns are the one genuinely stale-pointer hazard the
+  // fast lane has, so this invalidation is load-bearing (tests/tlb_test.cc covers it).
+  InvalidateTranslationsFor(head);
   vma.SplitGroup(group);
   // The head stays on its LRU list; split-out base pages join the same node's inactive list
   // (they have no individual access history yet).

@@ -63,6 +63,13 @@ struct MachineConfig {
 
   uint64_t seed = 42;
 
+  // Access-path fast lane: per-process software translation cache (last-hit VMA + a small
+  // direct-mapped vpn -> hotness-unit TLB) consulted at the top of AccessMemory. Results
+  // are bit-identical with it on or off (the fast lane replays exactly the slow path's
+  // present/!PROT_NONE/!migrating tail); the switch exists for equivalence tests and for
+  // measuring the fast lane's contribution in bench/sim_throughput.
+  bool enable_translation_cache = true;
+
   // Fault-injection plan (disabled by default). When enabled, genuine allocation
   // exhaustion degrades gracefully instead of being fatal: the demand fault is refused,
   // the page stays absent, and the access is charged `alloc_retry_stall` before retrying
@@ -129,10 +136,12 @@ class Machine : private MigrationEnv {
   // Resolves the VMA containing a page (via its owner process).
   Vma* ResolveVma(const PageInfo& page);
 
-  // Marks a hotness unit PROT_NONE so the next access takes a hint fault.
+  // Marks a hotness unit PROT_NONE so the next access takes a hint fault. Drops any cached
+  // translation for the unit so the fast lane cannot skip the fault.
   void PoisonUnit(PageInfo& unit) {
     if (unit.present()) {
       unit.Set(kPageProtNone);
+      InvalidateTranslationsFor(unit);
     }
   }
 
@@ -165,6 +174,20 @@ class Machine : private MigrationEnv {
 
   TieringPolicy& policy() { return *policy_; }
 
+  // Aggregate translation-cache counters across all processes (bench reporting; not part
+  // of ExperimentResult so TLB-on/off runs stay field-for-field comparable).
+  struct TlbCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+  };
+  TlbCounters TlbStats() const;
+
+  // Drops every cached translation covering `unit` from its owner's TLB. Called on any
+  // transition that ends the unit's fast-lane eligibility (PROT_NONE poisoning, migration
+  // submit/commit) or remaps vpns to different units (huge-group split).
+  void InvalidateTranslationsFor(const PageInfo& unit);
+
  private:
   struct WorkloadBinding {
     std::unique_ptr<AccessStream> stream;
@@ -174,6 +197,10 @@ class Machine : private MigrationEnv {
   // Executes one op for `process`; returns the total latency charged (think + access).
   SimDuration ExecuteOp(Process& process, const MemOp& op);
   SimDuration AccessMemory(Process& process, uint64_t vaddr, bool is_store);
+  // The fast lane: device charge + flag/metrics update for a cached, present,
+  // non-PROT_NONE, non-migrating unit with PEBS inactive. Must stay byte-for-byte
+  // equivalent to the tail of the slow path under the same conditions.
+  SimDuration FastPathAccess(Process& process, PageInfo& unit, bool is_store);
   SimDuration HandleDemandFault(Process& process, Vma& vma, PageInfo& unit);
   void RunProcessUntil(Process& process, WorkloadBinding& binding, SimTime horizon);
   void ReclaimTick(SimTime now);
@@ -181,6 +208,10 @@ class Machine : private MigrationEnv {
   // --- MigrationEnv (the engine's view of the machine) ---
   void ReclaimForPromotion(uint64_t pages) override;
   void ApplyMigration(Vma& vma, PageInfo& unit, NodeId from, NodeId to) override;
+  void OnUnitMigrationStateChanged(Vma& vma, PageInfo& unit) override {
+    (void)vma;
+    InvalidateTranslationsFor(unit);
+  }
   void ChargeMigrationKernelTime(SimDuration d) override {
     metrics_.ChargeKernel(KernelWork::kMigration, d);
   }

@@ -1,0 +1,48 @@
+// Parallel experiment runner.
+//
+// Every figure bench sweeps policies x configurations, and each Experiment::Run builds a
+// fully self-contained Machine (own RNGs, event queue, metrics, fault injector) — the runs
+// are embarrassingly parallel. This runner executes a batch of such runs on a small thread
+// pool and returns results in submission order, so a bench's tables are bit-identical to a
+// serial sweep no matter how the scheduler interleaves the workers.
+//
+// Determinism contract (tests/runner_test.cc, DESIGN.md "Hot path & parallel harness"):
+//   - a job must not share mutable state with any other job. Everything an Experiment
+//     touches is owned by its Machine; job factories (PolicyFactory, StreamFactory) must be
+//     pure functions of their captures.
+//   - results land in the slot matching the job's index, whatever the completion order.
+//   - jobs <= 1 runs inline on the calling thread; the output is identical either way.
+
+#ifndef SRC_HARNESS_RUNNER_H_
+#define SRC_HARNESS_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+
+namespace chronotier {
+
+// One independent experiment: the exact argument list of Experiment::Run plus a label the
+// bench uses to find its row when consuming results.
+struct ExperimentJob {
+  std::string label;
+  ExperimentConfig config;
+  PolicyFactory make_policy;
+  std::vector<ProcessSpec> processes;
+  Experiment::InspectFn inspect;  // Optional; must only touch per-job state.
+  Experiment::FinishFn finish;    // Optional; must only touch per-job state.
+};
+
+// Runs `jobs` worker threads over the batch (claiming jobs in index order) and returns
+// one ExperimentResult per job, in submission order. jobs <= 1 executes serially inline;
+// jobs is clamped to the batch size.
+std::vector<ExperimentResult> RunExperiments(const std::vector<ExperimentJob>& batch,
+                                             int jobs);
+
+// std::thread::hardware_concurrency() clamped to >= 1 (it may report 0).
+int DefaultJobs();
+
+}  // namespace chronotier
+
+#endif  // SRC_HARNESS_RUNNER_H_

@@ -121,6 +121,7 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
   txn.source = source;
 
   unit.Set(kPageMigrating);
+  env_->OnUnitMigrationStateChanged(vma, unit);
   admission_.OnAdmit(source, pages);
   ++stats_->submitted[static_cast<size_t>(klass)];
   ticket.admitted = true;

@@ -63,6 +63,14 @@ class MigrationEnv {
 
   // A promotion was refused or could not reserve frames (legacy promotion-failure counter).
   virtual void OnPromotionRefused() = 0;
+
+  // The unit's kPageMigrating ownership just changed (set at admission). Hosts that cache
+  // virtual -> unit translations (the machine's access-path TLB) drop entries covering the
+  // unit here; hosts without such caches can ignore it.
+  virtual void OnUnitMigrationStateChanged(Vma& vma, PageInfo& unit) {
+    (void)vma;
+    (void)unit;
+  }
 };
 
 class MigrationEngine {

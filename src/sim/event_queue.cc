@@ -76,18 +76,26 @@ bool EventQueue::RunNext() {
     }
     CHECK_GE(item.when, now_) << "event scheduled in the past (now=" << now_ << "ns)";
     now_ = item.when;
-    // Re-arm periodic events before invoking so the callback can Cancel() itself.
-    if (item.period > 0) {
-      Push(item.when + item.period, item.id, item.period);
-    } else {
+    if (item.period == 0) {
       // One-shot: retire the callback before invoking so re-entrant scheduling is clean.
-      EventFn copy = std::move(*fn);
+      EventFn fn_local = std::move(*fn);
       Cancel(item.id);
-      copy(now_);
+      fn_local(now_);
       return true;
     }
-    EventFn copy = *fn;  // Copy: callback may cancel itself, invalidating the slot.
-    copy(now_);
+    // Periodic: re-arm, then invoke via a *moved-out* local instead of a fresh copy — a
+    // copy re-allocates the callback's captures on every firing, which dominates the cost
+    // of high-frequency daemons (bench/micro_overhead BM_PeriodicRearm). Moving empties
+    // the stored slot during the call; the callback may Cancel() itself (slot erased — the
+    // local is simply dropped) or schedule new events (callbacks_ may reallocate — the
+    // slot is re-found by id before moving back).
+    Push(item.when + item.period, item.id, item.period);
+    EventFn fn_local = std::move(*fn);
+    CHECK(fn_local != nullptr) << "re-entrant firing of periodic event " << item.id;
+    fn_local(now_);
+    if (EventFn* slot = FindCallback(item.id)) {
+      *slot = std::move(fn_local);
+    }
     return true;
   }
   return false;

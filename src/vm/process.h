@@ -14,6 +14,7 @@
 
 #include "src/common/time.h"
 #include "src/vm/address_space.h"
+#include "src/vm/translation_cache.h"
 
 namespace chronotier {
 
@@ -31,6 +32,11 @@ class Process {
 
   AddressSpace& aspace() { return aspace_; }
   const AddressSpace& aspace() const { return aspace_; }
+
+  // Software translation cache (the access-path fast lane). Maintained by the machine:
+  // consulted at the top of AccessMemory, invalidated wherever unit state changes.
+  TranslationCache& tlb() { return tlb_; }
+  const TranslationCache& tlb() const { return tlb_; }
 
   SimTime clock() const { return clock_; }
   void AdvanceClock(SimDuration d) { clock_ += d; }
@@ -77,6 +83,7 @@ class Process {
   int32_t pid_;
   std::string name_;
   AddressSpace aspace_;
+  TranslationCache tlb_;
   SimTime clock_ = 0;
   SimDuration access_delay_ = 0;
   uint64_t completed_accesses_ = 0;

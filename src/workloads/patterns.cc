@@ -105,4 +105,41 @@ bool HotsetStream::Next(Rng& rng, MemOp* op) {
   return true;
 }
 
+void SegmentedStream::Init(Process& process, Rng& /*rng*/) {
+  num_pages_ = std::max<uint64_t>(config_.working_set_bytes / kBasePageSize, 1);
+  const uint64_t segments = std::max<uint64_t>(std::min(config_.segments, num_pages_), 1);
+  pages_per_segment_ = (num_pages_ + segments - 1) / segments;
+  if ((pages_per_segment_ & (pages_per_segment_ - 1)) == 0) {
+    pages_per_segment_shift_ = 0;
+    while ((uint64_t{1} << pages_per_segment_shift_) < pages_per_segment_) {
+      ++pages_per_segment_shift_;
+    }
+  }
+  uint64_t remaining = num_pages_;
+  while (remaining > 0) {
+    const uint64_t pages = std::min(pages_per_segment_, remaining);
+    const uint64_t vaddr =
+        process.aspace().MapRegion(pages * kBasePageSize, process.default_page_kind());
+    base_vpns_.push_back(vaddr / kBasePageSize);
+    remaining -= pages;
+  }
+}
+
+bool SegmentedStream::Next(Rng& rng, MemOp* op) {
+  if (config_.sequential_init && init_cursor_ < num_pages_) {
+    op->vaddr = IndexToVpn(init_cursor_++) * kBasePageSize;
+    op->is_store = true;
+    op->think_time = 0;
+    return true;
+  }
+  if (config_.op_limit != 0 && ops_issued_ >= config_.op_limit) {
+    return false;
+  }
+  ++ops_issued_;
+  op->vaddr = IndexToVpn(rng.NextBelow(num_pages_)) * kBasePageSize + RandomOffsetInPage(rng);
+  op->is_store = !rng.NextBool(config_.read_ratio);
+  op->think_time = config_.per_op_delay;
+  return true;
+}
+
 }  // namespace chronotier

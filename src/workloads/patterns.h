@@ -5,6 +5,7 @@
 #define SRC_WORKLOADS_PATTERNS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/workloads/workload.h"
 
@@ -97,6 +98,47 @@ class HotsetStream : public AccessStream {
   uint64_t num_pages_ = 0;
   uint64_t hot_pages_ = 0;
   uint64_t hot_base_ = 0;
+  uint64_t ops_issued_ = 0;
+  uint64_t init_cursor_ = 0;
+};
+
+// Uniform accesses over a working set mapped as many separate VMAs (glibc arenas, mmap'd
+// chunks, per-shard slabs). Consecutive accesses hop regions, so the last-hit VMA cache
+// misses almost every op and translation pays a real FindVma walk — the address-space
+// shape the software TLB exists for. `sim_throughput` uses it to measure the fast lane;
+// single-region streams (above) resolve via the last-hit VMA and see ~none of that cost.
+struct SegmentedConfig {
+  uint64_t working_set_bytes = 96ull * 1024 * 1024;
+  uint64_t segments = 24;  // VMAs; working set split evenly (last may be short).
+  double read_ratio = 0.9;
+  uint64_t op_limit = 0;
+  SimDuration per_op_delay = 0;
+  bool sequential_init = false;
+};
+
+class SegmentedStream : public AccessStream {
+ public:
+  explicit SegmentedStream(SegmentedConfig config) : config_(config) {}
+  void Init(Process& process, Rng& rng) override;
+  bool Next(Rng& rng, MemOp* op) override;
+
+  uint64_t num_pages() const { return num_pages_; }
+  uint64_t segments() const { return base_vpns_.size(); }
+
+ private:
+  // Virtual page holding the idx-th page of the working set (idx < num_pages_).
+  uint64_t IndexToVpn(uint64_t idx) const {
+    const uint64_t seg = pages_per_segment_shift_ >= 0
+                             ? idx >> pages_per_segment_shift_
+                             : idx / pages_per_segment_;
+    return base_vpns_[seg] + (idx - seg * pages_per_segment_);
+  }
+
+  SegmentedConfig config_;
+  std::vector<uint64_t> base_vpns_;
+  uint64_t num_pages_ = 0;
+  uint64_t pages_per_segment_ = 1;
+  int pages_per_segment_shift_ = -1;  // >= 0 when pages_per_segment_ is a power of two.
   uint64_t ops_issued_ = 0;
   uint64_t init_cursor_ = 0;
 };

@@ -1,0 +1,316 @@
+// Access fast lane (software TLB) tests.
+//
+// The load-bearing claim: a run with the translation cache enabled is *bit-identical* to
+// the same run with it disabled — same metrics, same migration commit sequence, same
+// residency samples — because the fast lane replays exactly the slow path's tail for
+// eligible units. The equivalence tests check that across the full policy lineup,
+// including migration-heavy and fault-injected schedules. The stale-translation tests pin
+// down the invalidation points individually: PROT_NONE poisoning must still fault, and a
+// huge-group split must stop tail vpns from resolving to the stale group head.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/core/standard_policies.h"
+#include "src/harness/experiment.h"
+#include "src/harness/machine.h"
+#include "src/vm/translation_cache.h"
+#include "src/workloads/patterns.h"
+#include "src/workloads/pmbench.h"
+#include "src/workloads/trace.h"
+#include "tests/experiment_result_testutil.h"
+
+namespace chronotier {
+namespace {
+
+ScanGeometry FastGeometry() {
+  ScanGeometry geometry;
+  geometry.scan_period = 2 * kSecond;
+  geometry.scan_step_pages = 512;
+  return geometry;
+}
+
+ExperimentConfig SmallExperiment() {
+  ExperimentConfig config;
+  config.total_pages = 16384;  // 64 MB machine, 16 MB DRAM.
+  config.bandwidth_scale = 256.0;
+  config.warmup = 6 * kSecond;
+  config.measure = 6 * kSecond;
+  config.residency_sample_interval = 2 * kSecond;  // Compare time series too.
+  return config;
+}
+
+std::vector<ProcessSpec> GaussianProcs(int count, double read_ratio = 0.95,
+                                       uint64_t ws_pages = 6144) {
+  PmbenchConfig w;
+  w.working_set_bytes = ws_pages * kBasePageSize;
+  w.read_ratio = read_ratio;
+  w.per_op_delay = kMicrosecond;
+  w.sequential_init = true;
+  std::vector<ProcessSpec> procs;
+  for (int i = 0; i < count; ++i) {
+    procs.push_back({"pm", [w] { return std::make_unique<PmbenchStream>(w); }});
+  }
+  return procs;
+}
+
+// Runs one config twice — fast lane on and off — and requires identical results. Also
+// checks the TLB actually participated in the enabled run (the equivalence would be
+// vacuous if the fast lane never engaged).
+void ExpectTlbEquivalence(ExperimentConfig config, const NamedPolicyFactory& named,
+                          const std::vector<ProcessSpec>& procs) {
+  config.enable_translation_cache = false;
+  const ExperimentResult off = Experiment::Run(config, named.make, procs);
+
+  config.enable_translation_cache = true;
+  Machine::TlbCounters counters;
+  const ExperimentResult on = Experiment::Run(
+      config, named.make, procs, nullptr,
+      [&counters](Machine& machine, ExperimentResult&) { counters = machine.TlbStats(); });
+
+  ExpectResultsIdentical(on, off, "policy=" + named.name);
+  // PEBS-driven policies (Memtis) keep the sampler active for the whole run, which
+  // disables the fast lane by design — there the TLB must stay silent, not hit.
+  if (counters.hits + counters.misses == 0) {
+    EXPECT_EQ(named.name, "Memtis") << named.name << ": fast lane never consulted";
+  } else {
+    EXPECT_GT(counters.hits, 0u) << named.name << ": fast lane never engaged";
+  }
+}
+
+TEST(TlbEquivalenceTest, AllPoliciesMatchWithTlbOff) {
+  for (const auto& named : StandardPolicySet(FastGeometry())) {
+    ExpectTlbEquivalence(SmallExperiment(), named, GaussianProcs(2));
+  }
+}
+
+TEST(TlbEquivalenceTest, SegmentedAddressSpace) {
+  // Many-VMA address space (the shape sim_throughput measures): translations span 12
+  // regions per process and region-hopping defeats the last-hit VMA cache, so the fast
+  // lane carries almost every access. Must still be bit-identical to TLB-off.
+  std::vector<ProcessSpec> procs;
+  SegmentedConfig w;
+  w.working_set_bytes = 6144 * kBasePageSize;
+  w.segments = 12;
+  w.read_ratio = 0.9;
+  w.per_op_delay = kMicrosecond;
+  w.sequential_init = true;
+  for (int i = 0; i < 2; ++i) {
+    procs.push_back({"seg", [w] { return std::make_unique<SegmentedStream>(w); }});
+  }
+  for (const auto& named : StandardPolicySet(FastGeometry())) {
+    if (named.name == "Chrono" || named.name == "TPP") {
+      ExpectTlbEquivalence(SmallExperiment(), named, procs);
+    }
+  }
+}
+
+TEST(TlbEquivalenceTest, MigrationHeavySchedule) {
+  // Write-heavy working set larger than DRAM: constant promotion/demotion churn plus
+  // dirty-abort pressure — every migration-driven invalidation path fires.
+  ExperimentConfig config = SmallExperiment();
+  config.total_pages = 8192;  // 32 MB machine, 8 MB DRAM; the 12 MB x2 set thrashes it.
+  for (const std::string name : {"Chrono", "TPP", "Linux-NB"}) {
+    for (const auto& named : StandardPolicySet(FastGeometry())) {
+      if (named.name == name) {
+        ExpectTlbEquivalence(config, named,
+                             GaussianProcs(2, /*read_ratio=*/0.3, /*ws_pages=*/3072));
+      }
+    }
+  }
+}
+
+TEST(TlbEquivalenceTest, FaultInjectedSchedule) {
+  // Chaos plan: copy faults park transactions and quarantine frames, pressure spikes force
+  // emergency reclaim (demotions under degraded watermarks), alloc-fail windows refuse
+  // demand faults. All of it must replay identically through the fast lane.
+  ExperimentConfig config = SmallExperiment();
+  config.fault.enabled = true;
+  config.fault.seed = 11;
+  config.fault.start_after = kSecond;
+  config.fault.copy_fail_transient_p = 0.05;
+  config.fault.copy_fail_persistent_p = 0.002;
+  config.fault.pressure_period = 1500 * kMillisecond;
+  config.fault.pressure_fire_p = 0.8;
+  config.fault.pressure_duration = 100 * kMillisecond;
+  config.fault.pressure_fraction = 0.08;
+  config.fault.alloc_fail_period = 1900 * kMillisecond;
+  config.fault.alloc_fail_fire_p = 0.8;
+  config.fault.alloc_fail_duration = 50 * kMillisecond;
+  config.audit_period = 500 * kMillisecond;
+  for (const auto& named : StandardPolicySet(FastGeometry())) {
+    if (named.name == "Chrono" || named.name == "Multi-Clock") {
+      ExpectTlbEquivalence(config, named, GaussianProcs(2, /*read_ratio=*/0.5));
+    }
+  }
+}
+
+// --- Stale-translation unit tests ---
+
+class NullPolicy : public TieringPolicy {
+ public:
+  std::string_view name() const override { return "null"; }
+  void Attach(Machine&) override {}
+  SimDuration OnHintFault(Process&, Vma&, PageInfo&, bool, SimTime) override { return 0; }
+};
+
+// A trace that touches the same few pages over and over: each revisit after the first is a
+// guaranteed fast-lane hit (until something invalidates the translation). `first` lets the
+// huge-split test touch only tail pages (offset 0 is the group head's own base page).
+Trace LoopTrace(uint64_t pages, uint64_t touched, int rounds, uint64_t first = 0) {
+  Trace trace;
+  trace.set_working_set_bytes(pages * kBasePageSize);
+  for (int r = 0; r < rounds; ++r) {
+    for (uint64_t p = first; p < first + touched; ++p) {
+      MemOp op;
+      op.vaddr = p * kBasePageSize;
+      op.think_time = kMillisecond;
+      trace.Append(op);
+    }
+  }
+  return trace;
+}
+
+TEST(TlbStaleTranslationTest, PoisonedUnitStillFaults) {
+  const Trace trace = LoopTrace(/*pages=*/16, /*touched=*/4, /*rounds=*/4000);
+  Machine machine(MachineConfig::StandardTwoTier(4096), std::make_unique<NullPolicy>());
+  Process& process = machine.CreateProcess("t");
+  machine.AttachWorkload(process, std::make_unique<TraceStream>(&trace), 1);
+  machine.Start();
+  machine.Run(kSecond);
+
+  const uint64_t vpn = process.aspace().lowest_vpn();
+  Vma* vma = process.aspace().FindVma(vpn);
+  ASSERT_NE(vma, nullptr);
+  PageInfo& unit = vma->HotnessUnit(vpn);
+
+  // The loop revisits the page constantly, so its translation is cached by now.
+  EXPECT_GT(machine.TlbStats().hits, 0u);
+  ASSERT_EQ(process.tlb().Lookup(vpn), &unit);
+
+  machine.PoisonUnit(unit);
+  // Poisoning dropped the cached translation — the fast lane cannot skip the fault.
+  EXPECT_EQ(process.tlb().Lookup(vpn), nullptr);
+  ASSERT_TRUE(unit.Has(kPageProtNone));
+
+  const uint64_t faults_before = machine.metrics().hint_faults();
+  machine.Run(kSecond);
+  EXPECT_GT(machine.metrics().hint_faults(), faults_before);
+  EXPECT_FALSE(unit.Has(kPageProtNone)) << "hint fault should have cleared the poison";
+}
+
+TEST(TlbStaleTranslationTest, HugeSplitRemapsTailVpns) {
+  // One huge group (512 base pages); the trace hammers a tail page, so the TLB caches
+  // tail_vpn -> group head.
+  const Trace trace = LoopTrace(/*pages=*/kBasePagesPerHugePage, /*touched=*/8,
+                                /*rounds=*/2000, /*first=*/1);
+  Machine machine(MachineConfig::StandardTwoTier(4096), std::make_unique<NullPolicy>());
+  Process& process = machine.CreateProcess("t");
+  process.set_default_page_kind(PageSizeKind::kHuge);
+  machine.AttachWorkload(process, std::make_unique<TraceStream>(&trace), 1);
+  machine.Start();
+  machine.Run(kSecond);
+
+  const uint64_t base_vpn = process.aspace().lowest_vpn();
+  const uint64_t tail_vpn = base_vpn + 5;
+  Vma* vma = process.aspace().FindVma(tail_vpn);
+  ASSERT_NE(vma, nullptr);
+  PageInfo& head = vma->HotnessUnit(tail_vpn);
+  ASSERT_TRUE(head.huge_head());
+  ASSERT_NE(head.vpn, tail_vpn);
+  ASSERT_EQ(process.tlb().Lookup(tail_vpn), &head);
+
+  ASSERT_TRUE(machine.SplitHugeUnit(*vma, head));
+
+  // The stale head translation is gone: a fast-lane hit on it would have aggregated the
+  // tail's accesses onto the (no longer covering) head unit.
+  EXPECT_EQ(process.tlb().Lookup(tail_vpn), nullptr);
+  PageInfo& tail = vma->PageAt(tail_vpn);
+  ASSERT_EQ(&vma->HotnessUnit(tail_vpn), &tail);
+
+  const uint64_t tail_count_before = tail.oracle_access_count;
+  const uint64_t head_count_before = head.oracle_access_count;
+  machine.Run(kSecond);
+  EXPECT_GT(tail.oracle_access_count, tail_count_before)
+      << "post-split accesses must land on the tail's own base page";
+  EXPECT_EQ(head.oracle_access_count, head_count_before)
+      << "post-split tail accesses must not aggregate to the old group head";
+}
+
+// --- TranslationCache unit tests ---
+
+TEST(TranslationCacheTest, LookupInsertInvalidate) {
+  TranslationCache tlb;
+  PageInfo unit;
+  unit.vpn = 7;
+  EXPECT_EQ(tlb.Lookup(7), nullptr);
+  tlb.Insert(7, &unit);
+  EXPECT_EQ(tlb.Lookup(7), &unit);
+  tlb.Invalidate(7);
+  EXPECT_EQ(tlb.Lookup(7), nullptr);
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 2u);
+  EXPECT_EQ(tlb.invalidations(), 1u);
+}
+
+TEST(TranslationCacheTest, DirectMappedConflictEvicts) {
+  TranslationCache tlb;
+  PageInfo a;
+  a.vpn = 3;
+  PageInfo b;
+  b.vpn = 3 + TranslationCache::kEntries;
+  tlb.Insert(a.vpn, &a);
+  tlb.Insert(b.vpn, &b);  // Same slot.
+  EXPECT_EQ(tlb.Lookup(a.vpn), nullptr);
+  EXPECT_EQ(tlb.Lookup(b.vpn), &b);
+}
+
+TEST(TranslationCacheTest, SlotValidatesAgainstUnitVpn) {
+  // Slots are bare pointers: an entry must only translate the vpns its unit covers. A
+  // base-page unit covers exactly its own vpn; a huge head covers its whole group.
+  TranslationCache tlb;
+  PageInfo base;
+  base.vpn = 9;
+  tlb.Insert(9, &base);
+  EXPECT_EQ(tlb.Lookup(9 + TranslationCache::kEntries), nullptr);  // Aliased slot, no tag.
+
+  PageInfo head;
+  head.vpn = kBasePagesPerHugePage;  // Heads are group-aligned.
+  head.Set(kPageHugeHead);
+  const uint64_t tail = head.vpn + 17;
+  tlb.Insert(tail, &head);
+  EXPECT_EQ(tlb.Lookup(tail), &head);
+  // One past the group: same head pointer must not cover it.
+  tlb.Insert(head.vpn + kBasePagesPerHugePage, &head);
+  EXPECT_EQ(tlb.Lookup(head.vpn + kBasePagesPerHugePage), nullptr);
+}
+
+TEST(TranslationCacheTest, InvalidateRangeCoversHugeGroup) {
+  TranslationCache tlb;
+  PageInfo head;
+  head.vpn = 0;
+  head.Set(kPageHugeHead);
+  for (uint64_t vpn = 0; vpn < 8; ++vpn) {
+    tlb.Insert(vpn, &head);
+  }
+  tlb.InvalidateRange(0, kBasePagesPerHugePage);  // 512 >= 8: all entries must go.
+  for (uint64_t vpn = 0; vpn < 8; ++vpn) {
+    EXPECT_EQ(tlb.Lookup(vpn), nullptr) << "vpn " << vpn;
+  }
+}
+
+TEST(TranslationCacheTest, FastPathMaskRejectsIneligibleFlags) {
+  PageInfo unit;
+  unit.Set(kPagePresent);
+  EXPECT_EQ(unit.flags & TranslationCache::kFastPathMask, kPagePresent);
+  unit.Set(kPageProtNone);
+  EXPECT_NE(unit.flags & TranslationCache::kFastPathMask, kPagePresent);
+  unit.ClearFlag(kPageProtNone);
+  unit.Set(kPageMigrating);
+  EXPECT_NE(unit.flags & TranslationCache::kFastPathMask, kPagePresent);
+}
+
+}  // namespace
+}  // namespace chronotier
