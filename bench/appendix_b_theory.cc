@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/common/rng.h"
 #include "src/common/table.h"
 #include "src/core/estimator.h"
@@ -83,7 +84,9 @@ void VerifyDensityFamily() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ct::ParseBenchFlags(argc, argv,
+                      "Appendix B: candidate-filter theory, reproduced numerically.");
   std::printf("Appendix B: candidate-filter theory, reproduced numerically.\n");
   VerifyEstimators();
   VerifyUniformEfficiency();

@@ -11,8 +11,10 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,25 +24,175 @@
 #include "src/harness/experiment.h"
 #include "src/harness/runner.h"
 #include "src/policies/scan_policy_base.h"
+#include "src/trace/trace_event.h"
 #include "src/workloads/kvstore.h"
 #include "src/workloads/pmbench.h"
 
 namespace chronotier {
 
-// Shared `--jobs N` flag: how many experiments the parallel runner executes concurrently.
-// Defaults to hardware concurrency. `--jobs 1` reproduces the old serial sweep exactly —
-// the runner's determinism contract makes every other value print identical tables.
-inline int ParseJobsFlag(int argc, char** argv) {
+// A bench-specific command-line option, registered with ParseBenchFlags alongside the
+// shared flags so it shows up in --help and unknown-flag checking covers it.
+struct BenchOption {
+  std::string name;  // Including the leading dashes, e.g. "--out".
+  std::string value_name;  // Empty for boolean options.
+  std::string help;
+  std::function<void(const std::string& value)> apply;  // Booleans get "".
+};
+
+// Flags every bench binary shares. `--jobs N` sets the parallel runner's concurrency
+// (defaults to hardware concurrency; `--jobs 1` reproduces the serial sweep exactly —
+// the runner's determinism contract makes every other value print identical tables).
+// The --trace* family configures the observability subsystem for every experiment the
+// bench runs; per-cell export paths get the cell's "<row>-<policy>" suffix.
+struct BenchFlags {
   int jobs = DefaultJobs();
+  TraceConfig trace;  // trace.enabled is set by --trace.
+};
+
+inline void PrintBenchUsage(const char* prog, const std::string& description,
+                            const std::vector<BenchOption>& extra) {
+  std::printf("usage: %s [options]\n\n%s\n\noptions:\n", prog, description.c_str());
+  std::printf("  --help                     show this help and exit\n");
+  std::printf("  --jobs N                   concurrent experiments (default: host cores)\n");
+  std::printf("  --trace FILE.json          record a trace; write Chrome-trace JSON for\n");
+  std::printf("                             ui.perfetto.dev (per cell: FILE.<cell>.json)\n");
+  std::printf("  --trace-categories LIST    comma list of access,fault,scan,migration,\n");
+  std::printf("                             reclaim,policy,tuning (or all/none). Default:\n");
+  std::printf("                             everything except access — the access firehose\n");
+  std::printf("                             overwrites the ring in seconds; opt in with\n");
+  std::printf("                             --trace-categories all\n");
+  std::printf("  --trace-sample-period MS   telemetry sample period in sim ms (0 = off)\n");
+  std::printf("  --trace-timeseries FILE    write the telemetry time series (.csv or .json)\n");
+  std::printf("  --trace-provenance FILE    write sampled pages' provenance histories\n");
+  for (const BenchOption& option : extra) {
+    std::string left = option.name;
+    if (!option.value_name.empty()) {
+      left += " " + option.value_name;
+    }
+    std::printf("  %-26s %s\n", left.c_str(), option.help.c_str());
+  }
+}
+
+// Strict argv parser shared by every bench binary: supports `--flag value` and
+// `--flag=value`, prints --help, and exits with an error on any unknown argument (nothing
+// is silently ignored).
+inline BenchFlags ParseBenchFlags(int argc, char** argv, const std::string& description,
+                                  const std::vector<BenchOption>& extra = {}) {
+  BenchFlags flags;
+  bool categories_set = false;
+  const auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "%s: %s\n\n", argv[0], message.c_str());
+    PrintBenchUsage(argv[0], description, extra);
+    std::exit(2);
+  };
+
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[i + 1]);
-      ++i;
-    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      jobs = std::atoi(argv[i] + 7);
+    std::string arg = argv[i];
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto take_value = [&](const std::string& flag) {
+      if (has_value) {
+        return value;
+      }
+      if (i + 1 >= argc) {
+        fail(flag + " requires a value");
+      }
+      return std::string(argv[++i]);
+    };
+
+    if (arg == "--help" || arg == "-h") {
+      PrintBenchUsage(argv[0], description, extra);
+      std::exit(0);
+    } else if (arg == "--jobs") {
+      flags.jobs = std::atoi(take_value(arg).c_str());
+      if (flags.jobs < 1) {
+        flags.jobs = 1;
+      }
+    } else if (arg == "--trace") {
+      flags.trace.enabled = true;
+      flags.trace.export_path = take_value(arg);
+    } else if (arg == "--trace-categories") {
+      flags.trace.enabled = true;
+      uint32_t mask = 0;
+      const std::string list = take_value(arg);
+      if (!ParseTraceCategoryList(list, &mask)) {
+        fail("unknown trace category in '" + list + "'");
+      }
+      flags.trace.categories = mask;
+      categories_set = true;
+    } else if (arg == "--trace-sample-period") {
+      flags.trace.enabled = true;
+      flags.trace.telemetry_period = std::atoll(take_value(arg).c_str()) * kMillisecond;
+    } else if (arg == "--trace-timeseries") {
+      flags.trace.enabled = true;
+      flags.trace.timeseries_path = take_value(arg);
+    } else if (arg == "--trace-provenance") {
+      flags.trace.enabled = true;
+      flags.trace.provenance_path = take_value(arg);
+    } else {
+      bool matched = false;
+      for (const BenchOption& option : extra) {
+        if (arg == option.name) {
+          option.apply(option.value_name.empty() ? "" : take_value(arg));
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        fail("unknown argument '" + std::string(argv[i]) + "'");
+      }
     }
   }
-  return jobs < 1 ? 1 : jobs;
+  if (flags.trace.enabled && !categories_set) {
+    // Access events outnumber everything else ~100:1 and overwrite the ring within
+    // seconds of simulated time, evicting the migration/fault/reclaim history the trace
+    // exists to show. Keep them out unless explicitly requested.
+    flags.trace.categories = kTraceAllCategories & ~TraceCategoryBit(TraceCategory::kAccess);
+  }
+  return flags;
+}
+
+// Filesystem-safe cell suffix for per-experiment export paths.
+inline std::string SanitizeTraceLabel(std::string label) {
+  for (char& c : label) {
+    if (c == '/' || c == ' ' || c == ':' || c == '\\') {
+      c = '-';
+    }
+  }
+  return label;
+}
+
+// "out.json" + cell "seed-7-Chrono" -> "out.seed-7-Chrono.json".
+inline std::string TracePathForCell(const std::string& path, const std::string& cell) {
+  if (path.empty()) {
+    return path;
+  }
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "." + cell;
+  }
+  return path.substr(0, dot) + "." + cell + path.substr(dot);
+}
+
+// Applies the shared --trace* flags to one experiment's config, suffixing every export
+// path with the (sanitized) cell label so concurrent cells never clobber each other.
+inline void ApplyTraceFlags(ExperimentConfig& config, const BenchFlags& flags,
+                            const std::string& cell_label) {
+  if (!flags.trace.enabled) {
+    return;
+  }
+  config.trace = flags.trace;
+  const std::string cell = SanitizeTraceLabel(cell_label);
+  config.trace.export_path = TracePathForCell(flags.trace.export_path, cell);
+  config.trace.timeseries_path = TracePathForCell(flags.trace.timeseries_path, cell);
+  config.trace.provenance_path = TracePathForCell(flags.trace.provenance_path, cell);
 }
 
 // One row of a sweep: a machine/experiment configuration plus the processes to run on it.
@@ -68,6 +220,35 @@ inline std::vector<std::vector<ExperimentResult>> RunMatrix(
     }
   }
   std::vector<ExperimentResult> flat = RunExperiments(batch, jobs);
+  std::vector<std::vector<ExperimentResult>> shaped(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    shaped[r].assign(std::make_move_iterator(flat.begin() + r * policies.size()),
+                     std::make_move_iterator(flat.begin() + (r + 1) * policies.size()));
+  }
+  return shaped;
+}
+
+// RunMatrix with the shared bench flags: jobs from --jobs, and when --trace is active
+// every cell records its own trace with "<row>-<policy>"-suffixed export paths.
+inline std::vector<std::vector<ExperimentResult>> RunMatrix(
+    const std::vector<MatrixRow>& rows, const std::vector<NamedPolicyFactory>& policies,
+    const BenchFlags& flags, const Experiment::InspectFn& inspect = nullptr,
+    const Experiment::FinishFn& finish = nullptr) {
+  if (!flags.trace.enabled) {
+    return RunMatrix(rows, policies, flags.jobs, inspect, finish);
+  }
+  std::vector<MatrixRow> traced_rows = rows;
+  std::vector<ExperimentJob> batch;
+  batch.reserve(rows.size() * policies.size());
+  for (MatrixRow& row : traced_rows) {
+    for (const NamedPolicyFactory& policy : policies) {
+      ExperimentConfig config = row.config;
+      ApplyTraceFlags(config, flags, row.label + "-" + policy.name);
+      batch.push_back(ExperimentJob{row.label + "/" + policy.name, config, policy.make,
+                                    row.processes, inspect, finish});
+    }
+  }
+  std::vector<ExperimentResult> flat = RunExperiments(batch, flags.jobs);
   std::vector<std::vector<ExperimentResult>> shaped(rows.size());
   for (size_t r = 0; r < rows.size(); ++r) {
     shaped[r].assign(std::make_move_iterator(flat.begin() + r * policies.size()),

@@ -8,9 +8,12 @@
 // The table it prints is the degradation profile each policy exhibited while surviving.
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/common/check.h"
+#include "src/common/json.h"
 
 namespace ct = chronotier;
 
@@ -68,21 +71,35 @@ void CheckLedger(ct::Machine& machine, ct::ExperimentResult& result) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
+  std::string out_path;
+  bool quick = false;
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv,
+      "Chaos soak: every policy runs under a randomized fault schedule with the\n"
+      "invariant auditor armed; the run itself is the assertion.",
+      {{"--out", "FILE", "also write the degradation profile as JSON",
+        [&out_path](const std::string& v) { out_path = v; }},
+       {"--quick", "", "one fault seed, short windows (CI smoke)",
+        [&quick](const std::string&) { quick = true; }}});
   ct::PrintBanner("Chaos soak: all policies under randomized fault schedules");
   const auto policies = ct::StandardPolicySet(ct::BenchGeometry());
-  const std::vector<uint64_t> fault_seeds = {7, 19};
+  const std::vector<uint64_t> fault_seeds = quick ? std::vector<uint64_t>{7}
+                                                  : std::vector<uint64_t>{7, 19};
 
   std::vector<ct::MatrixRow> rows;
   for (const uint64_t seed : fault_seeds) {
     ct::MatrixRow row;
     row.label = "seed-" + std::to_string(seed);
     row.config = SoakMachine(seed);
+    if (quick) {
+      row.config.warmup = 2 * ct::kSecond;
+      row.config.measure = 6 * ct::kSecond;
+    }
     row.processes = {ct::BenchPmbenchProc(/*working_set_mb=*/20, 0.5),
                      ct::BenchPmbenchProc(/*working_set_mb=*/20, 0.5)};
     rows.push_back(std::move(row));
   }
-  const auto results = ct::RunMatrix(rows, policies, jobs, /*inspect=*/nullptr, CheckLedger);
+  const auto results = ct::RunMatrix(rows, policies, flags, /*inspect=*/nullptr, CheckLedger);
 
   ct::TextTable table({"policy", "seed", "committed", "parked", "transient", "persistent",
                        "quarantined", "stalls", "spikes", "alloc refusals", "audits"});
@@ -102,5 +119,42 @@ int main(int argc, char** argv) {
   table.Print();
   std::printf("\nEvery run above finished with a clean end-of-run invariant audit; any\n"
               "violation (frame leak, LRU divergence, residency skew) aborts this binary.\n");
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    ct::JsonWriter json(out);
+    json.set_pretty(true);
+    json.BeginObject();
+    json.Key("runs");
+    json.BeginArray();
+    for (size_t p = 0; p < policies.size(); ++p) {
+      for (size_t s = 0; s < fault_seeds.size(); ++s) {
+        const ct::ExperimentResult& r = results[s][p];
+        json.BeginObject();
+        json.Field("policy", policies[p].name);
+        json.Field("fault_seed", fault_seeds[s]);
+        json.Field("committed", r.migrations_committed);
+        json.Field("aborted", r.migrations_aborted);
+        json.Field("parked", r.migrations_parked);
+        json.Field("transient_faults", r.faults_injected_transient);
+        json.Field("persistent_faults", r.faults_injected_persistent);
+        json.Field("quarantined", r.frames_quarantined);
+        json.Field("stall_windows", r.stall_windows);
+        json.Field("pressure_spikes", r.pressure_spikes);
+        json.Field("alloc_refusals", r.alloc_refusals);
+        json.Field("audits_run", r.audits_run);
+        json.Field("trace_events_dropped", r.trace_events_dropped);
+        json.EndObject();
+      }
+    }
+    json.EndArray();
+    json.EndObject();
+    out << "\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  }
   return 0;
 }

@@ -92,7 +92,9 @@ FrequencyStats MeasureWorkload(const ct::ProcessSpec& spec, ct::SimDuration wind
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ct::ParseBenchFlags(argc, argv,
+                      "Figure 1: per-page access frequency (accesses/minute), PEBS-sampled.");
   std::printf("Figure 1: per-page access frequency (accesses/minute), PEBS-sampled.\n");
   ct::PrintBanner("Fig 1: DRAM vs NVM vs top-10%-hot NVM frequency");
 

@@ -91,7 +91,8 @@ ct::ExperimentJob MakeJob(const ct::NamedPolicyFactory& named, IdentificationRes
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv, "Figure 2(a): hot-page identification efficiency (F1-score and PPR).");
   std::printf("Figure 2(a): hot page identification efficiency (F1-score and PPR).\n");
   ct::PrintBanner("Fig 2(a): F1-score / precision / recall / PPR");
   ct::TextTable table({"policy", "F1-score", "precision", "recall", "PPR"});
@@ -107,8 +108,9 @@ int main(int argc, char** argv) {
   std::vector<ct::ExperimentJob> batch;
   for (size_t i = 0; i < lineup.size(); ++i) {
     batch.push_back(MakeJob(lineup[i], &outs[i]));
+    ct::ApplyTraceFlags(batch.back().config, flags, batch.back().label);
   }
-  ct::RunExperiments(batch, jobs);
+  ct::RunExperiments(batch, flags.jobs);
 
   for (size_t i = 0; i < lineup.size(); ++i) {
     const IdentificationResult& r = outs[i];

@@ -65,7 +65,9 @@ std::vector<double> RunBinDistribution(ct::PageSizeKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ct::ParseBenchFlags(argc, argv,
+                      "Figure 2(b): PEBS bin distribution under different page granularity.");
   std::printf("Figure 2(b): PEBS bin distribution under different page granularity.\n");
   ct::PrintBanner("Fig 2(b): share of units per counter bin (Memtis sampler)");
 

@@ -15,8 +15,8 @@ namespace ct = chronotier;
 
 namespace {
 
-void RunSubfigure(const char* title, int num_procs, uint64_t ws_mb, ct::SimDuration measure,
-                  int jobs) {
+void RunSubfigure(const char* tag, const char* title, int num_procs, uint64_t ws_mb,
+                  ct::SimDuration measure, const ct::BenchFlags& flags) {
   ct::PrintBanner(title);
   ct::TextTable table({"R/W ratio", "Linux-NB", "AutoTiering", "Multi-Clock", "TPP", "Memtis",
                        "Chrono", "best"});
@@ -25,7 +25,8 @@ void RunSubfigure(const char* title, int num_procs, uint64_t ws_mb, ct::SimDurat
   std::vector<ct::MatrixRow> rows;
   for (const auto& [label, read_ratio] : ct::RwRatios()) {
     ct::MatrixRow row;
-    row.label = label;
+    // Tagged per subfigure so --trace export paths don't collide across the three calls.
+    row.label = std::string(tag) + "-" + label;
     row.config = ct::BenchMachine();
     row.config.measure = measure;
     for (int p = 0; p < num_procs; ++p) {
@@ -33,7 +34,7 @@ void RunSubfigure(const char* title, int num_procs, uint64_t ws_mb, ct::SimDurat
     }
     rows.push_back(std::move(row));
   }
-  const auto results = ct::RunMatrix(rows, policies, jobs);
+  const auto results = ct::RunMatrix(rows, policies, flags);
 
   // Engine metrics are reported for the write-heaviest mix, where dirty aborts and
   // admission backpressure are most visible.
@@ -54,7 +55,7 @@ void RunSubfigure(const char* title, int num_procs, uint64_t ws_mb, ct::SimDurat
         best = i;
       }
     }
-    table.AddRow({rows[r].label, ct::TextTable::Num(normalized[0]),
+    table.AddRow({ct::RwRatios()[r].first, ct::TextTable::Num(normalized[0]),
                   ct::TextTable::Num(normalized[1]), ct::TextTable::Num(normalized[2]),
                   ct::TextTable::Num(normalized[3]), ct::TextTable::Num(normalized[4]),
                   ct::TextTable::Num(normalized[5]), policies[best].name});
@@ -68,14 +69,17 @@ void RunSubfigure(const char* title, int num_procs, uint64_t ws_mb, ct::SimDurat
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv, "Figure 6: pmbench throughput normalized to Linux-NB, three utilizations.");
   std::printf("Figure 6: pmbench normalized throughput (normalized to Linux-NB).\n");
   // (a) high concurrency, ~75% utilization (paper: 50 procs x 5 GB on 256 GB).
-  RunSubfigure("Fig 6(a): 2 procs x 96 MB (high utilization)", 2, 96, 30 * ct::kSecond, jobs);
+  RunSubfigure("a", "Fig 6(a): 2 procs x 96 MB (high utilization)", 2, 96, 30 * ct::kSecond,
+               flags);
   // (b) ~94% utilization (paper: 32 procs x 8 GB = 100%).
-  RunSubfigure("Fig 6(b): 2 procs x 120 MB (very high utilization)", 2, 120,
-               20 * ct::kSecond, jobs);
+  RunSubfigure("b", "Fig 6(b): 2 procs x 120 MB (very high utilization)", 2, 120,
+               20 * ct::kSecond, flags);
   // (c) 50% utilization (paper: 32 procs x 4 GB).
-  RunSubfigure("Fig 6(c): 2 procs x 64 MB (50% utilization)", 2, 64, 20 * ct::kSecond, jobs);
+  RunSubfigure("c", "Fig 6(c): 2 procs x 64 MB (50% utilization)", 2, 64, 20 * ct::kSecond,
+               flags);
   return 0;
 }

@@ -48,7 +48,7 @@ void PrintBaselineCdf() {
 
 // All four R/W ratios x six policies run as one 24-job batch through the parallel runner;
 // each job's finish lambda writes the P99.9 tail into its own slot.
-void RunRatios(int jobs) {
+void RunRatios(const ct::BenchFlags& flags) {
   const auto policies = ct::StandardPolicySet(ct::BenchGeometry());
   const struct {
     const char* title;
@@ -70,6 +70,7 @@ void RunRatios(int jobs) {
       job.processes = {ct::BenchPmbenchProc(96, kRatios[r].read_ratio),
                        ct::BenchPmbenchProc(96, kRatios[r].read_ratio)};
       job.make_policy = policies[i].make;
+      ct::ApplyTraceFlags(job.config, flags, job.label);
       double* tail_slot = &tails[r * policies.size() + i];
       job.finish = [tail_slot](ct::Machine& machine, ct::ExperimentResult&) {
         *tail_slot = machine.metrics().LatencyPercentile(99.9);
@@ -77,7 +78,7 @@ void RunRatios(int jobs) {
       batch.push_back(std::move(job));
     }
   }
-  const std::vector<ct::ExperimentResult> results = ct::RunExperiments(batch, jobs);
+  const std::vector<ct::ExperimentResult> results = ct::RunExperiments(batch, flags.jobs);
 
   for (size_t r = 0; r < num_ratios; ++r) {
     ct::PrintBanner(kRatios[r].title);
@@ -108,9 +109,10 @@ void RunRatios(int jobs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv, "Figure 7: pmbench access latency normalized to Linux-NB.");
   std::printf("Figure 7: pmbench latency, normalized to Linux-NB.\n");
   PrintBaselineCdf();
-  RunRatios(jobs);
+  RunRatios(flags);
   return 0;
 }

@@ -11,7 +11,8 @@
 namespace ct = chronotier;
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv, "Figure 8: FMAR, kernel time share, and context switches per policy.");
   std::printf("Figure 8: run-time characteristics (pmbench, R/W=95:5).\n");
   ct::PrintBanner("Fig 8: FMAR / kernel time / context switches");
 
@@ -20,7 +21,7 @@ int main(int argc, char** argv) {
   row.label = "fig8";
   row.config = ct::BenchMachine();
   row.processes = {ct::BenchPmbenchProc(96, 0.95), ct::BenchPmbenchProc(96, 0.95)};
-  const auto results = ct::RunMatrix({row}, policies, jobs);
+  const auto results = ct::RunMatrix({row}, policies, flags);
 
   ct::TextTable table({"policy", "FMAR", "kernel time", "ctx switches (/s)", "promoted pages",
                        "hint faults"});

@@ -56,7 +56,8 @@ void PrintPolicy(const std::string& name, const ct::ExperimentResult& result) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv, "Figure 9: per-cgroup fast-tier residency history under contention.");
   std::printf("Figure 9: per-cgroup DRAM residency under graded access rates.\n");
 
   ct::MatrixRow row;
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
   }
 
   const auto policies = ct::StandardPolicySet(ct::BenchGeometry());
-  const auto results = ct::RunMatrix({row}, policies, jobs);
+  const auto results = ct::RunMatrix({row}, policies, flags);
   for (size_t i = 0; i < policies.size(); ++i) {
     PrintPolicy(policies[i].name, results[0][i]);
   }

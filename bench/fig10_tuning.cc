@@ -150,7 +150,7 @@ ct::ExperimentJob SensitivityJob(std::string label, ct::ChronoConfig config) {
   return job;
 }
 
-void RunSensitivity(int jobs) {
+void RunSensitivity(const ct::BenchFlags& flags) {
   ct::PrintBanner("Fig 10(d): sensitivity to Scan-Step / Scan-Period / P-Victim / delta-step");
   const std::vector<double> factors = {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
 
@@ -188,7 +188,7 @@ void RunSensitivity(int jobs) {
       batch.push_back(SensitivityJob("delta-step x" + std::to_string(factor), c));
     }
   }
-  const std::vector<ct::ExperimentResult> points = ct::RunExperiments(batch, jobs);
+  const std::vector<ct::ExperimentResult> points = ct::RunExperiments(batch, flags.jobs);
   std::vector<std::vector<double>> results(4);
   for (size_t f = 0; f < factors.size(); ++f) {
     for (size_t param = 0; param < 4; ++param) {
@@ -212,12 +212,13 @@ void RunSensitivity(int jobs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv, "Figure 10: parameter-tuning effectiveness and sensitivity analysis.");
   std::printf("Figure 10: parameter tuning effectiveness and sensitivity analysis.\n");
   // (a)-(c) are stateful single runs (live observers mutating shared tables); only the
   // 28-point sensitivity sweep fans out.
   RunCitCorrelation();
   RunTuningHistories();
-  RunSensitivity(jobs);
+  RunSensitivity(flags);
   return 0;
 }

@@ -46,7 +46,7 @@ ct::ExperimentConfig GraphMachine(uint64_t machine_mb, ct::PageSizeKind kind) {
   return config;
 }
 
-void RunExecutionTimes(int jobs) {
+void RunExecutionTimes(const ct::BenchFlags& flags) {
   ct::PrintBanner("Fig 11(a): Graph500 execution time (simulated seconds)");
   // Machine size fixed; graph scale varies the pressure (paper varies the working set
   // 128->256 GB on a fixed box). scale 13 ~ moderate, 14 ~ high pressure.
@@ -79,7 +79,7 @@ void RunExecutionTimes(int jobs) {
                      GraphProc(point.scale, ct::GraphKernel::kSssp, 2)};
     rows.push_back(std::move(row));
   }
-  const auto results = ct::RunMatrix(rows, policies, jobs);
+  const auto results = ct::RunMatrix(rows, policies, flags);
 
   ct::TextTable table({"pressure", "Linux-NB", "AutoTiering", "Multi-Clock", "TPP", "Memtis",
                        "Chrono", "fastest"});
@@ -105,7 +105,7 @@ void RunExecutionTimes(int jobs) {
   std::fflush(stdout);
 }
 
-void RunSensitivity(int jobs) {
+void RunSensitivity(const ct::BenchFlags& flags) {
   ct::PrintBanner("Fig 11(b): Graph500 sensitivity to Chrono parameters");
   auto make_job = [](std::string label, ct::ChronoConfig config) {
     ct::ExperimentJob job;
@@ -152,7 +152,7 @@ void RunSensitivity(int jobs) {
       batch.push_back(make_job("delta-step x" + std::to_string(factor), c));
     }
   }
-  const std::vector<ct::ExperimentResult> points = ct::RunExperiments(batch, jobs);
+  const std::vector<ct::ExperimentResult> points = ct::RunExperiments(batch, flags.jobs);
   std::vector<std::vector<double>> results(4);
   for (size_t f = 0; f < factors.size(); ++f) {
     for (size_t param = 0; param < 4; ++param) {
@@ -175,9 +175,10 @@ void RunSensitivity(int jobs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv, "Figure 11: Graph500 execution time and Chrono parameter sensitivity.");
   std::printf("Figure 11: Graph500 (BFS + SSSP on Kronecker graphs).\n");
-  RunExecutionTimes(jobs);
-  RunSensitivity(jobs);
+  RunExecutionTimes(flags);
+  RunSensitivity(flags);
   return 0;
 }

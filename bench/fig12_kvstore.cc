@@ -15,7 +15,8 @@ namespace ct = chronotier;
 
 namespace {
 
-void RunStore(const char* title, uint64_t num_items, uint64_t value_bytes, int jobs) {
+void RunStore(const char* tag, const char* title, uint64_t num_items, uint64_t value_bytes,
+              const ct::BenchFlags& flags) {
   ct::PrintBanner(title);
   ct::TextTable table({"SET:GET", "Linux-NB", "AutoTiering", "Multi-Clock", "TPP", "Memtis",
                        "Chrono", "best"});
@@ -26,7 +27,8 @@ void RunStore(const char* title, uint64_t num_items, uint64_t value_bytes, int j
   std::vector<ct::MatrixRow> rows;
   for (const auto& [label, set_fraction] : mixes) {
     ct::MatrixRow row;
-    row.label = label;
+    // Tagged per store so --trace export paths don't collide across the two calls.
+    row.label = std::string(tag) + "-" + label;
     row.config = ct::BenchMachine();
     row.config.warmup = 25 * ct::kSecond;  // Covers sequential initialization + settling.
     row.config.measure = 20 * ct::kSecond;
@@ -34,7 +36,7 @@ void RunStore(const char* title, uint64_t num_items, uint64_t value_bytes, int j
                      ct::BenchKvProc("kv-1", num_items, value_bytes, set_fraction)};
     rows.push_back(std::move(row));
   }
-  const auto results = ct::RunMatrix(rows, policies, jobs);
+  const auto results = ct::RunMatrix(rows, policies, flags);
 
   for (size_t m = 0; m < rows.size(); ++m) {
     std::vector<double> throughput;
@@ -48,7 +50,7 @@ void RunStore(const char* title, uint64_t num_items, uint64_t value_bytes, int j
         best = i;
       }
     }
-    table.AddRow({rows[m].label, ct::TextTable::Num(normalized[0]),
+    table.AddRow({mixes[m].first, ct::TextTable::Num(normalized[0]),
                   ct::TextTable::Num(normalized[1]), ct::TextTable::Num(normalized[2]),
                   ct::TextTable::Num(normalized[3]), ct::TextTable::Num(normalized[4]),
                   ct::TextTable::Num(normalized[5]), policies[best].name});
@@ -60,11 +62,13 @@ void RunStore(const char* title, uint64_t num_items, uint64_t value_bytes, int j
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv, "Figure 12: KV-store throughput (Memcached/Redis stand-ins).");
   std::printf("Figure 12: KV-store throughput (normalized to Linux-NB).\n");
   // Memcached stand-in: small values, larger item count.
-  RunStore("Fig 12(a): Memcached (256 B values, 300k items/proc)", 300000, 256, jobs);
+  RunStore("memcached", "Fig 12(a): Memcached (256 B values, 300k items/proc)", 300000, 256,
+           flags);
   // Redis stand-in: larger values.
-  RunStore("Fig 12(b): Redis (512 B values, 180k items/proc)", 180000, 512, jobs);
+  RunStore("redis", "Fig 12(b): Redis (512 B values, 180k items/proc)", 180000, 512, flags);
   return 0;
 }

@@ -14,7 +14,8 @@
 namespace ct = chronotier;
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv, "Figure 13: Chrono component ablation.");
   std::printf("Figure 13: Chrono design-choice ablation (normalized to Linux-NB).\n");
   ct::PrintBanner("Fig 13: pmbench throughput by variant and R/W ratio");
 
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
                      ct::BenchPmbenchProc(96, read_ratio)};
     rows.push_back(std::move(row));
   }
-  const auto results = ct::RunMatrix(rows, variants, jobs);
+  const auto results = ct::RunMatrix(rows, variants, flags);
 
   ct::TextTable detail({"variant", "throughput (norm, 95:5)", "FMAR", "promoted pages",
                         "thrash events"});

@@ -15,12 +15,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/common/json.h"
 #include "src/harness/machine.h"
 #include "src/workloads/patterns.h"
 
@@ -67,7 +69,8 @@ ct::ProcessSpec SegmentedProc() {
   return ct::ProcessSpec{"segmented", [w] { return std::make_unique<ct::SegmentedStream>(w); }};
 }
 
-PolicyPoint MeasurePolicy(const ct::NamedPolicyFactory& named, int reps) {
+PolicyPoint MeasurePolicy(const ct::NamedPolicyFactory& named, int reps,
+                          const ct::BenchFlags& flags) {
   PolicyPoint point;
   point.name = named.name;
   const std::vector<ct::ProcessSpec> procs = {SegmentedProc(), SegmentedProc()};
@@ -79,9 +82,16 @@ PolicyPoint MeasurePolicy(const ct::NamedPolicyFactory& named, int reps) {
   ct::Machine::TlbCounters counters;
   for (int rep = 0; rep < reps; ++rep) {
     for (const bool tlb : {false, true}) {
+      ct::ExperimentConfig config = ThroughputMachine(tlb);
+      if (rep == 0) {
+        // Trace one rep per mode; tracing adds host work, so traced runs also measure
+        // its wall-clock overhead (simulated results are identical by construction).
+        ct::ApplyTraceFlags(config, flags,
+                            named.name + (tlb ? "-tlb-on" : "-tlb-off"));
+      }
       const auto start = std::chrono::steady_clock::now();
       const ct::ExperimentResult result = ct::Experiment::Run(
-          ThroughputMachine(tlb), named.make, procs, nullptr,
+          config, named.make, procs, nullptr,
           [&counters, tlb](ct::Machine& machine, ct::ExperimentResult&) {
             if (tlb) {
               counters = machine.TlbStats();
@@ -115,18 +125,16 @@ double TimeSweep(const std::vector<ct::NamedPolicyFactory>& policies, int jobs) 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
-  const char* out_path = "BENCH_throughput.json";
+  std::string out_path = "BENCH_throughput.json";
   int reps = 3;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[i + 1];
-      ++i;
-    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-      reps = std::max(1, std::atoi(argv[i + 1]));
-      ++i;
-    }
-  }
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv,
+      "Simulator-throughput microbench: simulated accesses per wall-clock second per\n"
+      "policy (fast lane on vs off) plus the parallel-runner speedup.",
+      {{"--out", "FILE", "result JSON path (default BENCH_throughput.json)",
+        [&out_path](const std::string& v) { out_path = v; }},
+       {"--reps", "N", "best-of-N repetitions per mode (default 3)",
+        [&reps](const std::string& v) { reps = std::max(1, std::atoi(v.c_str())); }}});
 
   ct::PrintBanner("Simulator throughput: accesses per wall-clock second");
   const auto policies = ct::StandardPolicySet(ct::BenchGeometry());
@@ -141,7 +149,7 @@ int main(int argc, char** argv) {
   size_t active_count = 0;
   double all_log_sum = 0;
   for (const auto& named : policies) {
-    PolicyPoint point = MeasurePolicy(named, reps);
+    PolicyPoint point = MeasurePolicy(named, reps, flags);
     table.AddRow({point.name, ct::TextTable::Num(point.accesses, 0),
                   ct::TextTable::Num(point.aps_tlb_off, 0),
                   ct::TextTable::Num(point.aps_tlb_on, 0),
@@ -167,38 +175,48 @@ int main(int argc, char** argv) {
 
   ct::PrintBanner("Parallel runner: six-policy sweep wall-clock");
   const double serial_s = TimeSweep(policies, 1);
-  const double parallel_s = TimeSweep(policies, jobs);
+  const double parallel_s = TimeSweep(policies, flags.jobs);
   const double runner_speedup = serial_s / parallel_s;
-  std::printf("--jobs 1: %.1f s   --jobs %d: %.1f s   speedup: %.2fx\n", serial_s, jobs,
-              parallel_s, runner_speedup);
+  std::printf("--jobs 1: %.1f s   --jobs %d: %.1f s   speedup: %.2fx\n", serial_s,
+              flags.jobs, parallel_s, runner_speedup);
 
-  std::FILE* out = std::fopen(out_path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n  \"per_policy\": [\n");
-  for (size_t i = 0; i < points.size(); ++i) {
-    const PolicyPoint& p = points[i];
-    std::fprintf(out,
-                 "    {\"policy\": \"%s\", \"sim_accesses\": %.0f, "
-                 "\"accesses_per_sec_tlb_off\": %.0f, \"accesses_per_sec_tlb_on\": %.0f, "
-                 "\"fastlane_speedup\": %.4f, \"tlb_hit_rate\": %.4f}%s\n",
-                 p.name.c_str(), p.accesses, p.aps_tlb_off, p.aps_tlb_on,
-                 p.fastlane_speedup, p.tlb_hit_rate, i + 1 < points.size() ? "," : "");
+  {
+    ct::JsonWriter json(out);
+    json.set_pretty(true);
+    json.BeginObject();
+    json.Key("per_policy");
+    json.BeginArray();
+    for (const PolicyPoint& p : points) {
+      json.BeginObject();
+      json.Field("policy", p.name);
+      json.Field("sim_accesses", p.accesses);
+      json.Field("accesses_per_sec_tlb_off", p.aps_tlb_off);
+      json.Field("accesses_per_sec_tlb_on", p.aps_tlb_on);
+      json.Field("fastlane_speedup", p.fastlane_speedup);
+      json.Field("tlb_hit_rate", p.tlb_hit_rate);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Field("fastlane_speedup_geomean", geomean_speedup);
+    json.Field("fastlane_speedup_geomean_all", geomean_all);
+    // host_cpus contextualises the runner speedup: on a single-core host the sweep cannot
+    // parallelise and the honest measurement is ~1.0x (threading overhead included).
+    json.Key("runner");
+    json.BeginObject();
+    json.Field("jobs", flags.jobs);
+    json.Field("host_cpus", std::thread::hardware_concurrency());
+    json.Field("serial_seconds", serial_s);
+    json.Field("parallel_seconds", parallel_s);
+    json.Field("speedup", runner_speedup);
+    json.EndObject();
+    json.EndObject();
   }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"fastlane_speedup_geomean\": %.4f,\n", geomean_speedup);
-  std::fprintf(out, "  \"fastlane_speedup_geomean_all\": %.4f,\n", geomean_all);
-  // host_cpus contextualises the runner speedup: on a single-core host the sweep cannot
-  // parallelise and the honest measurement is ~1.0x (threading overhead included).
-  std::fprintf(out,
-               "  \"runner\": {\"jobs\": %d, \"host_cpus\": %u, \"serial_seconds\": %.2f, "
-               "\"parallel_seconds\": %.2f, \"speedup\": %.4f}\n",
-               jobs, std::thread::hardware_concurrency(), serial_s, parallel_s,
-               runner_speedup);
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", out_path);
+  out << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

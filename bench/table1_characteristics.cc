@@ -72,7 +72,8 @@ ct::ExperimentJob SelectivityJob(const ct::NamedPolicyFactory& named, double* se
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = ct::ParseJobsFlag(argc, argv);
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv, "Table 1: design characteristics and measured frequency discrimination.");
   std::printf("Table 1: design characteristics + measured frequency discrimination.\n");
   ct::PrintBanner("Table 1: characteristics of recent tiered-memory systems");
 
@@ -101,8 +102,9 @@ int main(int argc, char** argv) {
   std::vector<ct::ExperimentJob> batch;
   for (size_t i = 0; i < policies.size(); ++i) {
     batch.push_back(SelectivityJob(policies[i], &selectivities[i]));
+    ct::ApplyTraceFlags(batch.back().config, flags, batch.back().label);
   }
-  ct::RunExperiments(batch, jobs);
+  ct::RunExperiments(batch, flags.jobs);
   for (size_t i = 0; i < policies.size(); ++i) {
     table.AddRow({rows[i].name, rows[i].type, rows[i].criterion, rows[i].scale,
                   rows[i].page_size, ct::TextTable::Percent(selectivities[i])});

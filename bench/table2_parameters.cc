@@ -8,7 +8,9 @@
 
 namespace ct = chronotier;
 
-int main() {
+int main(int argc, char** argv) {
+  ct::ParseBenchFlags(argc, argv,
+                      "Table 2: Chrono parameter defaults (read from ChronoConfig).");
   std::printf("Table 2: Chrono parameter defaults (paper values; read from ChronoConfig).\n");
   const ct::ChronoConfig config;  // Paper defaults.
 

@@ -92,6 +92,8 @@ SimDuration ChronoPolicy::OnHintFault(Process& /*process*/, Vma& vma, PageInfo& 
     }
     if (outcome == CandidateFilter::Outcome::kReadyToPromote) {
       queue_.Enqueue(unit);
+      EmitTrace(machine()->tracer(), TraceCategory::kPolicy, TraceEventType::kPolicyEnqueue,
+                now, unit.owner, unit.vpn, unit.node, kFastNode, cit_ms, threshold);
     }
   } else {
     filter_.RecordDisqualifyingCit(unit);
@@ -121,13 +123,16 @@ void ChronoPolicy::OverrideCitThreshold(uint32_t threshold_ms) {
 
 void ChronoPolicy::OverrideRateLimit(double mbps) { SetRateLimit(mbps); }
 
-void ChronoPolicy::PeriodTick(SimTime /*now*/) {
+void ChronoPolicy::PeriodTick(SimTime now) {
   const double window_seconds = ToSeconds(config_.geometry.scan_period);
   const double limit_pages = RatePagesPerSecond() * window_seconds;
 
   if (config_.tuning == ChronoTuningMode::kSemiAuto) {
     threshold_ms_ = controller_.Adjust(
         threshold_ms_, limit_pages, static_cast<double>(queue_.enqueued_in_window()));
+    EmitTrace(machine()->tracer(), TraceCategory::kTuning, TraceEventType::kTuningUpdate,
+              now, kTraceNoPid, kTraceNoVpn, kInvalidNode, kInvalidNode, threshold_ms_,
+              static_cast<uint64_t>(rate_limit_mbps_));
   }
 
   if (thrash_.EvaluateWindow(queue_.dequeued_in_window())) {
@@ -136,7 +141,7 @@ void ChronoPolicy::PeriodTick(SimTime /*now*/) {
   queue_.ResetWindow();
 }
 
-void ChronoPolicy::DrainTick(SimTime /*now*/) {
+void ChronoPolicy::DrainTick(SimTime now) {
   const double budget =
       RatePagesPerSecond() * ToSeconds(config_.queue_drain_period);
   drain_tokens_ = std::min(drain_tokens_ + budget, RatePagesPerSecond());
@@ -154,6 +159,8 @@ void ChronoPolicy::DrainTick(SimTime /*now*/) {
       continue;
     }
     const uint64_t unit_pages = vma->UnitPages(unit->vpn);
+    EmitTrace(machine()->tracer(), TraceCategory::kPolicy, TraceEventType::kPolicyPromote,
+              now, unit->owner, unit->vpn, unit->node, kFastNode, unit_pages);
     // Tokens are consumed whether or not the engine admits: the rate limit models the
     // daemon's submission budget, and a refusal still spent that budget slot.
     machine()->migration().Submit(*vma, *unit, kFastNode, MigrationClass::kAsync,
@@ -184,6 +191,9 @@ void ChronoPolicy::DcscTick(SimTime now) {
           static_cast<double>(config_.min_cit_threshold / kMillisecond),
           static_cast<double>(config_.max_cit_threshold / kMillisecond)));
       SetRateLimit(0.5 * rate_limit_mbps_ + 0.5 * out.rate_limit_mbps);
+      EmitTrace(machine()->tracer(), TraceCategory::kTuning, TraceEventType::kTuningUpdate,
+                now, kTraceNoPid, kTraceNoVpn, kInvalidNode, kInvalidNode, threshold_ms_,
+                static_cast<uint64_t>(rate_limit_mbps_));
     }
     machine()->ChargeKernel(KernelWork::kPolicy, 5 * kMicrosecond);
   }

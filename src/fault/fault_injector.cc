@@ -65,6 +65,9 @@ void FaultInjector::StallTick(SimTime now) {
   channel.InjectStall(now, plan_.stall_duration);
   channel.DegradeBandwidth(now + plan_.stall_window, plan_.stall_bandwidth_slowdown);
   ++stats_->stall_windows;
+  EmitTrace(tracer_, TraceCategory::kFault, TraceEventType::kFaultStall, now, kTraceNoPid,
+            kTraceNoVpn, lo, hi, static_cast<uint64_t>(plan_.stall_duration),
+            static_cast<uint64_t>(plan_.stall_bandwidth_slowdown * 1000.0));
 }
 
 void FaultInjector::PressureTick(SimTime now) {
@@ -89,12 +92,17 @@ void FaultInjector::PressureTick(SimTime now) {
   const uint64_t stolen = fast.StealFreePages(want);
   ++stats_->pressure_spikes;
   stats_->pressure_pages_stolen += stolen;
+  EmitTrace(tracer_, TraceCategory::kFault, TraceEventType::kFaultPressureBegin, now,
+            kTraceNoPid, kTraceNoVpn, kFastNode, kInvalidNode, stolen,
+            static_cast<uint64_t>(plan_.pressure_duration));
 
-  queue_->ScheduleAfter(plan_.pressure_duration, [this, stolen](SimTime /*when*/) {
+  queue_->ScheduleAfter(plan_.pressure_duration, [this, stolen](SimTime when) {
     MemoryTier& tier = memory_->node(kFastNode);
     tier.ReturnStolenPages(stolen);
     tier.set_degraded(false);
     pressure_active_ = false;
+    EmitTrace(tracer_, TraceCategory::kFault, TraceEventType::kFaultPressureEnd, when,
+              kTraceNoPid, kTraceNoVpn, kFastNode, kInvalidNode, stolen);
   });
 }
 
@@ -107,11 +115,16 @@ void FaultInjector::AllocFailTick(SimTime now) {
     memory_->node(node).set_strict_min_floor(true);
   }
   ++stats_->alloc_fail_windows;
-  queue_->ScheduleAfter(plan_.alloc_fail_duration, [this](SimTime /*when*/) {
+  EmitTrace(tracer_, TraceCategory::kFault, TraceEventType::kFaultAllocBegin, now,
+            kTraceNoPid, kTraceNoVpn, kInvalidNode, kInvalidNode,
+            static_cast<uint64_t>(plan_.alloc_fail_duration));
+  queue_->ScheduleAfter(plan_.alloc_fail_duration, [this](SimTime when) {
     for (NodeId node = 0; node < memory_->num_nodes(); ++node) {
       memory_->node(node).set_strict_min_floor(false);
     }
     alloc_fail_active_ = false;
+    EmitTrace(tracer_, TraceCategory::kFault, TraceEventType::kFaultAllocEnd, when,
+              kTraceNoPid, kTraceNoVpn);
   });
 }
 

@@ -49,6 +49,10 @@ class FaultInjector : public CopyFaultOracle {
   CopyFault OnCopyPassDone(NodeId from, NodeId to, uint64_t pages, int attempt,
                            SimTime now) override;
 
+  // Installs the tracer (null = no tracing); window begin/end events land on the fault
+  // injector's track. Never consulted for injection decisions.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   const FaultPlan& plan() const { return plan_; }
 
  private:
@@ -61,6 +65,7 @@ class FaultInjector : public CopyFaultOracle {
   FaultPlan plan_;
   FaultStats* stats_;
   Rng rng_;
+  Tracer* tracer_ = nullptr;
 
   // Wired by Arm().
   EventQueue* queue_ = nullptr;

@@ -1,6 +1,7 @@
 #include "src/harness/experiment.h"
 
 #include "src/common/check.h"
+#include "src/trace/exporter.h"
 
 namespace chronotier {
 
@@ -22,6 +23,7 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   machine_config.fault = config.fault;
   machine_config.audit_period = config.audit_period;
   machine_config.enable_translation_cache = config.enable_translation_cache;
+  machine_config.trace = config.trace;
   Machine machine(machine_config, std::move(policy));
 
   for (size_t i = 0; i < process_specs.size(); ++i) {
@@ -90,6 +92,27 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   result.faults_injected_transient = migration.injected_transient_faults;
   result.faults_injected_persistent = migration.injected_persistent_faults;
   result.frames_quarantined = migration.quarantined_pages;
+  if (Tracer* tracer = machine.tracer()) {
+    // Final telemetry sample so the time series covers the full window, then the exports.
+    // Export failures are CHECKs: a bench asked for a trace and silently losing it would
+    // defeat the subsystem's purpose.
+    tracer->telemetry().ForceSample(machine.now());
+    machine.metrics().set_trace_events_dropped(tracer->overwritten());
+    const TraceConfig& trace = tracer->config();
+    if (!trace.export_path.empty()) {
+      CHECK(WriteChromeTraceFile(*tracer, trace.export_path))
+          << "cannot write trace to " << trace.export_path;
+    }
+    if (!trace.timeseries_path.empty()) {
+      CHECK(tracer->telemetry().WriteFile(trace.timeseries_path))
+          << "cannot write telemetry to " << trace.timeseries_path;
+    }
+    if (!trace.provenance_path.empty()) {
+      CHECK(tracer->WriteProvenanceFile(trace.provenance_path))
+          << "cannot write provenance to " << trace.provenance_path;
+    }
+  }
+  result.trace_events_dropped = metrics.trace_events_dropped();
   const FaultStats& fault = metrics.fault();
   result.alloc_refusals = fault.alloc_refusals;
   result.emergency_reclaims = fault.emergency_reclaims;

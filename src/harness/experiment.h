@@ -43,6 +43,10 @@ struct ExperimentConfig {
   // Access-path fast lane (MachineConfig::enable_translation_cache). On by default; the
   // equivalence tests and bench/sim_throughput run both settings and compare.
   bool enable_translation_cache = true;
+  // Observability (src/trace), forwarded to MachineConfig. When enabled, any configured
+  // export paths (Chrome trace JSON, telemetry time series, provenance dump) are written
+  // after the measured window, before `finish` runs.
+  TraceConfig trace;
 };
 
 struct ExperimentResult {
@@ -88,6 +92,11 @@ struct ExperimentResult {
   // FNV-1a over (owner, vpn, target, commit time) in commit order. Deterministic-replay
   // fingerprint: TLB-on/off and parallel/serial runs of the same config must agree on it.
   uint64_t migration_commit_hash = 0;
+
+  // Tracer ring-buffer overwrites (0 when tracing is off or the ring never filled). The
+  // only trace-derived result field: a nonzero value flags a truncated trace without
+  // breaking on/off comparability for runs whose ring was sized to their event volume.
+  uint64_t trace_events_dropped = 0;
 
   // Residency time series (per process, per sample) and the sample times.
   std::vector<SimTime> sample_times;

@@ -77,6 +77,12 @@ std::vector<std::string> MachineConfig::Validate() const {
   require(fault.alloc_fail_duration >= 0, "fault.alloc_fail_duration must be >= 0");
   require(alloc_retry_stall >= 0, "alloc_retry_stall must be >= 0");
   require(audit_period >= 0, "audit_period must be >= 0");
+
+  if (trace.enabled) {
+    require(trace.ring_capacity > 0, "trace.ring_capacity must be > 0");
+    require(trace.provenance_depth > 0, "trace.provenance_depth must be > 0");
+    require(trace.telemetry_period >= 0, "trace.telemetry_period must be >= 0");
+  }
   return errors;
 }
 
@@ -112,6 +118,13 @@ Machine::Machine(MachineConfig config, std::unique_ptr<TieringPolicy> policy)
     injector_ = std::make_unique<FaultInjector>(config_.fault, metrics_.mutable_fault());
     engine_->set_fault_oracle(injector_.get());
   }
+  if (config_.trace.enabled) {
+    tracer_ = std::make_unique<Tracer>(config_.trace);
+    engine_->set_tracer(tracer_.get());
+    if (injector_ != nullptr) {
+      injector_->set_tracer(tracer_.get());
+    }
+  }
 }
 
 Machine::~Machine() = default;
@@ -122,6 +135,9 @@ Process& Machine::CreateProcess(const std::string& name) {
   bindings_.emplace_back();
   Process& process = *processes_.back();
   process.SyncClockTo(queue_.now());
+  if (tracer_ != nullptr) {
+    tracer_->SetProcessName(pid, name);
+  }
   if (started_) {
     policy_->OnProcessCreated(process);
   }
@@ -139,6 +155,12 @@ void Machine::AttachWorkload(Process& process, std::unique_ptr<AccessStream> str
 void Machine::Start() {
   CHECK(!started_) << "Machine::Start() called twice";
   started_ = true;
+  if (tracer_ != nullptr) {
+    // The telemetry sampler is pull-driven (polled from Emit and existing periodic work,
+    // never from its own queue event — see src/trace/telemetry.h for why).
+    tracer_->telemetry().set_snapshot_fn(
+        [this](SimTime now, TelemetrySample* sample) { FillTelemetrySample(now, sample); });
+  }
   policy_->Attach(*this);
   if (policy_->WantsSharedReclaim()) {
     queue_.SchedulePeriodic(config_.reclaim_check_period,
@@ -151,7 +173,10 @@ void Machine::Start() {
   if (config_.audit_period > 0) {
     // The always-on auditor: any bookkeeping divergence dies loudly at the next period
     // boundary instead of silently skewing results.
-    queue_.SchedulePeriodic(config_.audit_period, [this](SimTime /*now*/) {
+    queue_.SchedulePeriodic(config_.audit_period, [this](SimTime now) {
+      if (tracer_ != nullptr) {
+        tracer_->Poll(now);
+      }
       const AuditReport report = AuditNow();
       CHECK(report.clean()) << report.Summary() << "\n" << FatalDump();
     });
@@ -286,6 +311,9 @@ SimDuration Machine::FastPathAccess(Process& process, PageInfo& unit, bool is_st
   }
 
   metrics_.CountAccess(is_store, unit.node == kFastNode, latency);
+  EmitTrace(tracer_.get(), TraceCategory::kAccess, TraceEventType::kAccess, now,
+            process.pid(), unit.vpn, unit.node, kInvalidNode, is_store ? 1 : 0,
+            /*fast_lane=*/1);
   return latency;
 }
 
@@ -361,6 +389,8 @@ SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_stor
     metrics_.ChargeKernel(KernelWork::kFaultHandling, config_.hint_fault_cost);
     metrics_.CountHintFault();
     metrics_.CountContextSwitch();
+    EmitTrace(tracer_.get(), TraceCategory::kFault, TraceEventType::kHintFault, now,
+              process.pid(), unit.vpn, unit.node, kInvalidNode, is_store ? 1 : 0);
     latency += policy_->OnHintFault(process, *vma, unit, is_store, now);
   }
 
@@ -386,6 +416,9 @@ SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_stor
   }
 
   metrics_.CountAccess(is_store, unit.node == kFastNode, latency);
+  EmitTrace(tracer_.get(), TraceCategory::kAccess, TraceEventType::kAccess, now,
+            process.pid(), unit.vpn, unit.node, kInvalidNode, is_store ? 1 : 0,
+            /*fast_lane=*/0);
 
   // Install the translation for the next touch. Only fully fast-lane-eligible units are
   // cached; everything else (just-poisoned, migrating, refused allocation) re-resolves.
@@ -415,6 +448,8 @@ SimDuration Machine::HandleDemandFault(Process& process, Vma& vma, PageInfo& uni
         fault_stats->alloc_stall_time += stall;
         metrics_.ChargeKernel(KernelWork::kFaultHandling, config_.demand_fault_cost);
         metrics_.CountContextSwitch();
+        EmitTrace(tracer_.get(), TraceCategory::kFault, TraceEventType::kAllocRefused,
+                  queue_.now(), process.pid(), unit.vpn, kInvalidNode, kFastNode, pages);
         return stall;
       }
       CHECK(false) << SimError("out of physical memory", queue_.now())
@@ -433,6 +468,8 @@ SimDuration Machine::HandleDemandFault(Process& process, Vma& vma, PageInfo& uni
   metrics_.CountDemandFault();
   metrics_.CountContextSwitch();
   metrics_.ChargeKernel(KernelWork::kFaultHandling, config_.demand_fault_cost);
+  EmitTrace(tracer_.get(), TraceCategory::kFault, TraceEventType::kDemandFault, queue_.now(),
+            process.pid(), unit.vpn, kInvalidNode, node, pages);
   policy_->OnDemandAllocation(process, vma, unit, queue_.now());
   return config_.demand_fault_cost;
 }
@@ -520,6 +557,8 @@ bool Machine::SplitHugeUnit(Vma& vma, PageInfo& head) {
   }
   // Splitting walks 512 PTEs; charge it like a scan chunk.
   ChargeScanCost(kBasePagesPerHugePage);
+  EmitTrace(tracer_.get(), TraceCategory::kFault, TraceEventType::kHugeSplit, queue_.now(),
+            head.owner, head.vpn, node, kInvalidNode, last - first);
   return true;
 }
 
@@ -530,6 +569,9 @@ uint64_t Machine::ReclaimFastTier(uint64_t refill_target) {
   reclaim_in_progress_ = true;
   MemoryTier& fast = memory_.node(kFastNode);
   NodeLru& fast_lru = lrus_[static_cast<size_t>(kFastNode)];
+  EmitTrace(tracer_.get(), TraceCategory::kReclaim, TraceEventType::kReclaimWake,
+            queue_.now(), kTraceNoPid, kTraceNoVpn, kFastNode, kInvalidNode,
+            fast.free_pages(), refill_target);
   uint64_t demoted = 0;
   uint64_t examined = 0;
   const uint64_t batch_limit = config_.reclaim_batch_limit;
@@ -568,11 +610,17 @@ uint64_t Machine::ReclaimFastTier(uint64_t refill_target) {
   examined += fast_lru.BalanceInactive(0.35, 4096);
   metrics_.ChargeKernel(KernelWork::kReclaim,
                         static_cast<SimDuration>(examined) * config_.lru_visit_cost);
+  EmitTrace(tracer_.get(), TraceCategory::kReclaim, TraceEventType::kReclaimDone,
+            queue_.now(), kTraceNoPid, kTraceNoVpn, kFastNode, kInvalidNode, demoted,
+            examined);
   reclaim_in_progress_ = false;
   return demoted;
 }
 
-void Machine::ReclaimTick(SimTime /*now*/) {
+void Machine::ReclaimTick(SimTime now) {
+  if (tracer_ != nullptr) {
+    tracer_->Poll(now);
+  }
   // Demotion triggers when free memory drops below the high watermark (Section 3.3.1) and
   // refills to the policy's target (`high` for the baselines, `pro` for Chrono).
   MemoryTier& fast = memory_.node(kFastNode);
@@ -582,6 +630,48 @@ void Machine::ReclaimTick(SimTime /*now*/) {
   const uint64_t target =
       std::max(policy_->DemotionRefillTarget(fast), fast.watermarks().high);
   ReclaimFastTier(target);
+}
+
+void Machine::FillTelemetrySample(SimTime /*now*/, TelemetrySample* sample) const {
+  const int num_nodes = memory_.num_nodes();
+  sample->tiers.reserve(static_cast<size_t>(num_nodes));
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    const MemoryTier& tier = memory_.node(node);
+    const Watermarks& wm = tier.watermarks();
+    const NodeLru& lru = lrus_[static_cast<size_t>(node)];
+    TelemetrySample::Tier t;
+    t.free = tier.free_pages();
+    t.allocated = tier.allocated_pages();
+    t.quarantined = tier.quarantined_pages();
+    t.stolen = tier.pressure_stolen_pages();
+    t.wm_min = wm.min;
+    t.wm_low = wm.low;
+    t.wm_high = wm.high;
+    t.wm_pro = wm.pro;
+    t.lru_active = lru.active().size();
+    t.lru_inactive = lru.inactive().size();
+    sample->tiers.push_back(t);
+  }
+
+  const MigrationStats& migration = metrics_.migration();
+  sample->inflight_transactions = engine_->inflight_transactions();
+  const auto backlog = [&migration](MigrationClass klass) {
+    const auto i = static_cast<size_t>(klass);
+    return static_cast<int64_t>(migration.submitted[i]) -
+           static_cast<int64_t>(migration.committed[i]) -
+           static_cast<int64_t>(migration.aborted[i]) -
+           static_cast<int64_t>(migration.parked[i]);
+  };
+  sample->backlog_sync = backlog(MigrationClass::kSync);
+  sample->backlog_async = backlog(MigrationClass::kAsync);
+  sample->backlog_reclaim = backlog(MigrationClass::kReclaim);
+
+  sample->accesses = metrics_.total_ops();
+  sample->fmar = metrics_.Fmar();
+  const TlbCounters tlb = TlbStats();
+  const uint64_t lookups = tlb.hits + tlb.misses;
+  sample->tlb_hit_rate =
+      lookups == 0 ? 0.0 : static_cast<double>(tlb.hits) / static_cast<double>(lookups);
 }
 
 SimDuration Machine::ChargeScanCost(uint64_t units_visited) {

@@ -25,6 +25,7 @@
 #include "src/migration/migration_engine.h"
 #include "src/pebs/pebs.h"
 #include "src/sim/event_queue.h"
+#include "src/trace/tracer.h"
 #include "src/vm/lru.h"
 #include "src/vm/process.h"
 #include "src/vm/scanner.h"
@@ -81,6 +82,12 @@ struct MachineConfig {
   // counters, watermark ordering); 0 disables the periodic audit but not the end-of-run
   // audit run by the experiment harness.
   SimDuration audit_period = kSecond;
+
+  // Observability (src/trace). Disabled by default; when enabled the machine owns a
+  // Tracer that every subsystem emits into. Strictly observational: enabling it never
+  // schedules queue events or touches simulation state, so results are bitwise identical
+  // with tracing on or off (tests/trace_test.cc).
+  TraceConfig trace;
 
   // Configuration validation, run at Machine construction (CHECK-fatal on any error).
   // Returns every violated constraint as a human-readable string; empty means valid.
@@ -142,6 +149,8 @@ class Machine : private MigrationEnv {
     if (unit.present()) {
       unit.Set(kPageProtNone);
       InvalidateTranslationsFor(unit);
+      EmitTrace(tracer_.get(), TraceCategory::kScan, TraceEventType::kScanPoison,
+                queue_.now(), unit.owner, unit.vpn, unit.node);
     }
   }
 
@@ -168,6 +177,10 @@ class Machine : private MigrationEnv {
 
   // The fault injector, or nullptr when config.fault.enabled is false.
   FaultInjector* fault_injector() { return injector_.get(); }
+
+  // The tracer, or nullptr when config.trace.enabled is false. Instrumentation sites go
+  // through EmitTrace(tracer(), ...), which is a single null check when tracing is off.
+  Tracer* tracer() { return tracer_.get(); }
 
   // Charges the cost of a scanner chunk (units * pte_visit_cost) and returns it.
   SimDuration ChargeScanCost(uint64_t units_visited);
@@ -204,6 +217,9 @@ class Machine : private MigrationEnv {
   SimDuration HandleDemandFault(Process& process, Vma& vma, PageInfo& unit);
   void RunProcessUntil(Process& process, WorkloadBinding& binding, SimTime horizon);
   void ReclaimTick(SimTime now);
+  // Telemetry snapshot callback (tier occupancy, LRU sizes, engine backlog, hit ratios);
+  // installed on the tracer's sampler at Start(). Read-only over machine state.
+  void FillTelemetrySample(SimTime now, TelemetrySample* sample) const;
 
   // --- MigrationEnv (the engine's view of the machine) ---
   void ReclaimForPromotion(uint64_t pages) override;
@@ -227,6 +243,8 @@ class Machine : private MigrationEnv {
   bool pebs_active_ = false;
   bool started_ = false;
   bool reclaim_in_progress_ = false;  // Re-entrancy guard: demotions never recurse.
+  std::unique_ptr<Tracer> tracer_;   // Null unless config.trace.enabled; before engine_
+                                     // (the engine holds a raw pointer into it).
   std::unique_ptr<MigrationEngine> engine_;  // After metrics_: stats live there.
   std::unique_ptr<FaultInjector> injector_;  // Null unless config.fault.enabled.
 

@@ -45,6 +45,7 @@ void Metrics::Reset() {
   promotion_failures_ = 0;
   thrash_events_ = 0;
   app_time_ = 0;
+  trace_events_dropped_ = 0;
   kernel_time_.fill(0);
   read_latency_.Clear();
   write_latency_.Clear();

@@ -132,6 +132,12 @@ class Metrics {
   const FaultStats& fault() const { return fault_; }
   FaultStats* mutable_fault() { return &fault_; }
 
+  // Tracer ring-buffer overwrites (oldest events evicted by a full ring). Copied from the
+  // Tracer at end of run so a truncated trace is detectable in ExperimentResult rather
+  // than silent; stays 0 when tracing is off or the ring never filled.
+  void set_trace_events_dropped(uint64_t n) { trace_events_dropped_ = n; }
+  uint64_t trace_events_dropped() const { return trace_events_dropped_; }
+
   // Combined-latency percentile over both reservoirs, weighted by op counts.
   double LatencyPercentile(double p) const;
   double MeanLatency() const;
@@ -155,6 +161,7 @@ class Metrics {
   uint64_t promotion_failures_ = 0;
   uint64_t thrash_events_ = 0;
   SimDuration app_time_ = 0;
+  uint64_t trace_events_dropped_ = 0;
   std::array<SimDuration, kNumKernelWorkKinds> kernel_time_ = {};
   ReservoirSampler read_latency_;
   ReservoirSampler write_latency_;

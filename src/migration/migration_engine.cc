@@ -49,6 +49,9 @@ uint64_t MigrationEngine::inflight_reserved_pages_on(NodeId node) const {
 MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
                                         MigrationClass klass, MigrationSource source,
                                         SimTime now) {
+  if (now == kNeverTime) {
+    now = env_->queue().now();
+  }
   MigrationTicket ticket;
   const auto refuse = [&](MigrationRefusal reason, bool count_promotion_failure) {
     ticket.refusal = reason;
@@ -56,6 +59,9 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
     if (count_promotion_failure) {
       env_->OnPromotionRefused();
     }
+    EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationRefused, now,
+              unit.owner, unit.vpn, unit.node, target, static_cast<uint64_t>(reason),
+              static_cast<uint64_t>(klass));
     return ticket;
   };
 
@@ -64,9 +70,6 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
   }
   if (unit.Has(kPageMigrating)) {
     return refuse(MigrationRefusal::kAlreadyInFlight, false);
-  }
-  if (now == kNeverTime) {
-    now = env_->queue().now();
   }
 
   const NodeId from = unit.node;
@@ -126,6 +129,8 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
   ++stats_->submitted[static_cast<size_t>(klass)];
   ticket.admitted = true;
   ticket.txn_id = txn.id;
+  EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationSubmit, now,
+            unit.owner, unit.vpn, from, target, txn.id, pages);
 
   if (klass == MigrationClass::kAsync) {
     ticket.outcome = MigrationOutcome::kPending;
@@ -154,13 +159,19 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
       break;
     }
     if (fault == CopyFault::kPersistent) {
-      ParkQuarantined(txn);
+      EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationCopyFault,
+                booking.finish, txn.unit->owner, txn.unit->vpn, txn.from, txn.to, txn.id,
+                /*b=persistent*/ 2);
+      ParkQuarantined(txn, booking.finish);
       ticket.outcome = MigrationOutcome::kParked;
       break;
     }
     ++stats_->injected_transient_faults;
+    EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationCopyFault,
+              booking.finish, txn.unit->owner, txn.unit->vpn, txn.from, txn.to, txn.id,
+              /*b=transient*/ 1);
     if (txn.attempt >= config_.max_copy_attempts) {
-      ParkTransient(txn);
+      ParkTransient(txn, booking.finish);
       ticket.outcome = MigrationOutcome::kParked;
       break;
     }
@@ -189,6 +200,11 @@ CopyChannel::Booking MigrationEngine::BookCopy(Transaction& txn, SimTime now,
   txn.write_gen_at_copy = txn.unit->write_gen;
   ++stats_->copy_attempts;
   stats_->copied_bytes += bytes;
+  // Timestamped at the booked start so the exporter can render the pass as a duration
+  // slice on the channel's track; `b` carries the booked duration in ns.
+  EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationCopy,
+            booking.start, txn.unit->owner, txn.unit->vpn, txn.from, txn.to, txn.id,
+            static_cast<uint64_t>(booking.finish - booking.start));
   // Booked duration, not the uncontended copy time: an injected bandwidth collapse makes
   // the channel busy for longer than the bytes alone would.
   stats_->channel_busy += booking.finish - booking.start;
@@ -243,14 +259,18 @@ void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
           ? CopyFault::kNone
           : fault_oracle_->OnCopyPassDone(txn.from, txn.to, txn.pages, txn.attempt, now);
   if (fault == CopyFault::kPersistent) {
-    ParkQuarantined(txn);
+    EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationCopyFault, now,
+              txn.unit->owner, txn.unit->vpn, txn.from, txn.to, txn.id, /*b=persistent*/ 2);
+    ParkQuarantined(txn, now);
     finish_inflight(txn);
     return;
   }
   if (fault == CopyFault::kTransient) {
     ++stats_->injected_transient_faults;
+    EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationCopyFault, now,
+              txn.unit->owner, txn.unit->vpn, txn.from, txn.to, txn.id, /*b=transient*/ 1);
     if (txn.attempt >= config_.max_copy_attempts) {
-      ParkTransient(txn);
+      ParkTransient(txn, now);
       finish_inflight(txn);
       return;
     }
@@ -263,8 +283,11 @@ void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
   if (txn.unit->write_gen != txn.write_gen_at_copy) {
     // A store landed during the copy: the target copy is stale. Abort this pass.
     ++stats_->dirty_aborted_copies;
+    EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationDirtyAbort, now,
+              txn.unit->owner, txn.unit->vpn, txn.from, txn.to, txn.id,
+              static_cast<uint64_t>(txn.attempt));
     if (txn.attempt >= config_.max_copy_attempts) {
-      FinalAbort(txn);
+      FinalAbort(txn, now);
       finish_inflight(txn);
       return;
     }
@@ -296,38 +319,46 @@ void MigrationEngine::Commit(Transaction& txn, SimTime now) {
   stats_->MixIntoCommitHash(txn.unit->vpn);
   stats_->MixIntoCommitHash(static_cast<uint64_t>(txn.to));
   stats_->MixIntoCommitHash(static_cast<uint64_t>(now));
+  EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationCommit, now,
+            txn.unit->owner, txn.unit->vpn, txn.from, txn.to, txn.id, txn.pages);
 }
 
-void MigrationEngine::FinalAbort(Transaction& txn) {
+void MigrationEngine::FinalAbort(Transaction& txn, SimTime now) {
   // Release the reserved target frames; the unit never left its source node.
   env_->memory().FreePages(txn.to, txn.pages);
   ++stats_->aborted[static_cast<size_t>(txn.klass)];
   if (txn.to == kFastNode) {
     env_->OnPromotionRefused();
   }
+  EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationAbort, now,
+            txn.unit->owner, txn.unit->vpn, txn.from, txn.to, txn.id,
+            static_cast<uint64_t>(txn.attempt));
 }
 
-void MigrationEngine::ParkTransient(Transaction& txn) {
+void MigrationEngine::ParkTransient(Transaction& txn, SimTime now) {
   // Retries exhausted on transient copy faults: the frames are healthy, so they go back to
   // the free list. The unit stays mapped at its source — no commit cost, nothing lost.
   env_->memory().FreePages(txn.to, txn.pages);
-  CountPark(txn);
+  CountPark(txn, now);
 }
 
-void MigrationEngine::ParkQuarantined(Transaction& txn) {
+void MigrationEngine::ParkQuarantined(Transaction& txn, SimTime now) {
   // Persistent copy fault: the reserved target frames are suspect and must not be handed
   // back out. Quarantine them; the unit stays mapped at its source.
   env_->memory().node(txn.to).QuarantineAllocated(txn.pages);
   ++stats_->injected_persistent_faults;
   stats_->quarantined_pages += txn.pages;
-  CountPark(txn);
+  CountPark(txn, now);
 }
 
-void MigrationEngine::CountPark(const Transaction& txn) {
+void MigrationEngine::CountPark(const Transaction& txn, SimTime now) {
   ++stats_->parked[static_cast<size_t>(txn.klass)];
   if (txn.to == kFastNode) {
     env_->OnPromotionRefused();
   }
+  EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationPark, now,
+            txn.unit->owner, txn.unit->vpn, txn.from, txn.to, txn.id,
+            static_cast<uint64_t>(txn.attempt));
 }
 
 void MigrationEngine::Retire(const Transaction& txn) {

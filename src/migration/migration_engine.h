@@ -37,6 +37,7 @@
 #include "src/migration/copy_channel.h"
 #include "src/migration/migration_types.h"
 #include "src/sim/event_queue.h"
+#include "src/trace/tracer.h"
 #include "src/vm/address_space.h"
 #include "src/vm/page.h"
 
@@ -94,6 +95,10 @@ class MigrationEngine {
   // complete *parks* — the unit stays mapped at its source and no commit cost is charged.
   void set_fault_oracle(CopyFaultOracle* oracle) { fault_oracle_ = oracle; }
 
+  // Installs the tracer (null = no tracing). Strictly observational: emission never
+  // changes admission, booking, or retry decisions.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   const MigrationEngineConfig& config() const { return config_; }
   const MigrationStats& stats() const { return *stats_; }
 
@@ -136,19 +141,20 @@ class MigrationEngine {
   // Async copy-done event: fault-oracle verdict, dirty check, then commit or retry/abort.
   void OnCopyDone(uint64_t txn_id, SimTime now);
   void Commit(Transaction& txn, SimTime now);
-  void FinalAbort(Transaction& txn);
+  void FinalAbort(Transaction& txn, SimTime now);
   // Graceful-degradation terminals: the unit stays mapped at its source. ParkTransient
   // releases the reserved target frames; ParkQuarantined quarantines them (persistent
   // copy fault — the frames are suspect).
-  void ParkTransient(Transaction& txn);
-  void ParkQuarantined(Transaction& txn);
-  void CountPark(const Transaction& txn);
+  void ParkTransient(Transaction& txn, SimTime now);
+  void ParkQuarantined(Transaction& txn, SimTime now);
+  void CountPark(const Transaction& txn, SimTime now);
   void Retire(const Transaction& txn);
 
   MigrationEngineConfig config_;
   MigrationEnv* env_;
   MigrationStats* stats_;
   CopyFaultOracle* fault_oracle_ = nullptr;
+  Tracer* tracer_ = nullptr;
   AdmissionController admission_;
   std::vector<CopyChannel> channels_;  // Upper-triangle order over unordered pairs.
   int num_nodes_ = 0;

@@ -27,6 +27,9 @@ SimDuration AutoTieringPolicy::OnHintFault(Process& /*process*/, Vma& vma, PageI
         std::popcount((unit.policy_word & kLapMask) | 1u);  // Count this fault too.
     if (popcount >= config_.promote_lap_popcount) {
       // Opportunistic promotion: inline, stalls the faulting access.
+      EmitTrace(machine()->tracer(), TraceCategory::kPolicy, TraceEventType::kPolicyPromote,
+                now, unit.owner, unit.vpn, unit.node, kFastNode,
+                static_cast<uint64_t>(popcount));
       extra = machine()
                   ->migration()
                   .Submit(vma, unit, kFastNode, MigrationClass::kSync,

@@ -13,6 +13,8 @@ SimDuration LinuxNumaBalancingPolicy::OnHintFault(Process& /*process*/, Vma& vma
   // MRU promotion: the touched slow-tier page is migrated inline toward the faulting CPU's
   // node (the fast tier). The migration copy is synchronous and stalls the access.
   if (unit.node != kFastNode) {
+    EmitTrace(machine()->tracer(), TraceCategory::kPolicy, TraceEventType::kPolicyPromote,
+              now, unit.owner, unit.vpn, unit.node, kFastNode);
     return machine()
         ->migration()
         .Submit(vma, unit, kFastNode, MigrationClass::kSync, MigrationSource::kFaultPath, now)

@@ -54,6 +54,9 @@ void MemtisPolicy::OnSample(const PebsSample& sample) {
       !unit.Has(kPageQueued)) {
     unit.Set(kPageQueued);
     promote_queue_.push_back(&unit);
+    EmitTrace(machine_->tracer(), TraceCategory::kPolicy, TraceEventType::kPolicyEnqueue,
+              sample.time, unit.owner, unit.vpn, unit.node, kFastNode, unit.policy_word,
+              hot_threshold_);
   }
 }
 
@@ -80,8 +83,11 @@ void MemtisPolicy::MaybeTrackSplit(Vma& vma, PageInfo& unit, uint64_t vpn) {
   split_candidates_.erase(&unit);
 }
 
-void MemtisPolicy::AdjustTick(SimTime /*now*/) {
+void MemtisPolicy::AdjustTick(SimTime now) {
   RecomputeHotThreshold();
+  EmitTrace(machine_->tracer(), TraceCategory::kTuning, TraceEventType::kTuningUpdate, now,
+            kTraceNoPid, kTraceNoVpn, kInvalidNode, kInvalidNode, hot_threshold_,
+            static_cast<uint64_t>(promote_queue_.size()));
 
   uint64_t promoted = 0;
   // Drain in FIFO order up to the batch limit; pages that cooled below the threshold since
@@ -98,8 +104,12 @@ void MemtisPolicy::AdjustTick(SimTime /*now*/) {
       continue;
     }
     Vma* vma = machine_->ResolveVma(*unit);
-    if (vma != nullptr &&
-        machine_->migration()
+    if (vma == nullptr) {
+      continue;
+    }
+    EmitTrace(machine_->tracer(), TraceCategory::kPolicy, TraceEventType::kPolicyPromote,
+              now, unit->owner, unit->vpn, unit->node, kFastNode, unit->policy_word);
+    if (machine_->migration()
             .Submit(*vma, *unit, kFastNode, MigrationClass::kAsync,
                     MigrationSource::kPolicyDaemon)
             .admitted) {

@@ -8,7 +8,7 @@ MultiClockPolicy::MultiClockPolicy(MultiClockConfig config)
     : ScanPolicyBase(config.geometry), config_(config) {}
 
 void MultiClockPolicy::ScanVisit(Process& /*process*/, Vma& /*vma*/, PageInfo& unit,
-                                 SimTime /*now*/) {
+                                 SimTime now) {
   if (!unit.present()) {
     return;
   }
@@ -26,14 +26,18 @@ void MultiClockPolicy::ScanVisit(Process& /*process*/, Vma& /*vma*/, PageInfo& u
       !unit.Has(kPageQueued)) {
     unit.Set(kPageQueued);
     promote_batch_.push_back(&unit);
+    EmitTrace(machine()->tracer(), TraceCategory::kPolicy, TraceEventType::kPolicyEnqueue,
+              now, unit.owner, unit.vpn, unit.node, kFastNode, level);
   } else if (unit.node == kFastNode && level <= config_.demote_level &&
              !unit.Has(kPageQueued)) {
     unit.Set(kPageQueued);
     demote_batch_.push_back(&unit);
+    EmitTrace(machine()->tracer(), TraceCategory::kPolicy, TraceEventType::kPolicyEnqueue,
+              now, unit.owner, unit.vpn, kFastNode, kSlowNode, level);
   }
 }
 
-void MultiClockPolicy::AfterScanTick(Process& /*process*/, SimTime /*now*/,
+void MultiClockPolicy::AfterScanTick(Process& /*process*/, SimTime now,
                                      bool /*lap_wrapped*/) {
   // Promote the collected top-level slow pages, bounded per tick.
   uint64_t promoted = 0;
@@ -43,8 +47,12 @@ void MultiClockPolicy::AfterScanTick(Process& /*process*/, SimTime /*now*/,
       continue;
     }
     Vma* vma = machine()->ResolveVma(*unit);
-    if (vma != nullptr && unit->node != kFastNode &&
-        machine()
+    if (vma == nullptr || unit->node == kFastNode) {
+      continue;
+    }
+    EmitTrace(machine()->tracer(), TraceCategory::kPolicy, TraceEventType::kPolicyPromote,
+              now, unit->owner, unit->vpn, unit->node, kFastNode, unit->policy_word);
+    if (machine()
             ->migration()
             .Submit(*vma, *unit, kFastNode, MigrationClass::kAsync,
                     MigrationSource::kPolicyDaemon)
@@ -63,6 +71,8 @@ void MultiClockPolicy::AfterScanTick(Process& /*process*/, SimTime /*now*/,
     }
     Vma* vma = machine()->ResolveVma(*unit);
     if (vma != nullptr && unit->node == kFastNode && unit->policy_word <= config_.demote_level) {
+      EmitTrace(machine()->tracer(), TraceCategory::kPolicy, TraceEventType::kPolicyDemote,
+                now, unit->owner, unit->vpn, kFastNode, kSlowNode, unit->policy_word);
       machine()->DemoteUnit(*vma, *unit);
     }
   }

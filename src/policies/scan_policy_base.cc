@@ -47,6 +47,14 @@ void ScanPolicyBase::ScanTick(ProcessScanner& ps, SimTime now) {
     machine_->ChargeKernel(KernelWork::kScan,
                            static_cast<SimDuration>(visited) * extra_visit_cost_);
   }
+  if (Tracer* tracer = machine_->tracer()) {
+    tracer->Poll(now);  // Scan ticks are periodic: a cheap telemetry heartbeat.
+    if (result.wrapped) {
+      EmitTrace(tracer, TraceCategory::kScan, TraceEventType::kScanLap, now,
+                ps.process->pid(), kTraceNoVpn, kInvalidNode, kInvalidNode,
+                result.units_visited);
+    }
+  }
   AfterScanTick(*ps.process, now, result.wrapped);
 }
 

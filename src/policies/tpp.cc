@@ -29,6 +29,9 @@ SimDuration TppPolicy::OnHintFault(Process& /*process*/, Vma& vma, PageInfo& uni
         last_fault_ms != 0 && now_ms >= last_fault_ms && now_ms - last_fault_ms <= window_ms;
     if (recently_faulted) {
       // Second fault within the window: the page is on the (conceptual) active list.
+      EmitTrace(machine()->tracer(), TraceCategory::kPolicy, TraceEventType::kPolicyPromote,
+                now, unit.owner, unit.vpn, unit.node, kFastNode,
+                static_cast<uint64_t>(now_ms - last_fault_ms));
       extra = machine()
                   ->migration()
                   .Submit(vma, unit, kFastNode, MigrationClass::kSync,

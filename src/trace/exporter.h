@@ -1,0 +1,27 @@
+// Chrome-trace-event JSON exporter.
+//
+// Writes the Tracer's retained events (plus telemetry counters) in the Chrome trace
+// event format, loadable directly in ui.perfetto.dev or chrome://tracing. Events are
+// grouped onto tracks: simulated processes (one thread per pid), the migration engine
+// (a transaction track plus one track per copy channel with duration slices), the
+// daemons (reclaim / scanner / policy / tuning / fault injector), and telemetry counter
+// tracks (tier occupancy, engine backlog, FMAR). Timestamps are simulated microseconds.
+
+#ifndef SRC_TRACE_EXPORTER_H_
+#define SRC_TRACE_EXPORTER_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/trace/tracer.h"
+
+namespace chronotier {
+
+void WriteChromeTrace(const Tracer& tracer, std::ostream& out);
+
+// Returns false when the file cannot be opened or written.
+bool WriteChromeTraceFile(const Tracer& tracer, const std::string& path);
+
+}  // namespace chronotier
+
+#endif  // SRC_TRACE_EXPORTER_H_

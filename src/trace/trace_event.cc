@@ -1,0 +1,103 @@
+#include "src/trace/trace_event.h"
+
+#include <array>
+
+namespace chronotier {
+
+namespace {
+
+struct CategoryEntry {
+  TraceCategory category;
+  const char* name;
+};
+
+constexpr std::array<CategoryEntry, kNumTraceCategories> kCategories = {{
+    {TraceCategory::kAccess, "access"},
+    {TraceCategory::kFault, "fault"},
+    {TraceCategory::kScan, "scan"},
+    {TraceCategory::kMigration, "migration"},
+    {TraceCategory::kReclaim, "reclaim"},
+    {TraceCategory::kPolicy, "policy"},
+    {TraceCategory::kTuning, "tuning"},
+}};
+
+}  // namespace
+
+const char* TraceCategoryName(TraceCategory c) {
+  for (const CategoryEntry& entry : kCategories) {
+    if (entry.category == c) return entry.name;
+  }
+  return "unknown";
+}
+
+bool ParseTraceCategoryList(std::string_view list, uint32_t* mask) {
+  uint32_t result = 0;
+  while (!list.empty()) {
+    const size_t comma = list.find(',');
+    std::string_view token = list.substr(0, comma);
+    list = comma == std::string_view::npos ? std::string_view() : list.substr(comma + 1);
+    if (token.empty()) continue;
+    if (token == "all") {
+      result = kTraceAllCategories;
+      continue;
+    }
+    if (token == "none") continue;
+    bool found = false;
+    for (const CategoryEntry& entry : kCategories) {
+      if (token == entry.name) {
+        result |= TraceCategoryBit(entry.category);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  *mask = result;
+  return true;
+}
+
+std::string FormatTraceCategoryMask(uint32_t mask) {
+  if ((mask & kTraceAllCategories) == kTraceAllCategories) return "all";
+  if (mask == 0) return "none";
+  std::string out;
+  for (const CategoryEntry& entry : kCategories) {
+    if ((mask & TraceCategoryBit(entry.category)) == 0) continue;
+    if (!out.empty()) out += ',';
+    out += entry.name;
+  }
+  return out;
+}
+
+const char* TraceEventTypeName(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kAccess: return "access";
+    case TraceEventType::kDemandFault: return "demand_fault";
+    case TraceEventType::kHintFault: return "hint_fault";
+    case TraceEventType::kAllocRefused: return "alloc_refused";
+    case TraceEventType::kHugeSplit: return "huge_split";
+    case TraceEventType::kFaultStall: return "injected_stall";
+    case TraceEventType::kFaultPressureBegin: return "pressure_spike_begin";
+    case TraceEventType::kFaultPressureEnd: return "pressure_spike_end";
+    case TraceEventType::kFaultAllocBegin: return "alloc_fail_window_begin";
+    case TraceEventType::kFaultAllocEnd: return "alloc_fail_window_end";
+    case TraceEventType::kScanPoison: return "scan_poison";
+    case TraceEventType::kScanLap: return "scan_lap";
+    case TraceEventType::kMigrationSubmit: return "migration_submit";
+    case TraceEventType::kMigrationRefused: return "migration_refused";
+    case TraceEventType::kMigrationCopy: return "migration_copy";
+    case TraceEventType::kMigrationDirtyAbort: return "migration_dirty_abort";
+    case TraceEventType::kMigrationCopyFault: return "migration_copy_fault";
+    case TraceEventType::kMigrationCommit: return "migration_commit";
+    case TraceEventType::kMigrationAbort: return "migration_abort";
+    case TraceEventType::kMigrationPark: return "migration_park";
+    case TraceEventType::kReclaimWake: return "reclaim_wake";
+    case TraceEventType::kReclaimDone: return "reclaim_done";
+    case TraceEventType::kPolicyPromote: return "policy_promote";
+    case TraceEventType::kPolicyDemote: return "policy_demote";
+    case TraceEventType::kPolicyEnqueue: return "policy_enqueue";
+    case TraceEventType::kTuningUpdate: return "tuning_update";
+  }
+  return "unknown";
+}
+
+}  // namespace chronotier

@@ -56,6 +56,7 @@ inline void ExpectResultsIdentical(const ExperimentResult& a, const ExperimentRe
   EXPECT_EQ(a.audits_run, b.audits_run);
 
   EXPECT_EQ(a.migration_commit_hash, b.migration_commit_hash);
+  EXPECT_EQ(a.trace_events_dropped, b.trace_events_dropped);
 
   EXPECT_EQ(a.sample_times, b.sample_times);
   EXPECT_EQ(a.residency_percent, b.residency_percent);
