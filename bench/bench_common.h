@@ -8,8 +8,7 @@
 // (25% DRAM, working set : DRAM) and the relative parameter geometry are preserved; absolute
 // throughputs are not comparable to the paper's, orderings and trends are.
 
-#ifndef BENCH_BENCH_COMMON_H_
-#define BENCH_BENCH_COMMON_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -332,5 +331,3 @@ inline void PrintMigrationEngineTable(
 }
 
 }  // namespace chronotier
-
-#endif  // BENCH_BENCH_COMMON_H_

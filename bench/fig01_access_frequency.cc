@@ -61,6 +61,7 @@ FrequencyStats MeasureWorkload(const ct::ProcessSpec& spec, ct::SimDuration wind
       return 0.0;
     }
     uint64_t total = 0;
+    // detlint:allow(unordered-iter) unsigned summation commutes
     for (const auto& [vpn, count] : samples) {
       total += count;
     }
@@ -74,6 +75,7 @@ FrequencyStats MeasureWorkload(const ct::ProcessSpec& spec, ct::SimDuration wind
   // Top-10% hottest NVM pages.
   std::vector<uint64_t> counts;
   counts.reserve(nvm_samples.size());
+  // detlint:allow(unordered-iter) values are fully sorted two lines below
   for (const auto& [vpn, count] : nvm_samples) {
     counts.push_back(count);
   }

@@ -12,8 +12,7 @@
 // SimError builds the structured fatal dumps the harness and the invariant auditor attach
 // to a CHECK: a headline, the simulated tick, and key=value context lines.
 
-#ifndef SRC_COMMON_CHECK_H_
-#define SRC_COMMON_CHECK_H_
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -99,5 +98,3 @@ class SimError {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_COMMON_CHECK_H_

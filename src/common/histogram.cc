@@ -8,7 +8,9 @@ namespace chronotier {
 
 Log2Histogram::Log2Histogram(int num_buckets) {
   CHECK_GT(num_buckets, 0);
-  buckets_.assign(static_cast<size_t>(num_buckets), 0);
+  // The explicit clamp lets the compiler prove the assign() bound fits in an
+  // object size; the CHECK above already rejects the clamped case at runtime.
+  buckets_.assign(num_buckets > 0 ? static_cast<size_t>(num_buckets) : 1, 0);
 }
 
 int Log2Histogram::BucketFor(uint64_t value) {

@@ -1,8 +1,7 @@
 // Histogram types shared by the CIT statistics subsystem, the PEBS model, and the
 // latency-reporting harness.
 
-#ifndef SRC_COMMON_HISTOGRAM_H_
-#define SRC_COMMON_HISTOGRAM_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -90,5 +89,3 @@ class LinearHistogram {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -8,8 +8,7 @@
 // NaN/Inf). Structure errors (value without a key inside an object, unbalanced
 // End*) are CHECK failures — emitting malformed JSON is a bug, not a runtime condition.
 
-#ifndef CHRONOTIER_COMMON_JSON_H_
-#define CHRONOTIER_COMMON_JSON_H_
+#pragma once
 
 #include <charconv>
 #include <cmath>
@@ -177,5 +176,3 @@ class JsonWriter {
 };
 
 }  // namespace chronotier
-
-#endif  // CHRONOTIER_COMMON_JSON_H_

@@ -6,8 +6,7 @@
 // fast, has a 2^256-1 period, and passes BigCrush; std::mt19937 is avoided because its state
 // is large and its distributions are not stable across standard library implementations.
 
-#ifndef SRC_COMMON_RNG_H_
-#define SRC_COMMON_RNG_H_
+#pragma once
 
 #include <cmath>
 #include <cstdint>
@@ -128,5 +127,3 @@ class ZipfSampler {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_COMMON_RNG_H_

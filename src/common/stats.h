@@ -1,7 +1,6 @@
 // Small statistics helpers used across the harness and benches.
 
-#ifndef SRC_COMMON_STATS_H_
-#define SRC_COMMON_STATS_H_
+#pragma once
 
 #include <algorithm>
 #include <cmath>
@@ -104,5 +103,3 @@ class ReservoirSampler {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_COMMON_STATS_H_

@@ -1,8 +1,7 @@
 // ASCII table rendering for bench output. Every figure/table bench prints its series through
 // this so outputs are uniform and diff-friendly.
 
-#ifndef SRC_COMMON_TABLE_H_
-#define SRC_COMMON_TABLE_H_
+#pragma once
 
 #include <cstdio>
 #include <initializer_list>
@@ -35,5 +34,3 @@ class TextTable {
 void PrintBanner(const std::string& title);
 
 }  // namespace chronotier
-
-#endif  // SRC_COMMON_TABLE_H_

@@ -4,8 +4,7 @@
 // SimTime is a signed 64-bit nanosecond count; signed so that time differences (e.g. CIT
 // values) can be manipulated without casts and negative sentinels are representable.
 
-#ifndef SRC_COMMON_TIME_H_
-#define SRC_COMMON_TIME_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -42,5 +41,3 @@ constexpr SimDuration FromMilliseconds(double ms) {
 std::string FormatDuration(SimDuration d);
 
 }  // namespace chronotier
-
-#endif  // SRC_COMMON_TIME_H_

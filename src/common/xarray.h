@@ -6,11 +6,9 @@
 // height grows on demand as larger keys are stored and interior nodes are freed as their
 // subtrees empty. Values are stored by value in the leaves.
 
-#ifndef SRC_COMMON_XARRAY_H_
-#define SRC_COMMON_XARRAY_H_
+#pragma once
 
 #include <array>
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -249,5 +247,3 @@ class XArray {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_COMMON_XARRAY_H_

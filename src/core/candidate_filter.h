@@ -7,8 +7,7 @@
 // period (Appendix B.1). Candidates live in an XArray keyed by (pid, vpn), matching the
 // kernel implementation's index structure and its small memory footprint.
 
-#ifndef SRC_CORE_CANDIDATE_FILTER_H_
-#define SRC_CORE_CANDIDATE_FILTER_H_
+#pragma once
 
 #include <cstdint>
 
@@ -66,5 +65,3 @@ class CandidateFilter {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_CORE_CANDIDATE_FILTER_H_

@@ -1,8 +1,7 @@
 // Chrono configuration: the Table 2 parameters plus the design-variant knobs used by the
 // Fig. 13 ablation (basic / twice / thrice / full / manual).
 
-#ifndef SRC_CORE_CHRONO_CONFIG_H_
-#define SRC_CORE_CHRONO_CONFIG_H_
+#pragma once
 
 #include <cstdint>
 
@@ -62,5 +61,3 @@ struct ChronoConfig {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_CORE_CHRONO_CONFIG_H_

@@ -6,8 +6,7 @@
 // variants (basic / twice / thrice / full / manual) are configuration points, not separate
 // classes.
 
-#ifndef SRC_CORE_CHRONO_POLICY_H_
-#define SRC_CORE_CHRONO_POLICY_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -87,5 +86,3 @@ class ChronoPolicy : public ScanPolicyBase {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_CORE_CHRONO_POLICY_H_

@@ -6,8 +6,7 @@
 // (Appendix B, eq. 1), so CIT is an unbiased, fine-grained proxy for access frequency with
 // millisecond resolution — a measurable range up to 1000 accesses/second.
 
-#ifndef SRC_CORE_CIT_H_
-#define SRC_CORE_CIT_H_
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -52,5 +51,3 @@ inline uint32_t EffectiveThresholdMillis(uint32_t base_threshold_ms, uint64_t un
 }
 
 }  // namespace chronotier
-
-#endif  // SRC_CORE_CIT_H_

@@ -6,8 +6,7 @@
 // Table 2 parameters. Reads return the current (possibly auto-tuned) values, so a manager
 // can observe the tuners as well as override them.
 
-#ifndef SRC_CORE_CONTROLS_H_
-#define SRC_CORE_CONTROLS_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -41,5 +40,3 @@ class ChronoControls {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_CORE_CONTROLS_H_

@@ -11,8 +11,7 @@
 // The class is machine-agnostic: the policy selects and poisons victims, routes probed
 // faults here, and applies the outputs.
 
-#ifndef SRC_CORE_DCSC_H_
-#define SRC_CORE_DCSC_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -52,6 +51,10 @@ class DcscCollector {
   // clears PG_probed via the provided callback.
   template <typename ClearFn>
   void ExpireStale(SimTime now, SimDuration max_age, ClearFn&& clear) {
+    // Expiry commits commute: each entry adds an independent censored sample to
+    // the heat map and clears its own PG_probed bit; no cross-entry state is
+    // read, so visit order cannot leak.
+    // detlint:allow(unordered-iter) per-entry commits commute
     for (auto it = victims_.begin(); it != victims_.end();) {
       VictimState& state = it->second;
       if (now - state.probe_time < max_age) {
@@ -94,5 +97,3 @@ class DcscCollector {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_CORE_DCSC_H_

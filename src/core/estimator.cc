@@ -1,20 +1,20 @@
 #include "src/core/estimator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "src/common/check.h"
 #include "src/common/stats.h"
 
 namespace chronotier {
 
 double MeanEstimatorVariance(double t0, int n) {
-  assert(n > 0);
+  CHECK_GT(n, 0);
   return t0 * t0 / (3.0 * static_cast<double>(n));
 }
 
 double MaxEstimatorVariance(double t0, int n) {
-  assert(n > 0);
+  CHECK_GT(n, 0);
   const double dn = static_cast<double>(n);
   return t0 * t0 / (dn * (dn + 2.0));
 }
@@ -85,12 +85,12 @@ double SelectionEfficiency(const std::function<double(double)>& density, int n,
 }
 
 double UniformSelectionEfficiency(int n) {
-  assert(n >= 1);
+  CHECK_GE(n, 1);
   return (static_cast<double>(n) - 1.0) / (static_cast<double>(n) * static_cast<double>(n));
 }
 
 HotnessDensity::HotnessDensity(double alpha) : alpha_(alpha), c_alpha_(1.0) {
-  assert(alpha > 0.0 && alpha <= 1.0);
+  CHECK(alpha > 0.0 && alpha <= 1.0) << "alpha=" << alpha;
   // Normalize over (0, 1]: C_α = ∫_0^1 raw(x) dx (midpoint rule; the integrand is smooth
   // away from 0 and integrable at 0 for the valid α range).
   const int steps = 1 << 16;

@@ -10,8 +10,7 @@
 //       for the paper's density family h(x, α) numeric integration shows n = 2 wins across
 //       realistic α (Fig. B2).
 
-#ifndef SRC_CORE_ESTIMATOR_H_
-#define SRC_CORE_ESTIMATOR_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -77,5 +76,3 @@ class HotnessDensity {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_CORE_ESTIMATOR_H_

@@ -4,8 +4,7 @@
 // pages per interval. Enqueue/dequeue counts feed the semi-auto threshold controller, and
 // the rate limit itself is adjusted by DCSC or halved by the thrashing monitor.
 
-#ifndef SRC_CORE_PROMOTION_QUEUE_H_
-#define SRC_CORE_PROMOTION_QUEUE_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -50,5 +49,3 @@ class PromotionQueue {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_CORE_PROMOTION_QUEUE_H_

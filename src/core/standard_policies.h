@@ -1,7 +1,6 @@
 // Factories for the six systems the paper evaluates, in the order its figures list them.
 
-#ifndef SRC_CORE_STANDARD_POLICIES_H_
-#define SRC_CORE_STANDARD_POLICIES_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -27,5 +26,3 @@ std::vector<NamedPolicyFactory> ChronoVariantSet(double manual_rate_mbps = 120.0
                                                  ScanGeometry geometry = {});
 
 }  // namespace chronotier
-
-#endif  // SRC_CORE_STANDARD_POLICIES_H_

@@ -4,8 +4,7 @@
 // period. The monitor compares the per-period thrashing rate against the promotion rate;
 // above the threshold ratio (default 20%) the caller halves the promotion rate limit.
 
-#ifndef SRC_CORE_THRASH_MONITOR_H_
-#define SRC_CORE_THRASH_MONITOR_H_
+#pragma once
 
 #include <cstdint>
 
@@ -70,5 +69,3 @@ class ThrashMonitor {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_CORE_THRASH_MONITOR_H_

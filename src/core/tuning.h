@@ -7,8 +7,7 @@
 // so the enqueue rate converges to the limit: too many candidates shrink the threshold,
 // too few grow it.
 
-#ifndef SRC_CORE_TUNING_H_
-#define SRC_CORE_TUNING_H_
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -46,5 +45,3 @@ class SemiAutoThresholdController {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_CORE_TUNING_H_

@@ -16,8 +16,7 @@
 //
 // Parked pages stay mapped at their source; nothing is ever lost.
 
-#ifndef SRC_FAULT_FAULT_INJECTOR_H_
-#define SRC_FAULT_FAULT_INJECTOR_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -80,5 +79,3 @@ class FaultInjector : public CopyFaultOracle {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_FAULT_FAULT_INJECTOR_H_

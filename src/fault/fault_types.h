@@ -6,8 +6,7 @@
 // on every run. Reproduce any chaos run by copying its plan literal plus `seed` (see
 // DESIGN.md, "Fault model & degradation").
 
-#ifndef SRC_FAULT_FAULT_TYPES_H_
-#define SRC_FAULT_FAULT_TYPES_H_
+#pragma once
 
 #include <cstdint>
 
@@ -74,5 +73,3 @@ struct FaultStats {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_FAULT_FAULT_TYPES_H_

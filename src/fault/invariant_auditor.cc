@@ -1,6 +1,7 @@
 #include "src/fault/invariant_auditor.h"
 
 #include <array>
+#include <iterator>
 #include <unordered_map>
 #include <utility>
 
@@ -172,7 +173,17 @@ AuditReport InvariantAuditor::Audit(SimTime now, const TieredMemory& memory,
     }
   }
   if (!on_lru.empty()) {
-    const auto& [page, where] = *on_lru.begin();
+    // Report the stale entry with the smallest (owner, vpn) so the violation
+    // message is identical across runs regardless of hash-map layout.
+    auto it = on_lru.begin();  // detlint:allow(unordered-iter) reduced below to the min (owner, vpn) entry
+    for (auto walk = std::next(it); walk != on_lru.end(); ++walk) {
+      const auto lhs = std::make_pair(walk->first->owner, walk->first->vpn);
+      const auto rhs = std::make_pair(it->first->owner, it->first->vpn);
+      if (lhs < rhs) {
+        it = walk;
+      }
+    }
+    const auto& [page, where] = *it;
     violate(SimError("stale LRU entries (pages not in any page table walk)", now)
                 .Add("count", on_lru.size())
                 .Add("first_owner", page->owner)

@@ -18,8 +18,7 @@
 //   5. Watermark ordering: min <= low <= high <= pro <= capacity.
 //   6. Exactly engine.inflight_transactions() units carry kPageMigrating.
 
-#ifndef SRC_FAULT_INVARIANT_AUDITOR_H_
-#define SRC_FAULT_INVARIANT_AUDITOR_H_
+#pragma once
 
 #include <deque>
 #include <memory>
@@ -52,5 +51,3 @@ class InvariantAuditor {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_FAULT_INVARIANT_AUDITOR_H_

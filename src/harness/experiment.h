@@ -1,8 +1,7 @@
 // Experiment runner: builds a machine + policy + processes, runs warmup and a measured
 // window (or to completion), and collects the metrics the paper's figures report.
 
-#ifndef SRC_HARNESS_EXPERIMENT_H_
-#define SRC_HARNESS_EXPERIMENT_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -123,5 +122,3 @@ class Experiment {
 std::vector<double> NormalizeToFirst(const std::vector<double>& values);
 
 }  // namespace chronotier
-
-#endif  // SRC_HARNESS_EXPERIMENT_H_

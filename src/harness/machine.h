@@ -6,8 +6,7 @@
 // kernel: demand fault on first touch, NUMA hint fault on poisoned PTEs, accessed/dirty bit
 // maintenance, then the device-latency charge for the backing tier.
 
-#ifndef SRC_HARNESS_MACHINE_H_
-#define SRC_HARNESS_MACHINE_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -253,5 +252,3 @@ class Machine : private MigrationEnv {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_HARNESS_MACHINE_H_

@@ -1,7 +1,6 @@
 // Run-time metric accumulation: everything the paper's evaluation section reports.
 
-#ifndef SRC_HARNESS_METRICS_H_
-#define SRC_HARNESS_METRICS_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -170,5 +169,3 @@ class Metrics {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_HARNESS_METRICS_H_

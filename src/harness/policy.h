@@ -6,8 +6,7 @@
 // Six implementations exist — Linux-NB, AutoTiering, Multi-Clock, TPP, Memtis (baselines,
 // src/policies) and Chrono (src/core).
 
-#ifndef SRC_HARNESS_POLICY_H_
-#define SRC_HARNESS_POLICY_H_
+#pragma once
 
 #include <cstdint>
 #include <string_view>
@@ -74,5 +73,3 @@ class TieringPolicy {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_HARNESS_POLICY_H_

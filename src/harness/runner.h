@@ -13,8 +13,7 @@
 //   - results land in the slot matching the job's index, whatever the completion order.
 //   - jobs <= 1 runs inline on the calling thread; the output is identical either way.
 
-#ifndef SRC_HARNESS_RUNNER_H_
-#define SRC_HARNESS_RUNNER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -44,5 +43,3 @@ std::vector<ExperimentResult> RunExperiments(const std::vector<ExperimentJob>& b
 int DefaultJobs();
 
 }  // namespace chronotier
-
-#endif  // SRC_HARNESS_RUNNER_H_

@@ -5,8 +5,7 @@
 // capacity accounting, asymmetric load/store latencies, and the Linux-style reclaim
 // watermarks extended with Chrono's promotion-aware `pro` watermark (Section 3.3.1).
 
-#ifndef SRC_MEM_TIER_H_
-#define SRC_MEM_TIER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -140,5 +139,3 @@ class MemoryTier {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_MEM_TIER_H_

@@ -1,13 +1,13 @@
 #include "src/mem/tiered_memory.h"
 
 #include <algorithm>
-#include <cassert>
+#include "src/common/check.h"
 
 namespace chronotier {
 
 TieredMemory::TieredMemory(std::vector<TierSpec> specs) {
-  assert(!specs.empty());
-  assert(specs.front().kind == TierKind::kFast);
+  CHECK(!specs.empty()) << "TieredMemory needs at least one tier";
+  CHECK(specs.front().kind == TierKind::kFast) << "tier 0 must be the fast tier";
   tiers_.reserve(specs.size());
   for (auto& spec : specs) {
     tiers_.emplace_back(std::move(spec));
@@ -47,7 +47,7 @@ NodeId TieredMemory::AllocatePages(NodeId preferred, uint64_t pages) {
 }
 
 void TieredMemory::FreePages(NodeId node, uint64_t pages) {
-  assert(node >= 0 && node < num_nodes());
+  CHECK(node >= 0 && node < num_nodes()) << "node=" << node;
   tiers_[static_cast<size_t>(node)].Release(pages);
 }
 

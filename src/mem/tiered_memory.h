@@ -1,8 +1,7 @@
 // The machine's physical memory: an ordered set of tiers (NUMA nodes) plus allocation and
 // migration-cost plumbing shared by all tiering policies.
 
-#ifndef SRC_MEM_TIERED_MEMORY_H_
-#define SRC_MEM_TIERED_MEMORY_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -66,5 +65,3 @@ class TieredMemory {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_MEM_TIERED_MEMORY_H_

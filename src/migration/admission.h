@@ -4,8 +4,7 @@
 // Replaces the old ad-hoc `migration_backlog_limit` / `sync_migration_slack` scalars with
 // per-class limits plus per-source throttling.
 
-#ifndef SRC_MIGRATION_ADMISSION_H_
-#define SRC_MIGRATION_ADMISSION_H_
+#pragma once
 
 #include <cstdint>
 
@@ -60,5 +59,3 @@ class AdmissionController {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_MIGRATION_ADMISSION_H_

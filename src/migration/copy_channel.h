@@ -8,8 +8,7 @@
 // explicit — the quantity admission control decides on. This replaces the old model in
 // which every migration saw the channel's full bandwidth regardless of queue depth.
 
-#ifndef SRC_MIGRATION_COPY_CHANNEL_H_
-#define SRC_MIGRATION_COPY_CHANNEL_H_
+#pragma once
 
 #include <algorithm>
 
@@ -83,5 +82,3 @@ class CopyChannel {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_MIGRATION_COPY_CHANNEL_H_

@@ -38,6 +38,7 @@ CopyChannel& MigrationEngine::channel_mutable(NodeId from, NodeId to) {
 
 uint64_t MigrationEngine::inflight_reserved_pages_on(NodeId node) const {
   uint64_t pages = 0;
+  // detlint:allow(unordered-iter) unsigned summation commutes; no order leaks out
   for (const auto& [id, txn] : inflight_) {
     if (txn.to == node) {
       pages += txn.pages;

@@ -25,8 +25,7 @@
 // The engine is host-agnostic: it sees the world through MigrationEnv, which the harness
 // Machine implements (LRU/residency bookkeeping, direct reclaim, kernel-time charging).
 
-#ifndef SRC_MIGRATION_MIGRATION_ENGINE_H_
-#define SRC_MIGRATION_MIGRATION_ENGINE_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -166,5 +165,3 @@ class MigrationEngine {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_MIGRATION_MIGRATION_ENGINE_H_

@@ -7,8 +7,7 @@
 // refuses work per class (sync / async / reclaim) and per source before it can pile onto a
 // copy channel.
 
-#ifndef SRC_MIGRATION_MIGRATION_TYPES_H_
-#define SRC_MIGRATION_MIGRATION_TYPES_H_
+#pragma once
 
 #include <cstdint>
 
@@ -183,5 +182,3 @@ struct MigrationTicket {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_MIGRATION_MIGRATION_TYPES_H_

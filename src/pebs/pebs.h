@@ -7,8 +7,7 @@
 // ~100k samples/s), and (3) every delivered sample costs CPU time. Under a base-page working
 // set these caps starve per-page counters, which is exactly the Fig. 2b effect.
 
-#ifndef SRC_PEBS_PEBS_H_
-#define SRC_PEBS_PEBS_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -82,5 +81,3 @@ class PebsSampler {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_PEBS_PEBS_H_

@@ -7,8 +7,7 @@
 // frequency resolution is bounded by the lap period (~1 access/min, Table 1), and the LAP
 // list maintenance adds per-page kernel overhead (the 14% kernel time in Fig. 8).
 
-#ifndef SRC_POLICIES_AUTOTIERING_H_
-#define SRC_POLICIES_AUTOTIERING_H_
+#pragma once
 
 #include "src/policies/scan_policy_base.h"
 
@@ -43,5 +42,3 @@ class AutoTieringPolicy : public ScanPolicyBase {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_POLICIES_AUTOTIERING_H_

@@ -6,8 +6,7 @@
 // to MRU promotion (Section 2.1): any slow page touched after a scan is promoted regardless
 // of its actual access frequency. Demotion is the kernel's watermark reclaim.
 
-#ifndef SRC_POLICIES_LINUX_NB_H_
-#define SRC_POLICIES_LINUX_NB_H_
+#pragma once
 
 #include "src/policies/scan_policy_base.h"
 
@@ -27,5 +26,3 @@ class LinuxNumaBalancingPolicy : public ScanPolicyBase {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_POLICIES_LINUX_NB_H_

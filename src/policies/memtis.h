@@ -9,8 +9,7 @@
 // breaks up hot-but-sparse huge pages. Under base pages the sampling-rate cap starves the
 // counters (Fig. 2b) and classification becomes unstable.
 
-#ifndef SRC_POLICIES_MEMTIS_H_
-#define SRC_POLICIES_MEMTIS_H_
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -75,5 +74,3 @@ class MemtisPolicy : public TieringPolicy {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_POLICIES_MEMTIS_H_

@@ -7,8 +7,7 @@
 // (lowest context-switch rate in Fig. 8) but can only distinguish "accessed at least once
 // per lap" from "not accessed" (~1 access/min resolution, Table 1).
 
-#ifndef SRC_POLICIES_MULTICLOCK_H_
-#define SRC_POLICIES_MULTICLOCK_H_
+#pragma once
 
 #include <vector>
 
@@ -44,5 +43,3 @@ class MultiClockPolicy : public ScanPolicyBase {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_POLICIES_MULTICLOCK_H_

@@ -4,8 +4,7 @@
 // process address spaces periodically in fixed-size steps. ScanPolicyBase owns the
 // per-process scanners and tick scheduling; subclasses implement what a scan visit does.
 
-#ifndef SRC_POLICIES_SCAN_POLICY_BASE_H_
-#define SRC_POLICIES_SCAN_POLICY_BASE_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -64,5 +63,3 @@ class ScanPolicyBase : public TieringPolicy {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_POLICIES_SCAN_POLICY_BASE_H_

@@ -6,8 +6,7 @@
 // allocation headroom in the fast tier by demoting proactively to a raised watermark.
 // Effective resolution remains fault-per-scan-lap bound (~2 accesses/min, Table 1).
 
-#ifndef SRC_POLICIES_TPP_H_
-#define SRC_POLICIES_TPP_H_
+#pragma once
 
 #include "src/policies/scan_policy_base.h"
 
@@ -41,5 +40,3 @@ class TppPolicy : public ScanPolicyBase {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_POLICIES_TPP_H_

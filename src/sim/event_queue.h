@@ -5,8 +5,7 @@
 // the next event horizon, then the due events fire. This file provides the event queue and
 // the simulated clock that everything shares.
 
-#ifndef SRC_SIM_EVENT_QUEUE_H_
-#define SRC_SIM_EVENT_QUEUE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -97,5 +96,3 @@ class EventQueue {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_SIM_EVENT_QUEUE_H_

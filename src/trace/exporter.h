@@ -7,8 +7,7 @@
 // daemons (reclaim / scanner / policy / tuning / fault injector), and telemetry counter
 // tracks (tier occupancy, engine backlog, FMAR). Timestamps are simulated microseconds.
 
-#ifndef SRC_TRACE_EXPORTER_H_
-#define SRC_TRACE_EXPORTER_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -23,5 +22,3 @@ void WriteChromeTrace(const Tracer& tracer, std::ostream& out);
 bool WriteChromeTraceFile(const Tracer& tracer, const std::string& path);
 
 }  // namespace chronotier
-
-#endif  // SRC_TRACE_EXPORTER_H_

@@ -7,8 +7,7 @@
 // Emit call and the machine polls it from existing periodic work (audit, reclaim ticks),
 // so samples land on or shortly after each period boundary without perturbing anything.
 
-#ifndef SRC_TRACE_TELEMETRY_H_
-#define SRC_TRACE_TELEMETRY_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -88,5 +87,3 @@ class TelemetrySampler {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_TRACE_TELEMETRY_H_

@@ -10,8 +10,7 @@
 // engine, fault injector, harness, and policies all emit events, so trace/ must sit below
 // them in the dependency graph.
 
-#ifndef SRC_TRACE_TRACE_EVENT_H_
-#define SRC_TRACE_TRACE_EVENT_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -127,5 +126,3 @@ struct TraceEvent {
 static_assert(sizeof(TraceEvent) <= 48, "TraceEvent should stay compact");
 
 }  // namespace chronotier
-
-#endif  // SRC_TRACE_TRACE_EVENT_H_

@@ -11,14 +11,12 @@
 //    overwrite, surfaced as `trace_events_dropped` in Metrics/ExperimentResult so a
 //    truncated trace is detectable rather than silent.
 
-#ifndef SRC_TRACE_TRACER_H_
-#define SRC_TRACE_TRACER_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/time.h"
@@ -155,5 +153,3 @@ inline void EmitTrace(Tracer* tracer, TraceCategory category, TraceEventType typ
 }
 
 }  // namespace chronotier
-
-#endif  // SRC_TRACE_TRACER_H_

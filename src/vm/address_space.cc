@@ -1,7 +1,7 @@
 #include "src/vm/address_space.h"
 
 #include <algorithm>
-#include <cassert>
+#include "src/common/check.h"
 
 namespace chronotier {
 
@@ -32,7 +32,7 @@ bool Vma::IsGroupSplit(uint64_t group) const {
 }
 
 void Vma::SplitGroup(uint64_t group) {
-  assert(kind_ == PageSizeKind::kHuge);
+  CHECK(kind_ == PageSizeKind::kHuge) << "SplitGroup on a base-page VMA";
   if (group_split_[group]) {
     return;
   }

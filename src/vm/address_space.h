@@ -1,7 +1,6 @@
 // Per-process virtual address space: VMAs, software page tables, huge-page groups.
 
-#ifndef SRC_VM_ADDRESS_SPACE_H_
-#define SRC_VM_ADDRESS_SPACE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -110,5 +109,3 @@ class AddressSpace {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_VM_ADDRESS_SPACE_H_

@@ -1,9 +1,12 @@
 #include "src/vm/lru.h"
 
+#include "src/common/check.h"
+
 namespace chronotier {
 
 void PageList::PushFront(PageInfo* page) {
-  assert(page->lru_prev == nullptr && page->lru_next == nullptr);
+  CHECK(page->lru_prev == nullptr && page->lru_next == nullptr)
+      << "page is already linked into a list";
   page->lru_next = head_;
   if (head_ != nullptr) {
     head_->lru_prev = page;
@@ -16,7 +19,8 @@ void PageList::PushFront(PageInfo* page) {
 }
 
 void PageList::PushBack(PageInfo* page) {
-  assert(page->lru_prev == nullptr && page->lru_next == nullptr);
+  CHECK(page->lru_prev == nullptr && page->lru_next == nullptr)
+      << "page is already linked into a list";
   page->lru_prev = tail_;
   if (tail_ != nullptr) {
     tail_->lru_next = page;
@@ -32,18 +36,18 @@ void PageList::Remove(PageInfo* page) {
   if (page->lru_prev != nullptr) {
     page->lru_prev->lru_next = page->lru_next;
   } else {
-    assert(head_ == page);
+    CHECK_EQ(head_, page);
     head_ = page->lru_next;
   }
   if (page->lru_next != nullptr) {
     page->lru_next->lru_prev = page->lru_prev;
   } else {
-    assert(tail_ == page);
+    CHECK_EQ(tail_, page);
     tail_ = page->lru_prev;
   }
   page->lru_prev = nullptr;
   page->lru_next = nullptr;
-  assert(size_ > 0);
+  CHECK_GT(size_, 0u);
   --size_;
 }
 
@@ -56,7 +60,7 @@ PageInfo* PageList::PopBack() {
 }
 
 void NodeLru::Insert(PageInfo* page, bool active) {
-  assert(page->lru == LruMembership::kNone);
+  CHECK(page->lru == LruMembership::kNone) << "page already on an LRU list";
   if (active) {
     active_.PushFront(page);
     page->lru = LruMembership::kActive;

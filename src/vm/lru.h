@@ -3,10 +3,8 @@
 // Multi-Clock, TPP and the demotion path all reason about these lists, so they are part of
 // the shared substrate rather than any single policy.
 
-#ifndef SRC_VM_LRU_H_
-#define SRC_VM_LRU_H_
+#pragma once
 
-#include <cassert>
 #include <cstddef>
 
 #include "src/vm/page.h"
@@ -76,5 +74,3 @@ class NodeLru {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_VM_LRU_H_

@@ -6,8 +6,7 @@
 // Memtis's PEBS counter). This struct carries all of them. Fields marked "oracle" exist for
 // metrics/tests only and must never be read by a TieringPolicy.
 
-#ifndef SRC_VM_PAGE_H_
-#define SRC_VM_PAGE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -90,5 +89,3 @@ struct PageInfo {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_VM_PAGE_H_

@@ -4,8 +4,7 @@
 // each advances its own clock by the charged latency of its accesses, and the machine aligns
 // process clocks with kernel-event horizons.
 
-#ifndef SRC_VM_PROCESS_H_
-#define SRC_VM_PROCESS_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -93,5 +92,3 @@ class Process {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_VM_PROCESS_H_

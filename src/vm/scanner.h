@@ -6,8 +6,7 @@
 // in address order, wraps at the end of the space, and understands huge-page units (an
 // unsplit 2MB mapping is one PMD entry, visited once).
 
-#ifndef SRC_VM_SCANNER_H_
-#define SRC_VM_SCANNER_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -48,5 +47,3 @@ class RangeScanner {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_VM_SCANNER_H_

@@ -20,8 +20,7 @@
 //     never linger on units in motion (and so the flag re-check is belt and braces rather
 //     than load-bearing for those transitions).
 
-#ifndef SRC_VM_TRANSLATION_CACHE_H_
-#define SRC_VM_TRANSLATION_CACHE_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -125,5 +124,3 @@ class TranslationCache {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_VM_TRANSLATION_CACHE_H_

@@ -1,7 +1,6 @@
 #include "src/workloads/graph500.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace chronotier {
 

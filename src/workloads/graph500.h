@@ -7,8 +7,7 @@
 // power-law degree distribution of the Kronecker generator, producing the mild hot/warm
 // frequency gradient the paper highlights (Section 5.2).
 
-#ifndef SRC_WORKLOADS_GRAPH500_H_
-#define SRC_WORKLOADS_GRAPH500_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -96,5 +95,3 @@ class Graph500Stream : public AccessStream {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_WORKLOADS_GRAPH500_H_

@@ -7,8 +7,7 @@
 // paper's "start the database and perform sequential initialization on all the items") and
 // then issues SET/GET at a configurable ratio with Gaussian key popularity.
 
-#ifndef SRC_WORKLOADS_KVSTORE_H_
-#define SRC_WORKLOADS_KVSTORE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -69,5 +68,3 @@ class KvStoreStream : public AccessStream {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_WORKLOADS_KVSTORE_H_

@@ -1,8 +1,7 @@
 // Generic synthetic access patterns used by tests and microbenches: uniform, Zipfian,
 // fixed hot-set, and phase-shifting hot-set streams.
 
-#ifndef SRC_WORKLOADS_PATTERNS_H_
-#define SRC_WORKLOADS_PATTERNS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -144,5 +143,3 @@ class SegmentedStream : public AccessStream {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_WORKLOADS_PATTERNS_H_

@@ -5,8 +5,7 @@
 // a read/write ratio, an optional per-access delay (the Fig. 9 hotness-level knob), and an
 // optional op limit for finite runs.
 
-#ifndef SRC_WORKLOADS_PMBENCH_H_
-#define SRC_WORKLOADS_PMBENCH_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -71,5 +70,3 @@ class PmbenchStream : public AccessStream {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_WORKLOADS_PMBENCH_H_

@@ -9,8 +9,7 @@
 // v1 <working-set-bytes>` header. Text keeps traces diffable and greppable; a few million
 // ops load in well under a second.
 
-#ifndef SRC_WORKLOADS_TRACE_H_
-#define SRC_WORKLOADS_TRACE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -105,5 +104,3 @@ class TraceStream : public AccessStream {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_WORKLOADS_TRACE_H_

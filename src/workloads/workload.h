@@ -1,7 +1,6 @@
 // Workload abstraction: a stream of memory operations issued by a simulated process.
 
-#ifndef SRC_WORKLOADS_WORKLOAD_H_
-#define SRC_WORKLOADS_WORKLOAD_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -35,5 +34,3 @@ class AccessStream {
 };
 
 }  // namespace chronotier
-
-#endif  // SRC_WORKLOADS_WORKLOAD_H_

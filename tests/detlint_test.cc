@@ -1,0 +1,222 @@
+// detlint self-tests: every rule fires on its dirty fixture at the exact
+// file:line, stays silent on its clean twin, and every suppression mechanism
+// works. The final test runs the real analyzer + real config over the real
+// tree and requires zero findings — the same gate the `detlint` CMake target
+// and the CI lint job enforce, so a violation fails the unit suite too.
+//
+// DETLINT_SOURCE_ROOT is injected by tests/CMakeLists.txt.
+
+#include "tools/detlint/rules.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/detlint/config.h"
+#include "tools/detlint/lexer.h"
+
+namespace detlint {
+namespace {
+
+std::string FixtureRoot() {
+  return std::string(DETLINT_SOURCE_ROOT) + "/tools/detlint/fixtures";
+}
+
+// Runs the analyzer over fixture files and reduces findings to (id, line).
+std::vector<std::pair<std::string, int>> Lint(const std::vector<std::string>& files,
+                                              const Config& config = Config()) {
+  std::vector<std::pair<std::string, int>> out;
+  for (const Finding& f : AnalyzeFiles(FixtureRoot(), files, config)) {
+    EXPECT_NE(f.rule, nullptr) << f.file << ": " << f.message;
+    if (f.rule != nullptr) {
+      out.emplace_back(f.rule->id, f.line);
+    }
+  }
+  return out;
+}
+
+using Expected = std::vector<std::pair<std::string, int>>;
+
+TEST(DetlintRules, WallClockDirtyFiresPerSource) {
+  EXPECT_EQ(Lint({"wall_clock_dirty.cc"}),
+            (Expected{{"DL001", 9},
+                      {"DL001", 10},
+                      {"DL001", 11},
+                      {"DL001", 12},
+                      {"DL001", 13},
+                      {"DL001", 14},
+                      {"DL001", 15}}));
+}
+
+TEST(DetlintRules, WallClockCleanIsSilent) {
+  EXPECT_EQ(Lint({"wall_clock_clean.cc"}), Expected{});
+}
+
+TEST(DetlintRules, WallClockConfigAllowlistSuppressesWholeFile) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.Parse("[rule.wall-clock]\nallow = [\"wall_clock_dirty.cc\"]\n",
+                           &error))
+      << error;
+  EXPECT_EQ(Lint({"wall_clock_dirty.cc"}, config), Expected{});
+}
+
+TEST(DetlintRules, AssertDirtyFires) {
+  EXPECT_EQ(Lint({"assert_dirty.cc"}), (Expected{{"DL002", 5}}));
+}
+
+TEST(DetlintRules, AssertCleanIsSilent) {
+  EXPECT_EQ(Lint({"assert_clean.cc"}), Expected{});
+}
+
+TEST(DetlintRules, UnorderedIterDirtyFiresOnBothLoopForms) {
+  EXPECT_EQ(Lint({"unordered_iter_dirty.cc"}),
+            (Expected{{"DL003", 10}, {"DL003", 13}}));
+}
+
+TEST(DetlintRules, UnorderedIterCleanIsSilent) {
+  EXPECT_EQ(Lint({"unordered_iter_clean.cc"}), Expected{});
+}
+
+TEST(DetlintRules, UnorderedIterSuppressionsWithReasonSilence) {
+  EXPECT_EQ(Lint({"unordered_iter_suppressed.cc"}), Expected{});
+}
+
+TEST(DetlintRules, SuppressionWithoutReasonDoesNotSuppress) {
+  EXPECT_EQ(Lint({"unordered_iter_bad_suppression.cc"}), (Expected{{"DL003", 10}}));
+}
+
+TEST(DetlintRules, UnorderedMemberDeclaredInHeaderIterInCc) {
+  // The member is declared in unordered_member.h; the loop lives in the .cc.
+  // Both files must be in the batch for the cross-file seed to connect them.
+  EXPECT_EQ(Lint({"unordered_member.h", "unordered_member.cc"}),
+            (Expected{{"DL003", 7}}));
+}
+
+TEST(DetlintRules, PointerSortDirtyFires) {
+  EXPECT_EQ(Lint({"pointer_sort_dirty.cc"}), (Expected{{"DL004", 12}}));
+}
+
+TEST(DetlintRules, PointerSortCleanIsSilent) {
+  EXPECT_EQ(Lint({"pointer_sort_clean.cc"}), Expected{});
+}
+
+TEST(DetlintRules, ShuffleDirtyFires) {
+  EXPECT_EQ(Lint({"shuffle_dirty.cc"}), (Expected{{"DL005", 8}}));
+}
+
+TEST(DetlintRules, ShuffleCleanIsSilent) {
+  EXPECT_EQ(Lint({"shuffle_clean.cc"}), Expected{});
+}
+
+TEST(DetlintRules, PragmaOnceDirtyFiresAtLineOne) {
+  EXPECT_EQ(Lint({"pragma_once_dirty.h"}), (Expected{{"DL006", 1}}));
+}
+
+TEST(DetlintRules, PragmaOnceCleanIsSilent) {
+  EXPECT_EQ(Lint({"pragma_once_clean.h"}), Expected{});
+}
+
+TEST(DetlintRules, UsingNamespaceDirtyFires) {
+  EXPECT_EQ(Lint({"using_namespace_dirty.h"}), (Expected{{"DL007", 6}}));
+}
+
+TEST(DetlintRules, UsingNamespaceCleanIsSilent) {
+  EXPECT_EQ(Lint({"using_namespace_clean.h"}), Expected{});
+}
+
+TEST(DetlintRules, NakedNewDirtyFiresOnNewAndDelete) {
+  EXPECT_EQ(Lint({"naked_new_dirty.cc"}), (Expected{{"DL008", 8}, {"DL008", 10}}));
+}
+
+TEST(DetlintRules, NakedNewCleanIsSilent) {
+  EXPECT_EQ(Lint({"naked_new_clean.cc"}), Expected{});
+}
+
+TEST(DetlintConfig, RejectsMalformedInput) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(config.Parse("[trouble]\n", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_FALSE(config.Parse("allow = [\"x\"]\n", &error));  // key outside section
+  EXPECT_FALSE(config.Parse("[rule.a]\nallow = [\"unterminated\n", &error));
+  EXPECT_FALSE(config.Parse("[rule.a]\nmystery = [\"x\"]\n", &error));
+}
+
+TEST(DetlintConfig, DirectoryAllowlistMatchesSubtree) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.Parse("[rule.wall-clock]\nallow = [\"bench/\"]\n", &error)) << error;
+  EXPECT_TRUE(config.IsPathAllowed("wall-clock", "bench/sim_throughput.cc"));
+  EXPECT_TRUE(config.IsPathAllowed("wall-clock", "bench/sub/dir.cc"));
+  EXPECT_FALSE(config.IsPathAllowed("wall-clock", "src/sim/event_queue.cc"));
+  EXPECT_FALSE(config.IsPathAllowed("assert", "bench/sim_throughput.cc"));
+}
+
+TEST(DetlintConfig, RngTokensOverrideDefaults) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.Parse("[rule.unseeded-shuffle]\nrng_tokens = [\"Entropy\"]\n",
+                           &error))
+      << error;
+  ASSERT_EQ(config.RngTokens().size(), 1u);
+  EXPECT_EQ(config.RngTokens()[0], "Entropy");
+  const Config defaults;
+  EXPECT_EQ(defaults.RngTokens().size(), 2u);
+}
+
+TEST(DetlintLexer, StringsCommentsAndRawStringsAreStripped) {
+  const LexedFile file = Lex("strip.cc",
+                             "// assert(1) in a comment\n"
+                             "const char* s = \"assert(2) in a string\";\n"
+                             "const char* r = R\"(assert(3) raw)\";\n"
+                             "int after = 4;\n");
+  for (const Token& tok : file.tokens) {
+    EXPECT_NE(tok.text, "assert");
+  }
+  // The token after the raw string still carries the right line number.
+  bool saw_after = false;
+  for (const Token& tok : file.tokens) {
+    if (tok.text == "after") {
+      EXPECT_EQ(tok.line, 4);
+      saw_after = true;
+    }
+  }
+  EXPECT_TRUE(saw_after);
+}
+
+TEST(DetlintRules, AllRulesHaveStableIdsAndHints) {
+  const auto& rules = AllRules();
+  ASSERT_EQ(rules.size(), 8u);
+  EXPECT_STREQ(rules.front().id, "DL001");
+  EXPECT_STREQ(rules.back().id, "DL008");
+  for (const RuleInfo& rule : rules) {
+    EXPECT_NE(std::string(rule.name), "");
+    EXPECT_NE(std::string(rule.hint), "");
+  }
+}
+
+// The gate itself: the checked-in tree, linted with the checked-in config,
+// has zero findings. Mirrors `cmake --build build --target detlint` and the
+// CI lint job.
+TEST(DetlintTree, CleanTreeHasZeroFindings) {
+  const std::string root = DETLINT_SOURCE_ROOT;
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.Load(root + "/tools/detlint/detlint.toml", &error)) << error;
+  std::vector<std::string> files;
+  ASSERT_TRUE(CollectSourceFiles(root, {"src", "bench", "tests", "examples"}, &files,
+                                 &error))
+      << error;
+  EXPECT_GT(files.size(), 100u);  // the whole surface, not a subset
+  const std::vector<Finding> findings = AnalyzeFiles(root, files, config);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " ["
+                  << (f.rule != nullptr ? f.rule->id : "io") << "] " << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace detlint

@@ -4,8 +4,7 @@
 // vs serial): both claim bit-identical replay, so doubles are compared with EXPECT_EQ
 // (exact), not near-equality — any ULP of drift means the replay diverged.
 
-#ifndef TESTS_EXPERIMENT_RESULT_TESTUTIL_H_
-#define TESTS_EXPERIMENT_RESULT_TESTUTIL_H_
+#pragma once
 
 #include <gtest/gtest.h>
 
@@ -63,5 +62,3 @@ inline void ExpectResultsIdentical(const ExperimentResult& a, const ExperimentRe
 }
 
 }  // namespace chronotier
-
-#endif  // TESTS_EXPERIMENT_RESULT_TESTUTIL_H_

@@ -1,0 +1,164 @@
+#include "tools/detlint/config.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace detlint {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+// Strips a trailing `# comment`, respecting double-quoted strings.
+std::string StripComment(const std::string& line) {
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') {
+      in_string = !in_string;
+    } else if (c == '#' && !in_string) {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+// Parses `["a", "b"]` or a bare `"a"` into elements.
+bool ParseStringArray(const std::string& value, std::vector<std::string>* out,
+                      std::string* what) {
+  std::string v = Trim(value);
+  const bool bracketed = !v.empty() && v.front() == '[';
+  if (bracketed) {
+    if (v.back() != ']') {
+      *what = "unterminated array";
+      return false;
+    }
+    v = v.substr(1, v.size() - 2);
+  }
+  size_t i = 0;
+  while (i < v.size()) {
+    while (i < v.size() &&
+           (std::isspace(static_cast<unsigned char>(v[i])) || v[i] == ',')) {
+      ++i;
+    }
+    if (i >= v.size()) {
+      break;
+    }
+    if (v[i] != '"') {
+      *what = "expected quoted string";
+      return false;
+    }
+    const size_t close = v.find('"', i + 1);
+    if (close == std::string::npos) {
+      *what = "unterminated string";
+      return false;
+    }
+    out->push_back(v.substr(i + 1, close - i - 1));
+    i = close + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Config::Parse(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string raw;
+  std::string section;  // current rule name, empty outside [rule.*]
+  int line_no = 0;
+  auto fail = [&](const std::string& what) {
+    *error = "line " + std::to_string(line_no) + ": " + what;
+    return false;
+  };
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = Trim(StripComment(raw));
+    if (line.empty()) {
+      continue;
+    }
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return fail("unterminated section header");
+      }
+      const std::string name = Trim(line.substr(1, line.size() - 2));
+      const std::string kPrefix = "rule.";
+      if (name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+          name.size() == kPrefix.size()) {
+        return fail("only [rule.<name>] sections are supported, got [" + name + "]");
+      }
+      section = name.substr(kPrefix.size());
+      rules_[section];  // materialize even if the section body is empty
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key = value");
+    }
+    if (section.empty()) {
+      return fail("key outside of a [rule.<name>] section");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = line.substr(eq + 1);
+    std::string what;
+    if (key == "allow") {
+      if (!ParseStringArray(value, &rules_[section].allow, &what)) {
+        return fail(what);
+      }
+    } else if (key == "rng_tokens") {
+      if (!ParseStringArray(value, &rules_[section].rng_tokens, &what)) {
+        return fail(what);
+      }
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  return true;
+}
+
+bool Config::Load(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open config file: " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str(), error);
+}
+
+bool Config::IsPathAllowed(const std::string& rule, const std::string& rel_path) const {
+  const auto it = rules_.find(rule);
+  if (it == rules_.end()) {
+    return false;
+  }
+  for (const std::string& entry : it->second.allow) {
+    if (!entry.empty() && entry.back() == '/') {
+      if (rel_path.compare(0, entry.size(), entry) == 0) {
+        return true;
+      }
+    } else if (rel_path == entry) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<std::string>& Config::RngTokens() const {
+  const auto it = rules_.find("unseeded-shuffle");
+  if (it != rules_.end() && !it->second.rng_tokens.empty()) {
+    return it->second.rng_tokens;
+  }
+  return default_rng_tokens_;
+}
+
+}  // namespace detlint

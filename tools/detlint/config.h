@@ -1,0 +1,53 @@
+// detlint configuration: a TOML-subset just big enough for per-rule allowlists.
+//
+// Grammar accepted (anything else is a parse error, reported with a line number):
+//
+//   # comment
+//   [rule.<rule-name>]
+//   allow = ["path/prefix", "dir/"]     # path allowlist for this rule
+//   rng_tokens = ["Rng", "rng"]         # unseeded-shuffle: tokens that count as
+//                                       # a seeded project RNG argument
+//
+// Paths are repo-root-relative, '/'-separated. An entry ending in '/' allowlists
+// the whole directory subtree; otherwise the match is exact. Keeping the policy
+// in a checked-in file (tools/detlint/detlint.toml) rather than in the analyzer
+// means allowlisting bench wall-timing is a reviewed one-line diff, not a
+// rebuild.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+struct RuleConfig {
+  std::vector<std::string> allow;       // path allowlist
+  std::vector<std::string> rng_tokens;  // unseeded-shuffle only
+};
+
+class Config {
+ public:
+  // Parses config text. On error returns false and sets *error to
+  // "line N: what".
+  bool Parse(const std::string& text, std::string* error);
+
+  // Loads and parses a file; missing file is an error.
+  bool Load(const std::string& path, std::string* error);
+
+  // True when `rel_path` is allowlisted for `rule`.
+  bool IsPathAllowed(const std::string& rule, const std::string& rel_path) const;
+
+  // unseeded-shuffle RNG marker tokens; defaults to {"Rng", "rng"} when the
+  // config does not override them.
+  const std::vector<std::string>& RngTokens() const;
+
+  const std::map<std::string, RuleConfig>& rules() const { return rules_; }
+
+ private:
+  std::map<std::string, RuleConfig> rules_;
+  std::vector<std::string> default_rng_tokens_ = {"Rng", "rng"};
+};
+
+}  // namespace detlint

@@ -1,0 +1,16 @@
+// detlint fixture: look-alikes that must NOT trigger DL002.
+#define MY_ASSERT_EQ(a, b) ((a) == (b) ? 0 : 1)
+
+struct Harness {
+  void assert_state();  // member named assert_state, different identifier
+};
+
+void Uses(Harness& h, int x, int y) {
+  static_assert(sizeof(int) >= 4, "distinct token");
+  MY_ASSERT_EQ(x, y);        // macro name is a different identifier
+  h.assert_state();
+  const char* s = "assert(inside a string literal)";
+  (void)s;
+  (void)x;
+  (void)y;
+}

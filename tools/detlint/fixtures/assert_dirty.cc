@@ -1,0 +1,6 @@
+// detlint fixture: DL002 assert must fire exactly once.
+#include <cassert>
+
+void Checked(int x) {
+  assert(x > 0);  // line 5: DL002
+}

@@ -1,0 +1,14 @@
+// detlint fixture: smart pointers, deleted functions, and operator new
+// declarations must NOT trigger DL008.
+#include <cstddef>
+#include <memory>
+
+struct Pinned {
+  Pinned() = default;
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p);
+};
+
+std::unique_ptr<int> Owned() { return std::make_unique<int>(7); }

@@ -1,0 +1,12 @@
+// detlint fixture: DL008 naked-new must fire on both the allocation and the
+// matching delete.
+struct Node {
+  int value = 0;
+};
+
+int Leaky() {
+  Node* node = new Node();  // line 8: DL008
+  const int value = node->value;
+  delete node;  // line 10: DL008
+  return value;
+}

@@ -1,0 +1,16 @@
+// detlint fixture: value-keyed comparators must NOT trigger DL004, even over
+// pointer elements.
+#include <algorithm>
+#include <vector>
+
+struct Page {
+  unsigned long vpn;
+};
+
+void SortByKey(std::vector<Page*>& pages, std::vector<unsigned long>& vpns) {
+  std::sort(pages.begin(), pages.end(),
+            [](const Page* a, const Page* b) { return a->vpn < b->vpn; });
+  std::stable_sort(vpns.begin(), vpns.end(),
+                   [](unsigned long a, unsigned long b) { return a < b; });
+  std::sort(vpns.begin(), vpns.end());
+}

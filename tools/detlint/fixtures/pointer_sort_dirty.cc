@@ -1,0 +1,13 @@
+// detlint fixture: DL004 pointer-sort must fire — the comparator orders by raw
+// pointer value, which differs between runs.
+#include <algorithm>
+#include <vector>
+
+struct Page {
+  unsigned long vpn;
+};
+
+void SortByAddress(std::vector<Page*>& pages) {
+  std::sort(pages.begin(), pages.end(),
+            [](const Page* a, const Page* b) { return a < b; });  // line 12: DL004
+}

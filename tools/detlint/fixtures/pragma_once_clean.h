@@ -1,0 +1,4 @@
+// detlint fixture: #pragma once satisfies DL006.
+#pragma once
+
+inline int Once() { return 1; }

@@ -1,0 +1,8 @@
+// detlint fixture: classic include guards without #pragma once — DL006 fires
+// at line 1.
+#ifndef TOOLS_DETLINT_FIXTURES_PRAGMA_ONCE_DIRTY_H_
+#define TOOLS_DETLINT_FIXTURES_PRAGMA_ONCE_DIRTY_H_
+
+inline int Guarded() { return 1; }
+
+#endif  // TOOLS_DETLINT_FIXTURES_PRAGMA_ONCE_DIRTY_H_

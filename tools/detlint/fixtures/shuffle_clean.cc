@@ -1,0 +1,16 @@
+// detlint fixture: a shuffle fed by a seeded project RNG must NOT trigger
+// DL005 (the argument mentions an rng marker token).
+#include <algorithm>
+#include <vector>
+
+struct SeededRngAdapter {
+  using result_type = unsigned long;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0UL; }
+  result_type operator()() { return state_ += 0x9e3779b97f4a7c15UL; }
+  result_type state_ = 1;
+};
+
+void Shuffle(std::vector<int>& values, SeededRngAdapter& rng) {
+  std::shuffle(values.begin(), values.end(), rng);
+}

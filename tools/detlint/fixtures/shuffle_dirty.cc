@@ -1,0 +1,9 @@
+// detlint fixture: DL005 unseeded-shuffle must fire — the engine argument never
+// names a project RNG.
+#include <algorithm>
+#include <random>
+#include <vector>
+
+void Shuffle(std::vector<int>& values, std::mt19937& gen) {
+  std::shuffle(values.begin(), values.end(), gen);  // line 8: DL005
+}

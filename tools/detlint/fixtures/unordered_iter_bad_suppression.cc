@@ -1,0 +1,14 @@
+// detlint fixture: an allow annotation WITHOUT a justification does not
+// suppress — DL003 still fires.
+#include <cstdint>
+#include <unordered_map>
+
+uint64_t BadSuppression() {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  uint64_t total = 0;
+  // detlint:allow(unordered-iter)
+  for (const auto& [key, value] : counts) {  // line 10: DL003 despite the allow
+    total += key + value;
+  }
+  return total;
+}

@@ -1,0 +1,26 @@
+// detlint fixture: unordered lookups and ordered-container loops must NOT
+// trigger DL003.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+uint64_t Lookups(uint64_t key) {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  std::map<uint64_t, uint64_t> ordered;
+  std::vector<uint64_t> values;
+  counts[key] = 1;
+  uint64_t total = counts.count(key);
+  const auto it = counts.find(key);
+  if (it != counts.end()) {
+    counts.erase(it);
+  }
+  for (const auto& [k, v] : ordered) {  // std::map iterates in key order
+    total += k + v;
+  }
+  for (const uint64_t v : values) {
+    total += v;
+  }
+  counts.clear();
+  return total;
+}

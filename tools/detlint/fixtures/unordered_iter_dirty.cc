@@ -1,0 +1,17 @@
+// detlint fixture: DL003 unordered-iter must fire on both loop forms.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+uint64_t Iterates() {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  std::unordered_set<uint64_t> members;
+  uint64_t total = 0;
+  for (const auto& [key, value] : counts) {  // line 10: DL003 (range-for)
+    total += key + value;
+  }
+  for (auto it = members.begin(); it != members.end(); ++it) {  // line 13: DL003
+    total += *it;
+  }
+  return total;
+}

@@ -1,0 +1,16 @@
+// detlint fixture: both suppression placements silence DL003.
+#include <cstdint>
+#include <unordered_map>
+
+uint64_t Suppressed() {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  uint64_t total = 0;
+  // detlint:allow(unordered-iter) unsigned summation commutes
+  for (const auto& [key, value] : counts) {
+    total += key + value;
+  }
+  for (const auto& [key, value] : counts) {  // detlint:allow(unordered-iter) sum commutes
+    total += key * value;
+  }
+  return total;
+}

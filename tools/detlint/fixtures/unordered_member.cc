@@ -1,0 +1,11 @@
+// detlint fixture: iterating a member whose unordered declaration lives in the
+// included header must still trigger DL003.
+#include "unordered_member.h"
+
+uint64_t Ledger::Total() const {
+  uint64_t total = 0;
+  for (const auto& [key, value] : balances_) {  // line 7: DL003 via header seed
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,14 @@
+// detlint fixture: declares an unordered member that unordered_member.cc
+// iterates — exercises cross-file container-name seeding along #include edges.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+class Ledger {
+ public:
+  uint64_t Total() const;
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> balances_;
+};

@@ -1,0 +1,14 @@
+// detlint fixture: using-declarations and namespace aliases must NOT trigger
+// DL007 — only using-directives leak wholesale.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+using std::string;
+namespace alias = fixture;
+
+inline string Name() { return "scoped"; }
+
+}  // namespace fixture

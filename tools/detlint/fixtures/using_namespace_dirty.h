@@ -1,0 +1,8 @@
+// detlint fixture: DL007 using-namespace-header must fire.
+#pragma once
+
+#include <string>
+
+using namespace std;  // line 6: DL007
+
+inline string Name() { return "leaky"; }

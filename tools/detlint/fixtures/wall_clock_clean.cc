@@ -1,0 +1,14 @@
+// detlint fixture: none of these may trigger DL001.
+#include <cstdint>
+
+// A steady_clock mention in a comment is prose, not a finding.
+struct Sim {
+  int64_t time() const { return now_; }  // declaration: type name precedes it
+  int64_t now_ = 0;
+};
+
+int64_t Uses(const Sim& sim) {
+  const char* msg = "do not use std::chrono::steady_clock or rand() here";
+  int64_t at = sim.time();  // member access, not ::time()
+  return at + (msg != nullptr ? 1 : 0);
+}

@@ -1,0 +1,19 @@
+// detlint fixture: DL001 wall-clock must fire on every ambient source below.
+// This file is intentionally dirty and is never compiled or tree-scanned.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long Sources() {
+  auto a = std::chrono::steady_clock::now();                  // line 9: DL001
+  auto b = std::chrono::system_clock::now();                  // line 10: DL001
+  auto c = std::chrono::high_resolution_clock::now();         // line 11: DL001
+  std::random_device rd;                                      // line 12: DL001
+  const long t = time(nullptr);                               // line 13: DL001
+  const int r = rand();                                       // line 14: DL001
+  const char* home = getenv("HOME");                          // line 15: DL001
+  return a.time_since_epoch().count() + b.time_since_epoch().count() +
+         c.time_since_epoch().count() + static_cast<long>(rd()) + t + r +
+         (home != nullptr ? 1 : 0);
+}

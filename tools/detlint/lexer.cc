@@ -1,0 +1,341 @@
+#include "tools/detlint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace detlint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Parses a `detlint:allow(rule-a, rule-b) reason` annotation out of a comment
+// body. Returns false when the comment carries no annotation.
+bool ParseAllow(const std::string& comment, Suppression* out) {
+  const std::string kMarker = "detlint:allow(";
+  const size_t at = comment.find(kMarker);
+  if (at == std::string::npos) {
+    return false;
+  }
+  const size_t open = at + kMarker.size() - 1;
+  const size_t close = comment.find(')', open);
+  if (close == std::string::npos) {
+    return false;
+  }
+  std::string name;
+  for (size_t i = open + 1; i <= close; ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ')') {
+      if (!name.empty()) {
+        out->rules.insert(name);
+      }
+      name.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      name.push_back(c);
+    }
+  }
+  for (size_t i = close + 1; i < comment.size(); ++i) {
+    if (!std::isspace(static_cast<unsigned char>(comment[i]))) {
+      out->has_reason = true;
+      break;
+    }
+  }
+  return !out->rules.empty();
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& path, const std::string& content)
+      : src_(content) {
+    file_.path = path;
+  }
+
+  LexedFile Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+        continue;
+      }
+      if (c == '#' && AtLineStart()) {
+        Preprocessor();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        // Raw strings are handled in Identifier() (the R prefix is an ident char).
+        QuotedLiteral(c);
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        Identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        Number();
+        continue;
+      }
+      Emit(TokenKind::kPunct, std::string(1, c));
+      ++pos_;
+    }
+    // Mark comment-only suppression lines now that code presence is known.
+    for (auto& [ln, sup] : file_.suppressions) {
+      sup.comment_only_line = lines_with_code_.count(ln) == 0;
+    }
+    return std::move(file_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  // True when only whitespace precedes pos_ on the current line.
+  bool AtLineStart() const {
+    size_t i = pos_;
+    while (i > 0) {
+      const char c = src_[i - 1];
+      if (c == '\n') {
+        return true;
+      }
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        return false;
+      }
+      --i;
+    }
+    return true;
+  }
+
+  void Emit(TokenKind kind, std::string text) {
+    lines_with_code_.insert(line_);
+    file_.tokens.push_back(Token{kind, std::move(text), line_});
+  }
+
+  void RecordComment(const std::string& body, int comment_line) {
+    Suppression sup;
+    if (ParseAllow(body, &sup)) {
+      sup.line = comment_line;
+      file_.suppressions[comment_line] = std::move(sup);
+    }
+  }
+
+  void LineComment() {
+    const int start_line = line_;
+    size_t end = src_.find('\n', pos_);
+    if (end == std::string::npos) {
+      end = src_.size();
+    }
+    RecordComment(src_.substr(pos_, end - pos_), start_line);
+    pos_ = end;  // newline handled by main loop
+  }
+
+  void BlockComment() {
+    const int start_line = line_;
+    size_t end = src_.find("*/", pos_ + 2);
+    std::string body;
+    if (end == std::string::npos) {
+      body = src_.substr(pos_);
+      pos_ = src_.size();
+    } else {
+      body = src_.substr(pos_, end + 2 - pos_);
+      pos_ = end + 2;
+    }
+    for (const char c : body) {
+      if (c == '\n') {
+        ++line_;
+      }
+    }
+    // Single-line /* detlint:allow(...) x */ works like a line comment.
+    if (line_ == start_line) {
+      RecordComment(body, start_line);
+    }
+  }
+
+  void Preprocessor() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          ++line_;
+          ++pos_;
+          continue;  // logical line continues
+        }
+        break;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LineComment();
+        break;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    // Trim trailing whitespace.
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+      text.pop_back();
+    }
+    Directive directive{text, start_line};
+    // Normalize interior whitespace for matching: "#  pragma   once" -> tokens.
+    std::vector<std::string> words;
+    std::string word;
+    for (const char c : text) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!word.empty()) {
+          words.push_back(word);
+          word.clear();
+        }
+      } else {
+        word.push_back(c);
+      }
+    }
+    if (!word.empty()) {
+      words.push_back(word);
+    }
+    // '#' may be fused with the keyword ("#pragma") or stand alone ("# pragma").
+    if (!words.empty() && words[0] == "#") {
+      words.erase(words.begin());
+    } else if (!words.empty() && words[0].size() > 1 && words[0][0] == '#') {
+      words[0].erase(words[0].begin());
+    }
+    if (words.size() >= 2 && words[0] == "pragma" && words[1] == "once") {
+      file_.has_pragma_once = true;
+    }
+    if (!words.empty() && words[0] == "include") {
+      const size_t q1 = text.find('"');
+      if (q1 != std::string::npos) {
+        const size_t q2 = text.find('"', q1 + 1);
+        if (q2 != std::string::npos) {
+          file_.includes.push_back(text.substr(q1 + 1, q2 - q1 - 1));
+        }
+      }
+    }
+    file_.directives.push_back(std::move(directive));
+  }
+
+  void QuotedLiteral(char quote) {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') {  // unterminated; bail at EOL
+        return;
+      }
+      ++pos_;
+      if (c == quote) {
+        return;
+      }
+    }
+  }
+
+  void RawString() {
+    // R"delim( ... )delim"  — pos_ sits on the opening '"'.
+    ++pos_;
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim.push_back(src_[pos_]);
+      ++pos_;
+    }
+    const std::string closer = ")" + delim + "\"";
+    const size_t end = src_.find(closer, pos_);
+    size_t stop = end == std::string::npos ? src_.size() : end + closer.size();
+    for (size_t i = pos_; i < stop && i < src_.size(); ++i) {
+      if (src_[i] == '\n') {
+        ++line_;
+      }
+    }
+    pos_ = stop;
+  }
+
+  void Identifier() {
+    const size_t start = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) {
+      ++pos_;
+    }
+    std::string text = src_.substr(start, pos_ - start);
+    // Raw-string prefixes: R"...", u8R"...", LR"...", etc.
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      if (text == "R" || text == "u8R" || text == "uR" || text == "UR" || text == "LR") {
+        RawString();
+        return;
+      }
+      // Ordinary encoding prefix (u8"...", L"..."): skip the literal.
+      QuotedLiteral('"');
+      return;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      QuotedLiteral('\'');
+      return;
+    }
+    Emit(TokenKind::kIdentifier, std::move(text));
+  }
+
+  void Number() {
+    const size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs glue onto pp-numbers: 1e+9, 0x1p-3.
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, src_.substr(start, pos_ - start));
+  }
+
+  const std::string& src_;
+  LexedFile file_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::set<int> lines_with_code_;
+};
+
+}  // namespace
+
+LexedFile Lex(const std::string& path, const std::string& content) {
+  return Lexer(path, content).Run();
+}
+
+bool IsSuppressed(const LexedFile& file, int line, const std::string& rule) {
+  for (const int candidate : {line, line - 1}) {
+    const auto it = file.suppressions.find(candidate);
+    if (it == file.suppressions.end()) {
+      continue;
+    }
+    const Suppression& sup = it->second;
+    if (candidate == line - 1 && !sup.comment_only_line) {
+      continue;  // an annotation sharing a code line covers only that line
+    }
+    if (sup.rules.count(rule) != 0 && sup.has_reason) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace detlint

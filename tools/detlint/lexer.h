@@ -1,0 +1,67 @@
+// detlint lexer: a lightweight C++ tokenizer for determinism linting.
+//
+// This is deliberately not a compiler front end. Rules in rules.cc match token
+// sequences, so the lexer's whole job is to produce a faithful token stream with
+// line numbers while discarding everything that could cause false positives:
+// comments (an `assert(` in prose is not a finding), string and character
+// literals (a log message naming steady_clock is not a wall-clock read), and
+// preprocessor directives (captured separately so the pragma-once and include
+// rules can see them without `#define` bodies polluting the token stream).
+//
+// Two pieces of comment content ARE retained, because rules consume them:
+//   * suppression annotations:  // detlint:allow(rule-a,rule-b) justification
+//   * per-line code presence, so a suppression on its own line can cover the
+//     line below it.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+enum class TokenKind {
+  kIdentifier,  // [A-Za-z_][A-Za-z0-9_]*  (keywords included; rules do not care)
+  kNumber,      // pp-number, consumed greedily
+  kPunct,       // every operator/punctuator character, one token per character
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;
+};
+
+// One `// detlint:allow(...)` annotation.
+struct Suppression {
+  std::set<std::string> rules;    // rule names inside the parentheses
+  bool has_reason = false;        // non-empty text followed the closing paren
+  int line = 0;
+  bool comment_only_line = false; // no code tokens share the annotation's line
+};
+
+// A captured preprocessor directive (continuations folded into one entry).
+struct Directive {
+  std::string text;  // full directive text, '#' included, whitespace-trimmed
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;  // display / repo-relative path
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+  std::vector<std::string> includes;       // quoted-form include paths, verbatim
+  std::map<int, Suppression> suppressions; // keyed by annotation line
+  bool has_pragma_once = false;
+};
+
+// Tokenizes `content`. Never fails: unrecognized bytes are skipped.
+LexedFile Lex(const std::string& path, const std::string& content);
+
+// True when `rule` is suppressed at `line`: an annotation with a justification
+// sits on the line itself or alone on the line directly above.
+bool IsSuppressed(const LexedFile& file, int line, const std::string& rule);
+
+}  // namespace detlint

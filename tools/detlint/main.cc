@@ -1,0 +1,133 @@
+// detlint CLI.
+//
+//   detlint [--config <file>] [--format=text|json] [--root <dir>] <paths...>
+//
+// Paths are files or directories relative to --root (default: the current
+// directory); directories are walked recursively for *.h / *.cc in sorted
+// order. Exit status: 0 clean, 1 findings, 2 usage/IO/config error — so a CI
+// wrapper can distinguish "the tree is dirty" from "the lint itself broke".
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "tools/detlint/config.h"
+#include "tools/detlint/rules.h"
+
+namespace detlint {
+namespace {
+
+int Usage(std::ostream& out, int status) {
+  out << "usage: detlint [--config <file>] [--format=text|json] [--root <dir>] "
+         "<paths...>\n"
+         "  Scans *.h / *.cc under each path for determinism & invariant\n"
+         "  violations. Rules, IDs, and suppression syntax: DESIGN.md section 7.\n";
+  return status;
+}
+
+void PrintText(const std::vector<Finding>& findings, size_t files_scanned) {
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": error: [" << f.rule->id << " "
+              << f.rule->name << "] " << f.message << "\n    hint: " << f.rule->hint
+              << "\n";
+  }
+  std::cout << "detlint: " << findings.size() << " finding(s) in " << files_scanned
+            << " file(s)\n";
+}
+
+void PrintJson(const std::vector<Finding>& findings, size_t files_scanned) {
+  chronotier::JsonWriter w(std::cout);
+  w.set_pretty(true);
+  w.BeginObject();
+  w.Field("files_scanned", static_cast<uint64_t>(files_scanned));
+  w.Field("findings_count", static_cast<uint64_t>(findings.size()));
+  w.Key("findings");
+  w.BeginArray();
+  for (const Finding& f : findings) {
+    w.BeginObject();
+    w.Field("file", f.file);
+    w.Field("line", static_cast<int64_t>(f.line));
+    w.Field("id", f.rule->id);
+    w.Field("rule", f.rule->name);
+    w.Field("message", f.message);
+    w.Field("hint", f.rule->hint);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  std::cout << "\n";
+}
+
+int Main(int argc, char** argv) {
+  std::string config_path;
+  std::string format = "text";
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return Usage(std::cout, 0);
+    }
+    if (arg == "--config") {
+      if (++i >= argc) {
+        return Usage(std::cerr, 2);
+      }
+      config_path = argv[i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "detlint: unknown format '" << format << "'\n";
+        return 2;
+      }
+    } else if (arg == "--root") {
+      if (++i >= argc) {
+        return Usage(std::cerr, 2);
+      }
+      root = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown option '" << arg << "'\n";
+      return Usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    return Usage(std::cerr, 2);
+  }
+
+  Config config;
+  if (!config_path.empty()) {
+    std::string error;
+    if (!config.Load(config_path, &error)) {
+      std::cerr << "detlint: config error: " << error << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::string> files;
+  std::string error;
+  if (!CollectSourceFiles(root, paths, &files, &error)) {
+    std::cerr << "detlint: " << error << "\n";
+    return 2;
+  }
+
+  std::vector<Finding> findings = AnalyzeFiles(root, files, config);
+  for (const Finding& f : findings) {
+    if (f.rule == nullptr) {
+      std::cerr << "detlint: " << f.file << ": " << f.message << "\n";
+      return 2;
+    }
+  }
+  if (format == "json") {
+    PrintJson(findings, files.size());
+  } else {
+    PrintText(findings, files.size());
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace detlint
+
+int main(int argc, char** argv) { return detlint::Main(argc, argv); }

@@ -1,0 +1,72 @@
+// detlint rules: the project's determinism & safety invariants as token-level
+// checks. See DESIGN.md §7 for the rule table and rationale.
+//
+//   DL001 wall-clock              ambient time/entropy source in simulated code
+//   DL002 assert                  assert() vanishes under NDEBUG; use CHECK
+//   DL003 unordered-iter          iteration over std::unordered_{map,set}
+//   DL004 pointer-sort            sort comparator ordered by raw pointer value
+//   DL005 unseeded-shuffle        std::shuffle/std::sample without project RNG
+//   DL006 pragma-once             header missing #pragma once
+//   DL007 using-namespace-header  using namespace at header scope
+//   DL008 naked-new               raw new/delete outside allowlisted files
+//
+// Findings can be suppressed three ways, all reviewable in diffs:
+//   * inline:  // detlint:allow(rule-name) justification   (same line)
+//   * above:   a comment-only line directly before the finding
+//   * config:  [rule.<name>] allow = [...] in tools/detlint/detlint.toml
+// An annotation without a justification does not suppress.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/detlint/config.h"
+#include "tools/detlint/lexer.h"
+
+namespace detlint {
+
+struct RuleInfo {
+  const char* id;    // stable machine ID, e.g. "DL003"
+  const char* name;  // kebab-case name used in suppressions/config
+  const char* hint;  // one-line fix-it
+};
+
+// All rules, in ID order. Exposed for docs/tests.
+const std::vector<RuleInfo>& AllRules();
+
+struct Finding {
+  std::string file;  // repo-relative path
+  int line = 0;
+  const RuleInfo* rule = nullptr;
+  std::string message;
+};
+
+// Findings are ordered by (file, line, rule ID) so output is deterministic.
+bool FindingLess(const Finding& a, const Finding& b);
+
+// Runs every rule over one lexed file. `extra_unordered_names` seeds the
+// unordered-iter rule with container names declared in the file's includes
+// (members declared in a class header but iterated in its .cc).
+std::vector<Finding> RunRules(const LexedFile& file, const Config& config,
+                              const std::vector<std::string>& extra_unordered_names);
+
+// Names of variables declared with std::unordered_map/std::unordered_set in
+// `file` — harvested from headers to cross-seed RunRules on their .cc files.
+std::vector<std::string> CollectUnorderedNames(const LexedFile& file);
+
+// Collects *.h / *.cc files under each of `paths` (files or directories
+// relative to `root`), '/'-separated, sorted, deduplicated. Returns false and
+// sets *error on IO failure.
+bool CollectSourceFiles(const std::string& root, const std::vector<std::string>& paths,
+                        std::vector<std::string>* files, std::string* error);
+
+// Analyzes `rel_paths` (files, '/'-separated, relative to `root`). Reads each
+// file, cross-seeds unordered container names along quoted #include edges, runs
+// all rules, and returns findings sorted by FindingLess. IO failures surface as
+// findings on line 0 with a null rule.
+std::vector<Finding> AnalyzeFiles(const std::string& root,
+                                  const std::vector<std::string>& rel_paths,
+                                  const Config& config);
+
+}  // namespace detlint
