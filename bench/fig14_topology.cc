@@ -1,0 +1,205 @@
+// Figure 14 (extension): tiering policies on N-endpoint CXL topologies.
+//
+// The paper's testbed is a two-tier DRAM + Optane box; this bench extends the sweep to the
+// CXL fabric shapes CXLMemSim-style emulators describe with topology strings. Endpoint
+// count sweeps 1 -> 8 over a fixed physical budget (25% DRAM at the root, the rest split
+// evenly across endpoints), wired as two chains under the root so larger fabrics contain
+// genuinely multi-hop endpoints:
+//
+//   1 endpoint:  (1,2)                      8 endpoints: (1,(2,(4,(6,8))),(3,(5,(7,9))))
+//   4 endpoints: (1,(2,4),(3,5))                          [depth-4 chains; promotions from
+//                                                          the leaves route 4 links]
+//
+// Each topology runs the six paper policies plus endpoint_aware_hotness (the placement
+// policy from src/policies that weighs hotness against endpoint distance and live link
+// congestion). Reported per cell: throughput, FMAR, p99, congestion totals, and the
+// routed-copy counters. Every configuration is run twice and checked bit-identical
+// (commit-sequence hash + every reported metric) — the N-tier machine must be exactly as
+// deterministic as the two-tier one. Results go to BENCH_topology.json.
+//
+// Expected shape: throughput degrades as endpoints deepen (hop latency + shared links);
+// endpoint_aware_hotness holds up best at 4-8 endpoints because demotions spread across
+// near, quiet endpoints instead of piling onto the next node in index order.
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/check.h"
+#include "src/common/json.h"
+#include "src/topology/topology.h"
+
+namespace ct = chronotier;
+
+namespace {
+
+// Renders the two-chain topology tree for `endpoints` endpoints and fills the per-node
+// spec arrays in the parser's pre-order (root, chain of endpoint 1, chain of endpoint 2),
+// so array slot k describes the node with topo_id k. Endpoint k (1-based) has node id
+// k + 1; endpoints 1 and 2 hang off the root, endpoint k >= 3 under endpoint k - 2.
+ct::TopologySpec SweepTopology(int endpoints, uint64_t total_pages, double fast_fraction) {
+  const auto fast_pages =
+      static_cast<uint64_t>(static_cast<double>(total_pages) * fast_fraction);
+  const uint64_t slow_pages = total_pages - fast_pages;
+  const uint64_t per_endpoint = slow_pages / static_cast<uint64_t>(endpoints);
+
+  ct::TopologySpec spec;
+  spec.capacity_pages = {fast_pages};
+  spec.load_latency = {80 * ct::kNanosecond};
+  spec.store_latency = {80 * ct::kNanosecond};
+  spec.bandwidth = {12e9};
+
+  // Recursive pre-order render; deeper endpoints are also slower devices (farther switch
+  // hops usually mean cheaper, denser memory in CXL pooling designs).
+  const std::function<std::string(int)> render = [&](int k) {
+    const int64_t device_load = (150 + 20 * (k - 1)) * ct::kNanosecond;
+    spec.capacity_pages.push_back(per_endpoint);
+    spec.load_latency.push_back(device_load);
+    spec.store_latency.push_back(device_load + 60 * ct::kNanosecond);
+    spec.bandwidth.push_back(8e9);
+    const std::string id = std::to_string(k + 1);
+    if (k + 2 > endpoints) {
+      return id;
+    }
+    return "(" + id + "," + render(k + 2) + ")";
+  };
+  std::string tree = "(1," + render(1);
+  if (endpoints >= 2) {
+    tree += "," + render(2);
+  }
+  spec.tree = tree + ")";
+  return spec;
+}
+
+struct Cell {
+  int endpoints;
+  std::string policy;
+  ct::ExperimentResult result;
+};
+
+void CheckBitIdentical(const ct::ExperimentResult& a, const ct::ExperimentResult& b,
+                       int endpoints, const std::string& policy) {
+  const auto context = [&] {
+    return " (endpoints=" + std::to_string(endpoints) + ", policy=" + policy + ")";
+  };
+  CHECK(a.migration_commit_hash == b.migration_commit_hash)
+      << "commit-sequence hash diverged across identical runs" << context();
+  CHECK(a.throughput_ops == b.throughput_ops)
+      << "throughput diverged across identical runs" << context();
+  CHECK(a.fmar == b.fmar) << "FMAR diverged across identical runs" << context();
+  CHECK(a.congested_accesses == b.congested_accesses &&
+        a.congestion_queued_ns == b.congestion_queued_ns)
+      << "congestion counters diverged across identical runs" << context();
+  CHECK(a.multi_hop_copies == b.multi_hop_copies && a.multi_hop_legs == b.multi_hop_legs)
+      << "routed-copy counters diverged across identical runs" << context();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_topology.json";
+  bool quick = false;
+  const ct::BenchFlags flags = ct::ParseBenchFlags(
+      argc, argv,
+      "Figure 14 (extension): policy sweep over 1-8 endpoint CXL topologies, with\n"
+      "per-endpoint congestion and routed multi-hop migration.",
+      {{"--out", "FILE", "result JSON path (default BENCH_topology.json)",
+        [&out_path](const std::string& v) { out_path = v; }},
+       {"--quick", "", "CI smoke: 1/4/8 endpoints, short windows",
+        [&quick](const std::string&) { quick = true; }}});
+
+  const std::vector<int> endpoint_counts =
+      quick ? std::vector<int>{1, 4, 8} : std::vector<int>{1, 2, 4, 8};
+  const uint64_t total_pages = (256ull << 20) / ct::kBasePageSize;
+  const auto policies = ct::TopologyPolicySet(ct::BenchGeometry());
+
+  std::vector<ct::MatrixRow> rows;
+  for (const int endpoints : endpoint_counts) {
+    ct::MatrixRow row;
+    row.label = std::to_string(endpoints) + "ep";
+    row.config = ct::BenchMachine();
+    row.config.topology = SweepTopology(endpoints, total_pages, 0.25);
+    row.config.warmup = quick ? 5 * ct::kSecond : 15 * ct::kSecond;
+    row.config.measure = quick ? 8 * ct::kSecond : 25 * ct::kSecond;
+    // 12 us/op keeps the combined access stream just above a single scaled endpoint
+    // link's service rate and below the aggregate of several: the 1-endpoint row runs
+    // congested, larger fabrics relieve it, and migration bursts re-congest individual
+    // links — the gradient the sweep is about. (At the benches' usual 2 us/op every link
+    // saturates permanently and all rows pin at the per-access delay cap.)
+    row.processes = {ct::BenchPmbenchProc(96, 0.70, 12 * ct::kMicrosecond),
+                     ct::BenchPmbenchProc(96, 0.70, 12 * ct::kMicrosecond)};
+    rows.push_back(std::move(row));
+  }
+
+  ct::PrintBanner("Fig 14: policy x endpoint-count sweep (run twice, checked identical)");
+  const auto first = ct::RunMatrix(rows, policies, flags);
+  const auto second = ct::RunMatrix(rows, policies, flags.jobs);
+
+  std::vector<Cell> cells;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t i = 0; i < policies.size(); ++i) {
+      CheckBitIdentical(first[r][i], second[r][i], endpoint_counts[r], policies[i].name);
+      cells.push_back({endpoint_counts[r], policies[i].name, first[r][i]});
+    }
+  }
+  std::printf("determinism: %zu configurations bit-identical across two runs\n\n",
+              cells.size());
+
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::printf("--- %d endpoint(s): %s\n", endpoint_counts[r],
+                rows[r].config.topology.tree.c_str());
+    ct::TextTable table({"policy", "ops/s", "FMAR", "p99 ns", "congested acc",
+                         "queued ms", "multi-hop copies", "legs", "committed"});
+    for (size_t i = 0; i < policies.size(); ++i) {
+      const ct::ExperimentResult& result = first[r][i];
+      table.AddRow(
+          {policies[i].name, ct::TextTable::Num(result.throughput_ops, 0),
+           ct::TextTable::Percent(result.fmar), ct::TextTable::Num(result.p99_latency_ns, 0),
+           ct::TextTable::Int(static_cast<long long>(result.congested_accesses)),
+           ct::TextTable::Num(static_cast<double>(result.congestion_queued_ns) / 1e6),
+           ct::TextTable::Int(static_cast<long long>(result.multi_hop_copies)),
+           ct::TextTable::Int(static_cast<long long>(result.multi_hop_legs)),
+           ct::TextTable::Int(static_cast<long long>(result.migrations_committed))});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  {
+    ct::JsonWriter json(out);
+    json.set_pretty(true);
+    json.BeginObject();
+    json.Field("quick", quick);
+    json.Key("cells");
+    json.BeginArray();
+    for (const Cell& cell : cells) {
+      json.BeginObject();
+      json.Field("endpoints", cell.endpoints);
+      json.Field("policy", cell.policy);
+      json.Field("throughput_ops", cell.result.throughput_ops);
+      json.Field("fmar", cell.result.fmar);
+      json.Field("p99_latency_ns", cell.result.p99_latency_ns);
+      json.Field("congested_accesses", cell.result.congested_accesses);
+      json.Field("congestion_queued_ns", cell.result.congestion_queued_ns);
+      json.Field("multi_hop_copies", cell.result.multi_hop_copies);
+      json.Field("multi_hop_legs", cell.result.multi_hop_legs);
+      json.Field("migrations_committed", cell.result.migrations_committed);
+      json.Field("migrations_refused", cell.result.migrations_refused);
+      json.Field("commit_hash", cell.result.migration_commit_hash);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  out << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

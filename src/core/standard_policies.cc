@@ -2,6 +2,7 @@
 
 #include "src/core/chrono_policy.h"
 #include "src/policies/autotiering.h"
+#include "src/policies/endpoint_aware.h"
 #include "src/policies/linux_nb.h"
 #include "src/policies/memtis.h"
 #include "src/policies/multiclock.h"
@@ -40,6 +41,16 @@ std::vector<NamedPolicyFactory> StandardPolicySet(ScanGeometry geometry) {
          return std::make_unique<ChronoPolicy>(config);
        }},
   };
+}
+
+std::vector<NamedPolicyFactory> TopologyPolicySet(ScanGeometry geometry) {
+  std::vector<NamedPolicyFactory> set = StandardPolicySet(geometry);
+  set.push_back({"endpoint_aware_hotness", [geometry] {
+                   EndpointAwareConfig config;
+                   config.geometry = geometry;
+                   return std::make_unique<EndpointAwarePolicy>(config);
+                 }});
+  return set;
 }
 
 std::vector<NamedPolicyFactory> ChronoVariantSet(double manual_rate_mbps,

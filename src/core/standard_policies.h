@@ -25,4 +25,8 @@ std::vector<NamedPolicyFactory> StandardPolicySet(ScanGeometry geometry = {});
 std::vector<NamedPolicyFactory> ChronoVariantSet(double manual_rate_mbps = 120.0,
                                                  ScanGeometry geometry = {});
 
+// The topology-sweep lineup (bench/fig14_topology): the six standard policies plus
+// endpoint_aware_hotness, the N-endpoint placement policy from src/policies.
+std::vector<NamedPolicyFactory> TopologyPolicySet(ScanGeometry geometry = {});
+
 }  // namespace chronotier

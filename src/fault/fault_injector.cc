@@ -58,9 +58,18 @@ void FaultInjector::StallTick(SimTime now) {
   if (num_nodes < 2) {
     return;
   }
-  const NodeId lo = static_cast<NodeId>(rng_.NextBelow(static_cast<uint64_t>(num_nodes - 1)));
-  const NodeId hi = static_cast<NodeId>(
+  NodeId lo = static_cast<NodeId>(rng_.NextBelow(static_cast<uint64_t>(num_nodes - 1)));
+  NodeId hi = static_cast<NodeId>(
       lo + 1 + rng_.NextBelow(static_cast<uint64_t>(num_nodes - 1 - lo)));
+  // On a tree topology the drawn pair may not share a link; stall the first link on its
+  // route instead. The two RNG draws above stay unconditional so legacy complete-graph
+  // machines consume an identical random bitstream.
+  const Topology& topo = memory_->topology();
+  if (topo.EdgeIndex(lo, hi) < 0) {
+    const std::vector<NodeId> route = topo.Route(lo, hi);
+    lo = route[0];
+    hi = route[1];
+  }
   CopyChannel& channel = engine_->mutable_channel(lo, hi);
   channel.InjectStall(now, plan_.stall_duration);
   channel.DegradeBandwidth(now + plan_.stall_window, plan_.stall_bandwidth_slowdown);

@@ -1,5 +1,7 @@
 #include "src/harness/experiment.h"
 
+#include <utility>
+
 #include "src/common/check.h"
 #include "src/trace/exporter.h"
 
@@ -16,8 +18,12 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   ExperimentResult result;
   result.policy_name = std::string(policy->name());
 
-  MachineConfig machine_config =
-      MachineConfig::StandardTwoTier(config.total_pages, config.fast_fraction);
+  MachineConfig machine_config;
+  if (config.topology.enabled()) {
+    machine_config.topology = config.topology;
+  } else {
+    machine_config = MachineConfig::StandardTwoTier(config.total_pages, config.fast_fraction);
+  }
   machine_config.seed = config.seed;
   machine_config.bandwidth_scale = config.bandwidth_scale;
   machine_config.fault = config.fault;
@@ -53,12 +59,29 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
         });
   }
 
+  // Endpoint-congestion counters live on TieredMemory (not Metrics), so the warmup share
+  // is subtracted explicitly to keep "over the measured window" semantics.
+  const auto congestion_totals = [&machine]() {
+    std::pair<uint64_t, uint64_t> totals{0, 0};  // (congested accesses, queued ns).
+    const TieredMemory& memory = machine.memory();
+    if (!memory.congestion_enabled()) {
+      return totals;
+    }
+    for (NodeId id = 0; id < memory.num_nodes(); ++id) {
+      totals.first += memory.congestion(id).congested_accesses();
+      totals.second += static_cast<uint64_t>(memory.congestion(id).access_queued_time());
+    }
+    return totals;
+  };
+  std::pair<uint64_t, uint64_t> congestion_baseline{0, 0};
+
   if (config.run_to_completion) {
     result.elapsed = machine.RunToCompletion(config.measure);
   } else {
     if (config.warmup > 0) {
       machine.Run(config.warmup);
       machine.metrics().Reset();
+      congestion_baseline = congestion_totals();
     }
     machine.Run(config.measure);
     result.elapsed = config.measure;
@@ -87,6 +110,11 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   result.migration_mean_attempts = migration.MeanAttemptsPerCommit();
   result.copy_bandwidth_utilization = migration.CopyBandwidthUtilization(
       result.elapsed, machine.migration().num_channels());
+  result.multi_hop_copies = migration.multi_hop_copies;
+  result.multi_hop_legs = migration.multi_hop_legs;
+  const std::pair<uint64_t, uint64_t> congestion_final = congestion_totals();
+  result.congested_accesses = congestion_final.first - congestion_baseline.first;
+  result.congestion_queued_ns = congestion_final.second - congestion_baseline.second;
   result.migrations_parked = migration.TotalParked();
   result.migration_commit_hash = migration.commit_sequence_hash;
   result.faults_injected_transient = migration.injected_transient_faults;

@@ -25,6 +25,10 @@ struct ProcessSpec {
 struct ExperimentConfig {
   uint64_t total_pages = 1u << 16;  // Physical pages across both tiers.
   double fast_fraction = 0.25;      // The paper's 25%-DRAM split.
+  // N-tier CXL topology (src/topology), forwarded to MachineConfig. When enabled() it
+  // replaces the StandardTwoTier tier vector entirely — total_pages/fast_fraction are
+  // ignored and capacities come from the spec's per-node capacity_pages.
+  TopologySpec topology;
   // Miniature-machine scaling: (testbed capacity) / (simulated capacity). Scales the
   // migration copy engines so migration pressure relative to capacity matches the testbed.
   double bandwidth_scale = 1.0;
@@ -78,6 +82,13 @@ struct ExperimentResult {
   double copy_bandwidth_utilization = 0;       // Channel busy fraction over the window.
 
   // Fault-injection / degradation counters over the measured window.
+  // Topology / congestion counters over the measured window (all 0 on machines without a
+  // parsed topology).
+  uint64_t congested_accesses = 0;      // Accesses charged a nonzero link-queueing delay.
+  uint64_t congestion_queued_ns = 0;    // Total queueing delay charged to accesses.
+  uint64_t multi_hop_copies = 0;        // Routed copy passes (no direct link).
+  uint64_t multi_hop_legs = 0;          // Per-link legs those passes booked.
+
   uint64_t migrations_parked = 0;            // Fault terminals: page stayed at source.
   uint64_t faults_injected_transient = 0;
   uint64_t faults_injected_persistent = 0;

@@ -26,18 +26,33 @@ std::vector<std::string> MachineConfig::Validate() const {
     require(p >= 0.0 && p <= 1.0, name + " must be a probability in [0, 1]");
   };
 
-  require(!tiers.empty(), "at least one tier is required");
-  if (!tiers.empty()) {
-    require(tiers.front().kind == TierKind::kFast, "tier 0 must be the fast tier");
-  }
-  for (size_t i = 0; i < tiers.size(); ++i) {
-    const TierSpec& spec = tiers[i];
-    const std::string which = "tier " + std::to_string(i) + " (" + spec.name + ")";
-    require(spec.capacity_pages > 0, which + ": capacity_pages must be > 0");
-    require(spec.migration_bandwidth_bytes_per_sec > 0,
-            which + ": migration bandwidth must be > 0");
-    require(spec.load_latency >= 0, which + ": load_latency must be >= 0");
-    require(spec.store_latency >= 0, which + ": store_latency must be >= 0");
+  if (topology.enabled()) {
+    // Tier specs are derived from the parsed topology tree; a separate tier vector would
+    // be ambiguous about which description wins.
+    require(tiers.empty(), "set either tiers or topology, not both");
+    Topology parsed;
+    std::string topo_error;
+    // Sequenced: the message must be built after Build() fills topo_error (argument
+    // evaluation order is unspecified).
+    const bool topo_ok = Topology::Build(topology, &parsed, &topo_error);
+    require(topo_ok, "topology: " + topo_error);
+    require(parsed.num_nodes() <= kMaxNodes,
+            "topology has " + std::to_string(parsed.num_nodes()) + " nodes; max is " +
+                std::to_string(kMaxNodes));
+  } else {
+    require(!tiers.empty(), "at least one tier is required");
+    if (!tiers.empty()) {
+      require(tiers.front().kind == TierKind::kFast, "tier 0 must be the fast tier");
+    }
+    for (size_t i = 0; i < tiers.size(); ++i) {
+      const TierSpec& spec = tiers[i];
+      const std::string which = "tier " + std::to_string(i) + " (" + spec.name + ")";
+      require(spec.capacity_pages > 0, which + ": capacity_pages must be > 0");
+      require(spec.migration_bandwidth_bytes_per_sec > 0,
+              which + ": migration bandwidth must be > 0");
+      require(spec.load_latency >= 0, which + ": load_latency must be >= 0");
+      require(spec.store_latency >= 0, which + ": store_latency must be >= 0");
+    }
   }
 
   require(demand_fault_cost >= 0, "demand_fault_cost must be >= 0");
@@ -95,11 +110,27 @@ std::vector<TierSpec> ScaleBandwidth(std::vector<TierSpec> tiers, double scale) 
   }
   return tiers;
 }
+
+TieredMemory BuildMemory(const MachineConfig& config) {
+  if (!config.topology.enabled()) {
+    return TieredMemory(ScaleBandwidth(config.tiers, config.bandwidth_scale));
+  }
+  Topology topo;
+  std::string error;
+  CHECK(Topology::Build(config.topology, &topo, &error)) << "invalid topology: " << error;
+  // A miniature machine scales the endpoint links together with the tiers' copy engines,
+  // or congestion and routed-copy pressure become free at scale.
+  topo.ScaleBandwidth(config.bandwidth_scale);
+  // Two statements: evaluation order of function arguments is unspecified, and the
+  // TierSpecs() call must complete before `topo` is moved into the constructor.
+  std::vector<TierSpec> tiers = ScaleBandwidth(topo.TierSpecs(), config.bandwidth_scale);
+  return TieredMemory(std::move(tiers), std::move(topo));
+}
 }  // namespace
 
 Machine::Machine(MachineConfig config, std::unique_ptr<TieringPolicy> policy)
     : config_(config),
-      memory_(ScaleBandwidth(config.tiers, config.bandwidth_scale)),
+      memory_(BuildMemory(config)),
       policy_(std::move(policy)),
       pebs_(config.pebs) {
   for (int i = 0; i < memory_.num_nodes(); ++i) {
@@ -291,13 +322,16 @@ SimDuration Machine::ExecuteOp(Process& process, const MemOp& op) {
   return total;
 }
 
-SimDuration Machine::FastPathAccess(Process& process, PageInfo& unit, bool is_store) {
+SimDuration Machine::FastPathAccess(Process& process, PageInfo& unit, uint64_t vpn,
+                                    bool is_store) {
   // Mirrors the tail of the slow path exactly for a present, non-PROT_NONE, non-migrating
-  // unit with PEBS inactive: device charge, accessed/dirty maintenance, store-generation
-  // bump, oracle bookkeeping, metrics. Any divergence here breaks the TLB-on/off
-  // equivalence contract (tests/tlb_test.cc).
+  // unit: device charge (incl. hop penalty + link congestion), accessed/dirty maintenance,
+  // store-generation bump, oracle bookkeeping, PEBS sampling, metrics. Any divergence here
+  // breaks the TLB-on/off equivalence contract (tests/tlb_test.cc).
   const SimTime now = std::max(process.clock(), queue_.now());
-  const SimDuration latency = memory_.node(unit.node).AccessLatency(is_store);
+  SimDuration latency = memory_.AccessLatency(unit.node, is_store);
+  const SimDuration queued = memory_.ChargeAccessCongestion(unit.node, now);
+  latency += queued;
 
   unit.Set(kPageAccessed);
   if (is_store) {
@@ -310,10 +344,17 @@ SimDuration Machine::FastPathAccess(Process& process, PageInfo& unit, bool is_st
     unit.Set(kPageOracleTouchedSlow);
   }
 
+  if (pebs_active_) {
+    // PEBS observes fast-lane accesses too (the hardware samples loads/stores regardless
+    // of how the software resolved the translation). OnSample handlers may split `unit`'s
+    // huge group; that only invalidates cached translations, which re-install later.
+    latency += pebs_.OnAccess(now, process.pid(), vpn, unit.node, is_store);
+  }
+
   metrics_.CountAccess(is_store, unit.node == kFastNode, latency);
   EmitTrace(tracer_.get(), TraceCategory::kAccess, TraceEventType::kAccess, now,
             process.pid(), unit.vpn, unit.node, kInvalidNode, is_store ? 1 : 0,
-            /*fast_lane=*/1);
+            /*fast_lane=*/1, queued);
   return latency;
 }
 
@@ -346,11 +387,12 @@ SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_stor
 
   // Fast lane: a cached translation whose unit still satisfies the fast-path flag mask
   // (present, not PROT_NONE, not migrating) skips VMA resolution and fault handling
-  // entirely. PEBS sampling observes every access, so the lane is bypassed while active.
-  if (config_.enable_translation_cache && !pebs_active_) {
+  // entirely. PEBS sampling charges inside the lane (FastPathAccess), so PEBS policies
+  // like Memtis keep the fast lane instead of forcing every access down the slow path.
+  if (config_.enable_translation_cache) {
     if (PageInfo* cached = tlb.Lookup(vpn)) {
       if ((cached->flags & TranslationCache::kFastPathMask) == kPagePresent) {
-        return FastPathAccess(process, *cached, is_store);
+        return FastPathAccess(process, *cached, vpn, is_store);
       }
       // Stale entry (poisoned, migrating, or demand-fault pending): drop it and take the
       // slow path, which re-installs once the unit settles.
@@ -394,9 +436,12 @@ SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_stor
     latency += policy_->OnHintFault(process, *vma, unit, is_store, now);
   }
 
-  // Device access.
-  const MemoryTier& tier = memory_.node(unit.node);
-  latency += tier.AccessLatency(is_store);
+  // Device access: tier latency plus the topology hop penalty and any (capped) queueing
+  // delay on a saturated endpoint link. Charged with the same (node, now) arguments as the
+  // fast lane so the congestion cursor advances identically on either path.
+  latency += memory_.AccessLatency(unit.node, is_store);
+  const SimDuration queued = memory_.ChargeAccessCongestion(unit.node, now);
+  latency += queued;
 
   unit.Set(kPageAccessed);
   if (is_store) {
@@ -418,12 +463,15 @@ SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_stor
   metrics_.CountAccess(is_store, unit.node == kFastNode, latency);
   EmitTrace(tracer_.get(), TraceCategory::kAccess, TraceEventType::kAccess, now,
             process.pid(), unit.vpn, unit.node, kInvalidNode, is_store ? 1 : 0,
-            /*fast_lane=*/0);
+            /*fast_lane=*/0, queued);
 
   // Install the translation for the next touch. Only fully fast-lane-eligible units are
   // cached; everything else (just-poisoned, migrating, refused allocation) re-resolves.
+  // A PEBS OnSample handler may have split `unit`'s huge group above, remapping this vpn
+  // to a different (base) unit — re-check before caching a stale head pointer.
   if (config_.enable_translation_cache &&
-      (unit.flags & TranslationCache::kFastPathMask) == kPagePresent) {
+      (unit.flags & TranslationCache::kFastPathMask) == kPagePresent &&
+      (!pebs_active_ || &vma->HotnessUnit(vpn) == &unit)) {
     tlb.Insert(vpn, &unit);
   }
   return latency;
@@ -511,11 +559,14 @@ void Machine::ApplyMigration(Vma& vma, PageInfo& unit, NodeId from, NodeId to) {
 }
 
 bool Machine::DemoteUnit(Vma& vma, PageInfo& unit) {
-  // Two-tier model: demotion target is the next slower node.
-  const NodeId target = static_cast<NodeId>(std::min(unit.node + 1, memory_.num_nodes() - 1));
+  // The policy picks where reclaim pushes the unit (next slower node by default;
+  // topology-aware policies weigh endpoint distance and live link congestion).
+  const NodeId target = policy_->DemotionTarget(memory_, unit, queue_.now());
   if (target == unit.node) {
     return false;
   }
+  CHECK(target >= 0 && target < memory_.num_nodes())
+      << "policy returned invalid demotion target " << target;
   const MigrationTicket ticket = engine_->Submit(vma, unit, target, MigrationClass::kReclaim,
                                                  MigrationSource::kReclaimDaemon);
   if (!ticket.admitted) {
@@ -632,7 +683,7 @@ void Machine::ReclaimTick(SimTime now) {
   ReclaimFastTier(target);
 }
 
-void Machine::FillTelemetrySample(SimTime /*now*/, TelemetrySample* sample) const {
+void Machine::FillTelemetrySample(SimTime now, TelemetrySample* sample) const {
   const int num_nodes = memory_.num_nodes();
   sample->tiers.reserve(static_cast<size_t>(num_nodes));
   for (NodeId node = 0; node < num_nodes; ++node) {
@@ -650,6 +701,14 @@ void Machine::FillTelemetrySample(SimTime /*now*/, TelemetrySample* sample) cons
     t.wm_pro = wm.pro;
     t.lru_active = lru.active().size();
     t.lru_inactive = lru.inactive().size();
+    t.inflight_reserved = engine_->inflight_reserved_pages_on(node);
+    if (memory_.congestion_enabled()) {
+      const EndpointCongestion& link = memory_.congestion(node);
+      t.link_backlog_ns = static_cast<int64_t>(link.Backlog(now));
+      t.congestion_queued_ns = static_cast<uint64_t>(link.access_queued_time());
+      t.congested_accesses = link.congested_accesses();
+      t.migration_link_bytes = link.migration_bytes();
+    }
     sample->tiers.push_back(t);
   }
 

@@ -35,6 +35,12 @@ namespace chronotier {
 struct MachineConfig {
   std::vector<TierSpec> tiers;
 
+  // N-tier CXL topology (src/topology). When `topology.enabled()` the tier vector is
+  // derived from the parsed tree (`tiers` must stay empty) and the machine gains hop
+  // penalties on the access path, per-endpoint link congestion, and routed multi-hop
+  // migration. Disabled (the default) keeps the legacy ordered-tier complete graph.
+  TopologySpec topology;
+
   // Software cost model (charged to both the faulting access and kernel time).
   SimDuration demand_fault_cost = 2 * kMicrosecond;
   SimDuration hint_fault_cost = 1500 * kNanosecond;
@@ -210,9 +216,10 @@ class Machine : private MigrationEnv {
   SimDuration ExecuteOp(Process& process, const MemOp& op);
   SimDuration AccessMemory(Process& process, uint64_t vaddr, bool is_store);
   // The fast lane: device charge + flag/metrics update for a cached, present,
-  // non-PROT_NONE, non-migrating unit with PEBS inactive. Must stay byte-for-byte
-  // equivalent to the tail of the slow path under the same conditions.
-  SimDuration FastPathAccess(Process& process, PageInfo& unit, bool is_store);
+  // non-PROT_NONE, non-migrating unit. Must stay byte-for-byte equivalent to the tail of
+  // the slow path under the same conditions — including the PEBS sampling charge (`vpn`
+  // is the accessed page, which differs from unit.vpn inside a huge unit).
+  SimDuration FastPathAccess(Process& process, PageInfo& unit, uint64_t vpn, bool is_store);
   SimDuration HandleDemandFault(Process& process, Vma& vma, PageInfo& unit);
   void RunProcessUntil(Process& process, WorkloadBinding& binding, SimTime horizon);
   void ReclaimTick(SimTime now);

@@ -8,11 +8,13 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string_view>
 
 #include "src/common/time.h"
 #include "src/mem/tier.h"
+#include "src/mem/tiered_memory.h"
 #include "src/vm/address_space.h"
 #include "src/vm/page.h"
 #include "src/vm/process.h"
@@ -55,6 +57,16 @@ class TieringPolicy {
     (void)vma;
     (void)unit;
     (void)now;
+  }
+
+  // Where reclaim demotes `unit` to. Default: the next slower node (the kernel's demotion
+  // path on an ordered tier chain, and the only sensible answer on two tiers). Topology-
+  // aware policies override this to weigh endpoint distance and live link congestion.
+  // Must return a node != unit.node with spare capacity, or unit.node to veto demotion.
+  virtual NodeId DemotionTarget(const TieredMemory& memory, const PageInfo& unit,
+                                SimTime now) const {
+    (void)now;
+    return static_cast<NodeId>(std::min(unit.node + 1, memory.num_nodes() - 1));
   }
 
   // When reclaim runs on the fast tier, it frees pages until free_pages reaches this target.

@@ -5,12 +5,34 @@
 
 namespace chronotier {
 
-TieredMemory::TieredMemory(std::vector<TierSpec> specs) {
+TieredMemory::TieredMemory(std::vector<TierSpec> specs)
+    : TieredMemory(std::move(specs), Topology()) {}
+
+TieredMemory::TieredMemory(std::vector<TierSpec> specs, Topology topology) {
   CHECK(!specs.empty()) << "TieredMemory needs at least one tier";
   CHECK(specs.front().kind == TierKind::kFast) << "tier 0 must be the fast tier";
   tiers_.reserve(specs.size());
   for (auto& spec : specs) {
     tiers_.emplace_back(std::move(spec));
+  }
+  // A default-constructed Topology stands for "no topology": normalize it to the complete
+  // graph over these tiers so edges()/Route()/HopPenalty() are always well-defined.
+  if (topology.num_nodes() == 0) {
+    topology_ = Topology::CompleteGraph(num_nodes());
+  } else {
+    CHECK(topology.num_nodes() == num_nodes())
+        << "topology covers " << topology.num_nodes() << " nodes but " << num_nodes()
+        << " tiers were given";
+    topology_ = std::move(topology);
+  }
+  congestion_enabled_ = topology_.congestion_enabled();
+  if (congestion_enabled_) {
+    const TopologySpec& spec = topology_.spec();
+    congestion_.reserve(tiers_.size());
+    for (NodeId id = 0; id < num_nodes(); ++id) {
+      congestion_.emplace_back(topology_.link_bandwidth(id),
+                               spec.congestion_access_delay_cap, spec.access_bytes);
+    }
   }
 }
 

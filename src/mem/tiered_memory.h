@@ -8,6 +8,8 @@
 
 #include "src/common/time.h"
 #include "src/mem/tier.h"
+#include "src/topology/congestion.h"
+#include "src/topology/topology.h"
 
 namespace chronotier {
 
@@ -22,8 +24,15 @@ struct MigrationCost {
 
 class TieredMemory {
  public:
-  // Standard two-tier construction from specs; node 0 must be the fast tier.
+  // Standard construction from an ordered tier vector; node 0 must be the fast tier. The
+  // topology is the trivial complete graph: every pair directly connected, no hop
+  // penalties, no congestion — the behaviour every pre-topology machine had.
   explicit TieredMemory(std::vector<TierSpec> specs);
+
+  // N-tier graph construction: `specs` describe the nodes, `topology` how they are wired
+  // (hop penalties on the access path, per-endpoint congestion links, and the edge set the
+  // migration engine builds its routed CopyChannel graph from).
+  TieredMemory(std::vector<TierSpec> specs, Topology topology);
 
   // Convenience for the paper's 25%-DRAM configuration: a fast tier holding
   // `total_pages * fast_fraction` pages and an Optane slow tier holding the rest.
@@ -32,6 +41,37 @@ class TieredMemory {
   MemoryTier& node(NodeId id) { return tiers_[static_cast<size_t>(id)]; }
   const MemoryTier& node(NodeId id) const { return tiers_[static_cast<size_t>(id)]; }
   int num_nodes() const { return static_cast<int>(tiers_.size()); }
+
+  const Topology& topology() const { return topology_; }
+
+  // Device access latency including the topology hop penalty (0 on complete graphs, so
+  // legacy machines see exactly node(id).AccessLatency()).
+  SimDuration AccessLatency(NodeId id, bool is_store) const {
+    return node(id).AccessLatency(is_store) + topology_.HopPenalty(id);
+  }
+
+  // --- per-endpoint congestion (parsed topologies with model_congestion only) ---
+  bool congestion_enabled() const { return congestion_enabled_; }
+
+  // Books one demand access on the node's link; returns the queuing delay to charge to
+  // the access (always 0 when congestion is off). Called from both the fast and slow
+  // access paths with identical arguments, preserving TLB-on/off equivalence.
+  SimDuration ChargeAccessCongestion(NodeId id, SimTime now) {
+    if (!congestion_enabled_) return 0;
+    return congestion_[static_cast<size_t>(id)].OnAccess(now);
+  }
+
+  // Books migration traffic traversing the node's link (the engine calls this for every
+  // node on a booked copy route). No-op when congestion is off.
+  void NoteMigrationTraffic(NodeId id, SimTime now, uint64_t bytes) {
+    if (!congestion_enabled_) return;
+    congestion_[static_cast<size_t>(id)].OnMigrationBytes(now, bytes);
+  }
+
+  // Read-only congestion state (telemetry, policies). Valid only when congestion_enabled().
+  const EndpointCongestion& congestion(NodeId id) const {
+    return congestion_[static_cast<size_t>(id)];
+  }
 
   // Allocates one base page preferring `preferred`, falling back to successively slower
   // nodes (the kernel's default zonelist order). Returns the node allocated from, or
@@ -61,6 +101,9 @@ class TieredMemory {
 
  private:
   std::vector<MemoryTier> tiers_;
+  Topology topology_;
+  std::vector<EndpointCongestion> congestion_;  // Indexed by node; empty when disabled.
+  bool congestion_enabled_ = false;
   SimDuration migration_software_overhead_ = 3 * kMicrosecond;
 };
 

@@ -11,21 +11,30 @@ MigrationEngine::MigrationEngine(MigrationEngineConfig config, MigrationEnv* env
     : config_(config), env_(env), stats_(stats), admission_(&config_) {
   CHECK(env_ != nullptr && stats_ != nullptr);
   num_nodes_ = env_->memory().num_nodes();
-  // One channel per unordered tier pair {lo, hi}, lo < hi: both copy directions between two
-  // tiers contend for the same device bandwidth.
-  for (NodeId lo = 0; lo < num_nodes_; ++lo) {
-    for (NodeId hi = lo + 1; hi < num_nodes_; ++hi) {
-      channels_.emplace_back(lo, hi);
-    }
+  inflight_pages_by_node_.assign(static_cast<size_t>(num_nodes_), 0);
+  // One channel per topology edge {lo, hi}, lo < hi: both copy directions over a link
+  // contend for the same device bandwidth. The legacy complete-graph topology yields the
+  // historical channel-per-unordered-tier-pair set in upper-triangle order; parsed tree
+  // topologies yield one channel per tree link, and copies between non-adjacent nodes are
+  // routed over multiple channels (BookCopy).
+  const Topology& topo = env_->memory().topology();
+  edge_channel_.assign(static_cast<size_t>(num_nodes_) * static_cast<size_t>(num_nodes_), -1);
+  for (const auto& [lo, hi] : topo.edges()) {
+    const int index = static_cast<int>(channels_.size());
+    channels_.emplace_back(lo, hi);
+    edge_channel_[static_cast<size_t>(lo) * static_cast<size_t>(num_nodes_) +
+                  static_cast<size_t>(hi)] = index;
+    edge_channel_[static_cast<size_t>(hi) * static_cast<size_t>(num_nodes_) +
+                  static_cast<size_t>(lo)] = index;
   }
 }
 
 size_t MigrationEngine::ChannelIndex(NodeId from, NodeId to) const {
-  const size_t lo = static_cast<size_t>(std::min(from, to));
-  const size_t hi = static_cast<size_t>(std::max(from, to));
-  const size_t n = static_cast<size_t>(num_nodes_);
-  // Row-major upper triangle: pairs {0,1}, {0,2}, ..., {0,n-1}, {1,2}, ...
-  return lo * n - lo * (lo + 1) / 2 + (hi - lo - 1);
+  const int index = edge_channel_[static_cast<size_t>(from) * static_cast<size_t>(num_nodes_) +
+                                  static_cast<size_t>(to)];
+  CHECK(index >= 0) << "no copy channel between node " << from << " and node " << to
+                    << " (not adjacent in this topology)";
+  return static_cast<size_t>(index);
 }
 
 const CopyChannel& MigrationEngine::channel(NodeId from, NodeId to) const {
@@ -37,14 +46,22 @@ CopyChannel& MigrationEngine::channel_mutable(NodeId from, NodeId to) {
 }
 
 uint64_t MigrationEngine::inflight_reserved_pages_on(NodeId node) const {
-  uint64_t pages = 0;
-  // detlint:allow(unordered-iter) unsigned summation commutes; no order leaks out
-  for (const auto& [id, txn] : inflight_) {
-    if (txn.to == node) {
-      pages += txn.pages;
-    }
+  return inflight_pages_by_node_[static_cast<size_t>(node)];
+}
+
+SimDuration MigrationEngine::RouteBacklog(NodeId from, NodeId to, SimTime now) const {
+  const Topology& topo = env_->memory().topology();
+  if (topo.EdgeIndex(from, to) >= 0) {
+    // Directly connected (always true on the legacy complete graph): the single channel's
+    // backlog, exactly the historical admission quantity.
+    return channel(from, to).Backlog(now);
   }
-  return pages;
+  const std::vector<NodeId> route = topo.Route(from, to);
+  SimDuration worst = 0;
+  for (size_t i = 0; i + 1 < route.size(); ++i) {
+    worst = std::max(worst, channel(route[i], route[i + 1]).Backlog(now));
+  }
+  return worst;
 }
 
 MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
@@ -83,12 +100,20 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
     return refuse(MigrationRefusal::kTierDegraded, true);
   }
 
-  // Admission: channel backlog against the class limit, then per-source throttling. Both
-  // are checked before any frame or channel state is touched.
-  const SimDuration backlog = channel(from, target).Backlog(now);
+  // Admission: route backlog (worst traversed link) against the class limit, then
+  // per-source throttling. Both are checked before any frame or channel state is touched.
+  const SimDuration backlog = RouteBacklog(from, target, now);
   const MigrationRefusal verdict = admission_.Check(klass, source, backlog, pages);
   if (verdict != MigrationRefusal::kNone) {
     return refuse(verdict, is_promotion);
+  }
+
+  // Per-endpoint admission: async work already holding too many reserved frames on the
+  // target node refuses new transactions (never binds at the default limit).
+  if (klass == MigrationClass::kAsync &&
+      inflight_pages_by_node_[static_cast<size_t>(target)] + pages >
+          config_.endpoint_inflight_page_limit) {
+    return refuse(MigrationRefusal::kEndpointSaturated, is_promotion);
   }
 
   // Reserve target frames for the whole transaction (non-exclusive copy: source stays
@@ -106,7 +131,7 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
     // Direct reclaim books demotions on this same channel, so the backlog this request
     // faces may have grown past its class limit. Re-check before copying; on refusal the
     // reserved frames go back (the demotions stay — reclaim progress is never undone).
-    const SimDuration backlog_after = channel(from, target).Backlog(now);
+    const SimDuration backlog_after = RouteBacklog(from, target, now);
     const MigrationRefusal recheck = admission_.Check(klass, source, backlog_after, pages);
     if (recheck != MigrationRefusal::kNone) {
       memory.FreePages(target, pages);
@@ -137,6 +162,7 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
     ticket.outcome = MigrationOutcome::kPending;
     Transaction& stored = inflight_.emplace(txn.id, txn).first->second;
     inflight_reserved_pages_ += pages;
+    inflight_pages_by_node_[static_cast<size_t>(target)] += pages;
     peak_inflight_ = std::max(peak_inflight_, static_cast<uint64_t>(inflight_.size()));
     ScheduleAsyncPass(stored, now, now);
     return ticket;
@@ -193,26 +219,61 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
 CopyChannel::Booking MigrationEngine::BookCopy(Transaction& txn, SimTime now,
                                                SimTime earliest) {
   const uint64_t bytes = txn.pages * kBasePageSize;
-  const MigrationCost cost = env_->memory().CostOfMigration(txn.from, txn.to, bytes);
-  const CopyChannel::Booking booking =
-      channel_mutable(txn.from, txn.to).Book(now, earliest, cost.copy_time);
+  TieredMemory& memory = env_->memory();
+  const Topology& topo = memory.topology();
 
   ++txn.attempt;
   txn.write_gen_at_copy = txn.unit->write_gen;
   ++stats_->copy_attempts;
   stats_->copied_bytes += bytes;
-  // Timestamped at the booked start so the exporter can render the pass as a duration
-  // slice on the channel's track; `b` carries the booked duration in ns.
-  EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationCopy,
-            booking.start, txn.unit->owner, txn.unit->vpn, txn.from, txn.to, txn.id,
-            static_cast<uint64_t>(booking.finish - booking.start));
-  // Booked duration, not the uncontended copy time: an injected bandwidth collapse makes
-  // the channel busy for longer than the bytes alone would.
-  stats_->channel_busy += booking.finish - booking.start;
-  // Copy CPU burns at the unscaled rate: the scaled copy_time models channel queueing on a
-  // miniature machine, not extra cycles.
+
+  // One leg per traversed link, charging copy CPU per leg. `copy_cpu` accumulates the
+  // uncontended copy time; the kernel charge divides out the bandwidth scale because the
+  // scaled copy_time models channel queueing on a miniature machine, not extra cycles.
+  SimDuration copy_cpu = 0;
+  CopyChannel::Booking booking;
+  const auto book_leg = [&](NodeId leg_from, NodeId leg_to, SimTime leg_earliest) {
+    const MigrationCost cost = memory.CostOfMigration(leg_from, leg_to, bytes);
+    const CopyChannel::Booking leg =
+        channel_mutable(leg_from, leg_to).Book(now, leg_earliest, cost.copy_time);
+    copy_cpu += cost.copy_time;
+    // Timestamped at the booked start so the exporter can render the pass as a duration
+    // slice on the channel's track; `b` carries the booked duration in ns, `c` the
+    // queueing delay the leg waited for the link.
+    EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationCopy, leg.start,
+              txn.unit->owner, txn.unit->vpn, leg_from, leg_to, txn.id,
+              static_cast<uint64_t>(leg.finish - leg.start),
+              static_cast<uint64_t>(leg.start - std::max(now, leg_earliest)));
+    // Booked duration, not the uncontended copy time: an injected bandwidth collapse makes
+    // the channel busy for longer than the bytes alone would.
+    stats_->channel_busy += leg.finish - leg.start;
+    // The copied bytes flow through both endpoints' links (per-endpoint congestion).
+    memory.NoteMigrationTraffic(leg_from, leg.start, bytes);
+    memory.NoteMigrationTraffic(leg_to, leg.start, bytes);
+    return leg;
+  };
+
+  if (topo.EdgeIndex(txn.from, txn.to) >= 0) {
+    // Directly connected: a single leg, the historical behaviour.
+    booking = book_leg(txn.from, txn.to, earliest);
+  } else {
+    // Routed copy: store-and-forward over the tree path, booking bandwidth on every
+    // traversed link. Leg k+1 starts no earlier than leg k finishes.
+    const std::vector<NodeId> route = topo.Route(txn.from, txn.to);
+    ++stats_->multi_hop_copies;
+    SimTime leg_earliest = earliest;
+    for (size_t i = 0; i + 1 < route.size(); ++i) {
+      const CopyChannel::Booking leg = book_leg(route[i], route[i + 1], leg_earliest);
+      if (i == 0) {
+        booking.start = leg.start;
+      }
+      booking.finish = leg.finish;
+      leg_earliest = leg.finish;
+      ++stats_->multi_hop_legs;
+    }
+  }
   env_->ChargeMigrationKernelTime(static_cast<SimDuration>(
-      static_cast<double>(cost.copy_time) / std::max(config_.bandwidth_scale, 1.0)));
+      static_cast<double>(copy_cpu) / std::max(config_.bandwidth_scale, 1.0)));
   return booking;
 }
 
@@ -250,6 +311,7 @@ void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
   const auto finish_inflight = [this, &it](Transaction& finished) {
     Retire(finished);
     inflight_reserved_pages_ -= finished.pages;
+    inflight_pages_by_node_[static_cast<size_t>(finished.to)] -= finished.pages;
     inflight_.erase(it);
   };
 

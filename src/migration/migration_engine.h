@@ -110,11 +110,18 @@ class MigrationEngine {
   // Target frames reserved on `node` by in-flight transactions (invariant auditing).
   uint64_t inflight_reserved_pages_on(NodeId node) const;
 
-  // Channels are per *unordered* tier pair: channel(a, b) == channel(b, a).
+  // Channels are per *unordered* topology edge: channel(a, b) == channel(b, a), and the
+  // pair must be directly connected (every pair, on the legacy complete-graph topology).
   int num_channels() const { return static_cast<int>(channels_.size()); }
   const CopyChannel& channel(NodeId from, NodeId to) const;
   // Mutable access for the fault injector (stall / bandwidth-collapse injection).
   CopyChannel& mutable_channel(NodeId from, NodeId to) { return channel_mutable(from, to); }
+  // Indexed channel access (the fault injector picks uniformly over existing edges).
+  CopyChannel& channel_at(int index) { return channels_[static_cast<size_t>(index)]; }
+
+  // Worst queueing delay over the links a copy from -> to traverses (== the single
+  // channel's backlog when the pair is directly connected).
+  SimDuration RouteBacklog(NodeId from, NodeId to, SimTime now) const;
 
  private:
   struct Transaction {
@@ -133,7 +140,10 @@ class MigrationEngine {
   size_t ChannelIndex(NodeId from, NodeId to) const;
   CopyChannel& channel_mutable(NodeId from, NodeId to);
 
-  // Books one copy pass for `txn` (charging copy CPU), returns its booking.
+  // Books one copy pass for `txn` (charging copy CPU), returns its booking. A pass whose
+  // tier pair is not directly connected books one leg per link of the topology route,
+  // store-and-forward (leg k+1 starts no earlier than leg k finishes); the returned
+  // booking spans first-leg start to last-leg finish.
   CopyChannel::Booking BookCopy(Transaction& txn, SimTime now, SimTime earliest);
   // Books an async pass and schedules its copy-start snapshot + copy-done events.
   void ScheduleAsyncPass(Transaction& txn, SimTime now, SimTime earliest);
@@ -155,12 +165,14 @@ class MigrationEngine {
   CopyFaultOracle* fault_oracle_ = nullptr;
   Tracer* tracer_ = nullptr;
   AdmissionController admission_;
-  std::vector<CopyChannel> channels_;  // Upper-triangle order over unordered pairs.
+  std::vector<CopyChannel> channels_;  // One per topology edge, in topology edge order.
+  std::vector<int> edge_channel_;      // Dense num_nodes^2 pair -> channel index (-1: none).
   int num_nodes_ = 0;
 
   std::unordered_map<uint64_t, Transaction> inflight_;  // Async only.
   uint64_t next_txn_id_ = 1;
   uint64_t inflight_reserved_pages_ = 0;
+  std::vector<uint64_t> inflight_pages_by_node_;  // Reserved target pages per node (async).
   uint64_t peak_inflight_ = 0;
 };
 

@@ -46,8 +46,9 @@ enum class MigrationRefusal : uint8_t {
   kAlreadyInFlight = 4,  // The unit is owned by another transaction.
   kInvalid = 5,          // Not present, or already resident on the target node.
   kTierDegraded = 6,     // Target tier is in degraded mode; promotions are paused.
+  kEndpointSaturated = 7,  // Target endpoint's in-flight page budget is exhausted.
 };
-inline constexpr int kNumMigrationRefusals = 7;
+inline constexpr int kNumMigrationRefusals = 8;
 
 // How a transaction ended. kParked is the graceful-degradation terminal: injected copy
 // faults exhausted their retries (or were persistent), the unit stays mapped at its source,
@@ -89,6 +90,10 @@ struct MigrationEngineConfig {
   // Per-source cap on async in-flight pages (TierBPF-style admission). The default is
   // generous; the backlog limits bind first unless a test tightens it.
   uint64_t source_inflight_page_limit = 1u << 16;
+  // Per-*endpoint* cap on async in-flight pages reserved on one target node. The default
+  // never binds (legacy behaviour); N-endpoint topologies tighten it so one saturated
+  // endpoint refuses (kEndpointSaturated) instead of queueing unboundedly.
+  uint64_t endpoint_inflight_page_limit = ~0ull;
   // Mirrors MachineConfig::bandwidth_scale: scaled copy time models engine queueing on a
   // miniature machine, so kernel CPU burn is charged at the unscaled rate.
   double bandwidth_scale = 1.0;
@@ -114,7 +119,11 @@ struct MigrationStats {
   uint64_t quarantined_pages = 0;           // Target frames quarantined by those faults.
   uint64_t retry_histogram[kMigrationRetryBuckets] = {};
   uint64_t copied_bytes = 0;          // Includes bytes of aborted copies.
-  SimDuration channel_busy = 0;       // Copy time booked across all channels.
+  SimDuration channel_busy = 0;       // Copy time booked across all channels (every leg).
+  // Routed (multi-hop) copy passes: passes whose tier pair is not directly connected in
+  // the topology, and the per-link legs those passes booked (>= 2 * multi_hop_copies).
+  uint64_t multi_hop_copies = 0;
+  uint64_t multi_hop_legs = 0;
   // FNV-1a over (owner, vpn, target, commit time) in commit order; two runs of the same
   // seed must produce the same hash (deterministic replay).
   uint64_t commit_sequence_hash = 14695981039346656037ull;

@@ -1,0 +1,79 @@
+// endpoint_aware_hotness: a topology-aware tiering policy for N-endpoint CXL machines.
+//
+// The six paper policies treat slow memory as one undifferentiated pool: promotion decides
+// *whether* a page deserves fast memory, and demotion always pushes to "the next slower
+// node". On an N-endpoint topology endpoints differ — in hop distance from the CPU, in
+// link bandwidth, and (dynamically) in how congested their links are — so placement among
+// the slow endpoints matters almost as much as the promote/demote decision itself.
+//
+// This policy keeps the scan half simple (a decayed accessed-bit hotness score, the same
+// family of signal Multi-Clock uses) and spends its novelty on *where* pages go:
+//  - Promotion: the hottest scanned slow-endpoint units are batch-promoted to the fast
+//    node each scan tick, hottest-first with a deterministic tiebreak.
+//  - Demotion: DemotionTarget() scores every slow endpoint by access latency (which
+//    already folds in the topology hop penalty) plus a congestion term from the endpoint's
+//    live link backlog, and demotes to the cheapest endpoint with free-page headroom —
+//    pages pushed out of DRAM land on near, quiet endpoints instead of piling onto the
+//    next node in index order.
+//
+// On a two-tier machine there is exactly one slow endpoint and no congestion model, so the
+// policy degenerates to Multi-Clock-flavoured promotion plus default demotion.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/policies/scan_policy_base.h"
+
+namespace chronotier {
+
+struct EndpointAwareConfig {
+  ScanGeometry geometry;
+  // Hotness scoring (stored in PageInfo::policy_word): +gain when the accessed bit is set
+  // at scan time (capped), -1 decay when it is not.
+  uint32_t score_gain = 2;
+  uint32_t score_cap = 16;
+  // Units with at least this score are promotion candidates.
+  uint32_t promote_threshold = 4;
+  // Max units submitted for async promotion per scan tick (per process).
+  uint64_t promote_batch = 64;
+  // Weight on the congestion term of the demotion-target score: each nanosecond of link
+  // backlog counts as `congestion_weight` nanoseconds of latency.
+  double congestion_weight = 1.0;
+  // Backlog beyond this no longer worsens an endpoint's score (a deeply backed-up link is
+  // simply "bad", and an unbounded term would make one migration burst repel all demotion
+  // traffic for seconds).
+  SimDuration congestion_backlog_cap = 10 * kMicrosecond;
+  // An endpoint is eligible as a demotion target while its free pages exceed its low
+  // watermark by this many unit-pages (headroom so reclaim does not chase watermarks).
+  uint64_t demotion_headroom_pages = 512;
+};
+
+class EndpointAwarePolicy : public ScanPolicyBase {
+ public:
+  explicit EndpointAwarePolicy(EndpointAwareConfig config = {});
+
+  std::string_view name() const override { return "endpoint_aware_hotness"; }
+
+  SimDuration OnHintFault(Process& process, Vma& vma, PageInfo& unit, bool is_store,
+                          SimTime now) override;
+
+  NodeId DemotionTarget(const TieredMemory& memory, const PageInfo& unit,
+                        SimTime now) const override;
+
+ protected:
+  void ScanVisit(Process& process, Vma& vma, PageInfo& unit, SimTime now) override;
+  void AfterScanTick(Process& process, SimTime now, bool lap_wrapped) override;
+
+ private:
+  struct Candidate {
+    PageInfo* unit;
+    uint32_t score;
+  };
+
+  EndpointAwareConfig config_;
+  std::vector<Candidate> candidates_;  // Collected per scan tick, drained in AfterScanTick.
+};
+
+}  // namespace chronotier

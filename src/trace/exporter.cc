@@ -18,9 +18,11 @@ constexpr int kEnginePid = 2;
 constexpr int kDaemonsPid = 3;
 constexpr int kTelemetryPid = 4;
 
-// Engine-track tids: 0 is the transaction lifecycle track, channels start at 16.
+// Engine-track tids: 0 is the transaction lifecycle track, channels start at 16. The
+// stride bounds the decodable node count (hi < stride); 16 covers every topology the
+// benches sweep (<= 9 nodes) with room to spare.
 constexpr int kChannelTidBase = 16;
-constexpr int kChannelTidStride = 8;
+constexpr int kChannelTidStride = 16;
 
 // Daemon-track tids.
 constexpr int kReclaimTid = 0;
@@ -146,6 +148,8 @@ void WriteEvent(JsonWriter& json, const Track& track, const TraceEvent& event) {
   if (event.to != kInvalidNode) json.Field("to", static_cast<int>(event.to));
   json.Field("a", event.a);
   json.Field("b", event.b);
+  // Congestion queueing delay: omitted when zero so congestion-free traces are unchanged.
+  if (event.c != 0) json.Field("c", event.c);
   json.EndObject();
   json.EndObject();
 }

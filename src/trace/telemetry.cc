@@ -36,7 +36,9 @@ void TelemetrySampler::WriteCsv(std::ostream& out) const {
     out << ",tier" << t << "_free,tier" << t << "_allocated,tier" << t << "_quarantined,tier"
         << t << "_stolen,tier" << t << "_wm_min,tier" << t << "_wm_low,tier" << t
         << "_wm_high,tier" << t << "_wm_pro,tier" << t << "_lru_active,tier" << t
-        << "_lru_inactive";
+        << "_lru_inactive,tier" << t << "_inflight_reserved,tier" << t
+        << "_link_backlog_ns,tier" << t << "_congestion_queued_ns,tier" << t
+        << "_congested_accesses,tier" << t << "_migration_link_bytes";
   }
   out << ",inflight_transactions,backlog_sync,backlog_async,backlog_reclaim,accesses,fmar,"
          "tlb_hit_rate\n";
@@ -46,7 +48,10 @@ void TelemetrySampler::WriteCsv(std::ostream& out) const {
       const TelemetrySample::Tier& tier = s.tiers[t];
       out << ',' << tier.free << ',' << tier.allocated << ',' << tier.quarantined << ','
           << tier.stolen << ',' << tier.wm_min << ',' << tier.wm_low << ',' << tier.wm_high
-          << ',' << tier.wm_pro << ',' << tier.lru_active << ',' << tier.lru_inactive;
+          << ',' << tier.wm_pro << ',' << tier.lru_active << ',' << tier.lru_inactive << ','
+          << tier.inflight_reserved << ',' << tier.link_backlog_ns << ','
+          << tier.congestion_queued_ns << ',' << tier.congested_accesses << ','
+          << tier.migration_link_bytes;
     }
     out << ',' << s.inflight_transactions << ',' << s.backlog_sync << ',' << s.backlog_async
         << ',' << s.backlog_reclaim << ',' << s.accesses << ',' << s.fmar << ','
@@ -75,6 +80,11 @@ void TelemetrySampler::WriteJson(std::ostream& out) const {
       json.Field("wm_pro", tier.wm_pro);
       json.Field("lru_active", tier.lru_active);
       json.Field("lru_inactive", tier.lru_inactive);
+      json.Field("inflight_reserved", tier.inflight_reserved);
+      json.Field("link_backlog_ns", tier.link_backlog_ns);
+      json.Field("congestion_queued_ns", tier.congestion_queued_ns);
+      json.Field("congested_accesses", tier.congested_accesses);
+      json.Field("migration_link_bytes", tier.migration_link_bytes);
       json.EndObject();
     }
     json.EndArray();

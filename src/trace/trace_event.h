@@ -83,7 +83,8 @@ enum class TraceEventType : uint16_t {
   // kMigration (a = transaction id unless noted)
   kMigrationSubmit,     // b = pages; from/to = tier pair.
   kMigrationRefused,    // a = refusal reason enum, b = admission class enum.
-  kMigrationCopy,       // Copy pass booked: b = copy duration ns (ts = booking start).
+  kMigrationCopy,       // Copy leg booked: b = copy duration ns, c = link queue wait ns
+                        // (ts = booking start; routed passes emit one event per leg).
   kMigrationDirtyAbort, // Dirty re-copy needed: b = attempt number.
   kMigrationCopyFault,  // Injected copy fault: b = 1 transient, 2 persistent.
   kMigrationCommit,     // b = pages; ts = commit time.
@@ -109,14 +110,18 @@ const char* TraceEventTypeName(TraceEventType t);
 inline constexpr uint64_t kTraceNoVpn = ~0ull;
 inline constexpr int32_t kTraceNoPid = -1;
 
-// 40-byte POD record. `a`/`b` are type-specific payloads (documented per type above);
-// keeping them generic keeps the ring compact and the header dependency-free.
+// 48-byte POD record. `a`/`b` are type-specific payloads (documented per type above);
+// keeping them generic keeps the ring compact and the header dependency-free. `c` carries
+// the queueing delay (ns) the event waited on a congested endpoint link: the access-path
+// congestion charge for kAccess, the per-leg link wait for kMigrationCopy; 0 elsewhere
+// and on machines without a congestion model.
 struct TraceEvent {
   SimTime ts = 0;          // Simulated nanoseconds.
   uint64_t vpn = kTraceNoVpn;
   uint64_t a = 0;
   uint64_t b = 0;
   int32_t pid = kTraceNoPid;
+  uint32_t c = 0;          // Endpoint-congestion queueing delay, ns (saturating).
   TraceEventType type = TraceEventType::kAccess;
   uint8_t category = 0;    // TraceCategoryIndex of the emitting category.
   int16_t from = kInvalidNode;

@@ -23,7 +23,8 @@ Tracer::Tracer(const TraceConfig& config)
 }
 
 void Tracer::Emit(TraceCategory category, TraceEventType type, SimTime ts, int32_t pid,
-                  uint64_t vpn, NodeId from, NodeId to, uint64_t a, uint64_t b) {
+                  uint64_t vpn, NodeId from, NodeId to, uint64_t a, uint64_t b,
+                  uint64_t c) {
   telemetry_.MaybeSample(ts);
   if (!wants(category)) return;
 
@@ -32,6 +33,8 @@ void Tracer::Emit(TraceCategory category, TraceEventType type, SimTime ts, int32
   event.vpn = vpn;
   event.a = a;
   event.b = b;
+  // >4s of queueing on one access would mean the model is broken; saturate, don't wrap.
+  event.c = c > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(c);
   event.pid = pid;
   event.type = type;
   event.category = TraceCategoryIndex(category);

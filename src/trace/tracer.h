@@ -86,10 +86,11 @@ class Tracer {
   }
 
   // Records one event (if its category is enabled). `from`/`to` are NUMA nodes where
-  // meaningful; `a`/`b` are type-specific payloads (see trace_event.h).
+  // meaningful; `a`/`b` are type-specific payloads and `c` the endpoint-congestion
+  // queueing delay in ns (see trace_event.h; stored saturating into 32 bits).
   void Emit(TraceCategory category, TraceEventType type, SimTime ts, int32_t pid,
             uint64_t vpn, NodeId from = kInvalidNode, NodeId to = kInvalidNode,
-            uint64_t a = 0, uint64_t b = 0);
+            uint64_t a = 0, uint64_t b = 0, uint64_t c = 0);
 
   // Registers a display name for a simulated process (exporter track labels).
   void SetProcessName(int32_t pid, std::string name);
@@ -148,8 +149,9 @@ class Tracer {
 // Null-safe emission helper for instrumentation sites.
 inline void EmitTrace(Tracer* tracer, TraceCategory category, TraceEventType type,
                       SimTime ts, int32_t pid, uint64_t vpn, NodeId from = kInvalidNode,
-                      NodeId to = kInvalidNode, uint64_t a = 0, uint64_t b = 0) {
-  if (tracer != nullptr) tracer->Emit(category, type, ts, pid, vpn, from, to, a, b);
+                      NodeId to = kInvalidNode, uint64_t a = 0, uint64_t b = 0,
+                      uint64_t c = 0) {
+  if (tracer != nullptr) tracer->Emit(category, type, ts, pid, vpn, from, to, a, b, c);
 }
 
 }  // namespace chronotier

@@ -17,7 +17,9 @@
 
 namespace chronotier {
 
-inline constexpr int kMaxNodes = 4;
+// Upper bound on memory nodes a machine can have (per-process residency counters are a
+// fixed array). Two-tier machines use 2; topology sweeps go up to a root plus 8 endpoints.
+inline constexpr int kMaxNodes = 16;
 
 class Process {
  public:

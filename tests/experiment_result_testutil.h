@@ -44,6 +44,11 @@ inline void ExpectResultsIdentical(const ExperimentResult& a, const ExperimentRe
   EXPECT_EQ(a.migration_mean_attempts, b.migration_mean_attempts);
   EXPECT_EQ(a.copy_bandwidth_utilization, b.copy_bandwidth_utilization);
 
+  EXPECT_EQ(a.congested_accesses, b.congested_accesses);
+  EXPECT_EQ(a.congestion_queued_ns, b.congestion_queued_ns);
+  EXPECT_EQ(a.multi_hop_copies, b.multi_hop_copies);
+  EXPECT_EQ(a.multi_hop_legs, b.multi_hop_legs);
+
   EXPECT_EQ(a.migrations_parked, b.migrations_parked);
   EXPECT_EQ(a.faults_injected_transient, b.faults_injected_transient);
   EXPECT_EQ(a.faults_injected_persistent, b.faults_injected_persistent);

@@ -9,6 +9,7 @@
 
 #include "src/harness/machine.h"
 #include "src/migration/migration_engine.h"
+#include "src/topology/topology.h"
 #include "src/workloads/patterns.h"
 
 namespace chronotier {
@@ -23,6 +24,8 @@ class StubEnv : public MigrationEnv {
  public:
   StubEnv(uint64_t fast_pages, uint64_t slow_pages)
       : memory_(MakeSpecs(fast_pages, slow_pages)) {}
+  // Topology-backed variant (routed multi-hop tests).
+  explicit StubEnv(TieredMemory memory) : memory_(std::move(memory)) {}
 
   EventQueue& queue() override { return queue_; }
   TieredMemory& memory() override { return memory_; }
@@ -270,6 +273,132 @@ TEST_F(MigrationEngineTest, SyncSubmitCommitsInlineAndChargesFullLatency) {
   EXPECT_FALSE(page(0).Has(kPageMigrating));
   EXPECT_EQ(stats_.committed[static_cast<size_t>(MigrationClass::kSync)], 1u);
   EXPECT_EQ(env_->queue_.pending(), 0u);  // Nothing deferred.
+}
+
+TEST_F(MigrationEngineTest, EndpointInflightLimitRefusesWhenSaturated) {
+  MigrationEngineConfig config;
+  config.endpoint_inflight_page_limit = 2;
+  Build(config);
+  ASSERT_TRUE(SubmitAsync(0).admitted);
+  ASSERT_TRUE(SubmitAsync(1).admitted);
+  EXPECT_EQ(engine_->inflight_reserved_pages_on(kFastNode), 2u);
+
+  // The third async promotion would push reserved pages on the fast node past the limit.
+  const MigrationTicket third = SubmitAsync(2);
+  EXPECT_FALSE(third.admitted);
+  EXPECT_EQ(third.refusal, MigrationRefusal::kEndpointSaturated);
+  EXPECT_EQ(stats_.refused[static_cast<size_t>(MigrationRefusal::kEndpointSaturated)], 1u);
+
+  // Sync (fault-path) migrations are not subject to the async endpoint limit.
+  EXPECT_TRUE(engine_
+                  ->Submit(*vma_, page(3), kFastNode, MigrationClass::kSync,
+                           MigrationSource::kFaultPath, 0)
+                  .admitted);
+
+  // Once the in-flight work commits, the endpoint frees up and admission resumes.
+  Drain();
+  EXPECT_EQ(engine_->inflight_reserved_pages_on(kFastNode), 0u);
+  EXPECT_TRUE(SubmitAsync(2).admitted);
+}
+
+// --- Routed multi-hop copies over a parsed topology ---
+
+// A 0-1-2 chain ("(1,(2,3))") with a 1 ms/page link everywhere: a copy from node 2 to
+// node 0 has no direct channel and must route through node 1.
+TieredMemory MakeChainMemory() {
+  TopologySpec spec;
+  spec.tree = "(1,(2,3))";
+  spec.capacity_pages = {1024, 1024, 4096};
+  spec.bandwidth = {kOnePagePerMs, kOnePagePerMs, kOnePagePerMs};
+  Topology topo;
+  std::string error;
+  EXPECT_TRUE(Topology::Build(spec, &topo, &error)) << error;
+  std::vector<TierSpec> tiers = topo.TierSpecs();
+  return TieredMemory(std::move(tiers), std::move(topo));
+}
+
+class RoutedMigrationTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kNumPages = 16;
+  static constexpr NodeId kLeafNode = 2;
+
+  void SetUp() override {
+    env_ = std::make_unique<StubEnv>(MakeChainMemory());
+    engine_ = std::make_unique<MigrationEngine>(MigrationEngineConfig(), env_.get(),
+                                                &stats_);
+    aspace_ = std::make_unique<AddressSpace>(1);
+    base_vpn_ = aspace_->MapRegion(kNumPages * kBasePageSize) / kBasePageSize;
+    vma_ = aspace_->FindVma(base_vpn_);
+    ASSERT_NE(vma_, nullptr);
+    ASSERT_TRUE(env_->memory_.node(kLeafNode).TryAllocate(kNumPages));
+    for (uint64_t i = 0; i < kNumPages; ++i) {
+      PageInfo& page = vma_->PageAt(base_vpn_ + i);
+      page.Set(kPagePresent);
+      page.node = kLeafNode;
+    }
+  }
+
+  PageInfo& page(uint64_t i) { return vma_->PageAt(base_vpn_ + i); }
+
+  void Drain() {
+    while (env_->queue_.pending() > 0) {
+      env_->queue_.RunNext();
+    }
+  }
+
+  std::unique_ptr<StubEnv> env_;
+  MigrationStats stats_;
+  std::unique_ptr<MigrationEngine> engine_;
+  std::unique_ptr<AddressSpace> aspace_;
+  Vma* vma_ = nullptr;
+  uint64_t base_vpn_ = 0;
+};
+
+TEST_F(RoutedMigrationTest, MultiHopCopyBooksEveryTraversedLink) {
+  ASSERT_TRUE(engine_
+                  ->Submit(*vma_, page(0), kFastNode, MigrationClass::kAsync,
+                           MigrationSource::kPolicyDaemon)
+                  .admitted);
+  Drain();
+  EXPECT_EQ(page(0).node, kFastNode);
+  EXPECT_EQ(stats_.multi_hop_copies, 1u);
+  EXPECT_EQ(stats_.multi_hop_legs, 2u);
+
+  // One channel per topology edge (0-1, 1-2) — not the complete graph's three.
+  EXPECT_EQ(engine_->num_channels(), 2);
+  // Every traversed link booked the copy: bandwidth is conserved per link, and the
+  // store-and-forward legs mean the commit lands no earlier than both legs' service.
+  EXPECT_EQ(engine_->channel(kLeafNode, 1).busy_time(), kCopyTime);
+  EXPECT_EQ(engine_->channel(1, kFastNode).busy_time(), kCopyTime);
+  EXPECT_EQ(stats_.channel_busy, 2 * kCopyTime);
+  EXPECT_GE(env_->queue_.now(), 2 * kCopyTime);
+
+  // Congestion accounting: the relay node carried the bytes of both legs, the ends one
+  // leg each.
+  EXPECT_EQ(env_->memory_.congestion(1).migration_bytes(), 2 * kBasePageSize);
+  EXPECT_EQ(env_->memory_.congestion(kFastNode).migration_bytes(), kBasePageSize);
+  EXPECT_EQ(env_->memory_.congestion(kLeafNode).migration_bytes(), kBasePageSize);
+}
+
+TEST_F(RoutedMigrationTest, ConcurrentMultiHopCopiesConserveEveryLinksBandwidth) {
+  constexpr uint64_t kBatch = 4;
+  for (uint64_t i = 0; i < kBatch; ++i) {
+    ASSERT_TRUE(engine_
+                    ->Submit(*vma_, page(i), kFastNode, MigrationClass::kAsync,
+                             MigrationSource::kPolicyDaemon)
+                    .admitted);
+  }
+  Drain();
+  EXPECT_EQ(stats_.multi_hop_copies, kBatch);
+  EXPECT_EQ(stats_.multi_hop_legs, 2 * kBatch);
+  // FIFO booking on both links: each serves the batch serially, so each accumulates
+  // exactly kBatch copy times of busy time — no copy ever bypassed a traversed link.
+  EXPECT_EQ(engine_->channel(kLeafNode, 1).busy_time(), kBatch * kCopyTime);
+  EXPECT_EQ(engine_->channel(1, kFastNode).busy_time(), kBatch * kCopyTime);
+  EXPECT_EQ(stats_.channel_busy, 2 * kBatch * kCopyTime);
+  for (uint64_t i = 0; i < kBatch; ++i) {
+    EXPECT_EQ(page(i).node, kFastNode);
+  }
 }
 
 // --- Deterministic replay through the full harness ---

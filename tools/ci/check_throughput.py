@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Hard gate: compare a sim_throughput run against the checked-in baseline.
+
+Three classes of check, in decreasing order of strictness:
+
+1. sim_accesses per policy must match the baseline EXACTLY. The simulator is
+   deterministic, so the number of simulated accesses is machine-independent; any
+   drift means the simulation itself changed and the baseline must be regenerated
+   deliberately (rerun sim_throughput and commit the new JSON with the change that
+   moved it).
+2. tlb_hit_rate per policy must stay within an absolute band (default +/-0.05).
+   Hit rate is a property of the access stream and the fast-lane code, not the
+   host, so it is nearly noise-free; a collapse to zero is how the Memtis
+   fast-lane regression slipped through when this comparison was warn-only.
+3. accesses_per_sec_tlb_on per policy must not drop more than --tolerance
+   (default 50%) below baseline. Wall-clock on shared runners is noisy and the
+   baseline was measured on different hardware, so the band is wide: it exists to
+   catch order-of-magnitude hot-path regressions, not single-digit ones. Drops
+   beyond --warn-below (default 10%) but inside the tolerance are reported as
+   warnings in the output without failing.
+
+Exit status 0 = gate passed (warnings allowed), 1 = hard failure.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_throughput.json from this run")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.50,
+                        help="max fractional acc/s drop vs baseline (default 0.50)")
+    parser.add_argument("--warn-below", type=float, default=0.10,
+                        help="fractional drop that triggers a warning (default 0.10)")
+    parser.add_argument("--hit-rate-band", type=float, default=0.05,
+                        help="max absolute tlb_hit_rate drift (default 0.05)")
+    args = parser.parse_args()
+
+    cur = json.load(open(args.current))
+    base = json.load(open(args.baseline))
+
+    failures = []
+    warnings = []
+    rows = []
+
+    cur_by_policy = {p["policy"]: p for p in cur["per_policy"]}
+    for b in base["per_policy"]:
+        name = b["policy"]
+        c = cur_by_policy.get(name)
+        if c is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+
+        if round(c["sim_accesses"]) != round(b["sim_accesses"]):
+            failures.append(
+                f"{name}: sim_accesses {c['sim_accesses']:.0f} != baseline "
+                f"{b['sim_accesses']:.0f} (simulation changed; regenerate the "
+                "baseline deliberately if intended)")
+
+        drift = c["tlb_hit_rate"] - b["tlb_hit_rate"]
+        if abs(drift) > args.hit_rate_band:
+            failures.append(
+                f"{name}: tlb_hit_rate {c['tlb_hit_rate']:.4f} drifted "
+                f"{drift:+.4f} from baseline {b['tlb_hit_rate']:.4f} "
+                f"(band +/-{args.hit_rate_band})")
+
+        b_aps, c_aps = b["accesses_per_sec_tlb_on"], c["accesses_per_sec_tlb_on"]
+        delta = (c_aps - b_aps) / b_aps
+        if delta < -args.tolerance:
+            failures.append(
+                f"{name}: acc/s (TLB on) {c_aps:,.0f} is {delta:+.1%} vs baseline "
+                f"{b_aps:,.0f} (tolerance -{args.tolerance:.0%})")
+        elif delta < -args.warn_below:
+            warnings.append(f"{name}: acc/s (TLB on) {delta:+.1%} vs baseline")
+        rows.append((name, b_aps, c_aps, delta,
+                     b["tlb_hit_rate"], c["tlb_hit_rate"]))
+
+    extra = set(cur_by_policy) - {b["policy"] for b in base["per_policy"]}
+    if extra:
+        warnings.append(f"policies not in baseline (unchecked): {sorted(extra)}")
+
+    print("| policy | acc/s base | acc/s now | delta | hit base | hit now |")
+    print("|---|---|---|---|---|---|")
+    for name, b_aps, c_aps, delta, b_hr, c_hr in rows:
+        print(f"| {name} | {b_aps:,.0f} | {c_aps:,.0f} | {delta:+.1%} "
+              f"| {b_hr:.1%} | {c_hr:.1%} |")
+    print()
+    for w in warnings:
+        print(f"WARNING: {w}")
+    for f in failures:
+        print(f"FAIL: {f}")
+    if failures:
+        print(f"\nthroughput gate FAILED ({len(failures)} failure(s))")
+        return 1
+    print(f"\nthroughput gate passed ({len(warnings)} warning(s); "
+          f"acc/s tolerance -{args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
