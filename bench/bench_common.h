@@ -23,6 +23,7 @@
 #include "src/harness/experiment.h"
 #include "src/harness/runner.h"
 #include "src/policies/scan_policy_base.h"
+#include "src/topology/topology.h"
 #include "src/trace/trace_event.h"
 #include "src/workloads/kvstore.h"
 #include "src/workloads/pmbench.h"
@@ -304,6 +305,51 @@ inline ProcessSpec BenchKvProc(const std::string& name, uint64_t num_items,
   w.set_fraction = set_fraction;
   w.per_op_delay = 2 * kMicrosecond;
   return ProcessSpec{name, [w] { return std::make_unique<KvStoreStream>(w); }};
+}
+
+// The N-endpoint two-chain CXL fabric the topology benches sweep: 25% of the budget as
+// DRAM at the root, the rest split evenly across `endpoints` endpoints wired as two
+// chains under the root so larger fabrics contain genuinely multi-hop endpoints:
+//
+//   1 endpoint:  (1,2)                      8 endpoints: (1,(2,(4,(6,8))),(3,(5,(7,9))))
+//   4 endpoints: (1,(2,4),(3,5))
+//
+// Fills the per-node spec arrays in the parser's pre-order (root, chain of endpoint 1,
+// chain of endpoint 2), so array slot k describes the node with topo_id k. Endpoint k
+// (1-based) has node id k + 1; endpoints 1 and 2 hang off the root, endpoint k >= 3
+// under endpoint k - 2. Deeper endpoints are also slower devices (farther switch hops
+// usually mean cheaper, denser memory in CXL pooling designs).
+inline TopologySpec BenchChainTopology(int endpoints, uint64_t total_pages,
+                                       double fast_fraction) {
+  const auto fast_pages =
+      static_cast<uint64_t>(static_cast<double>(total_pages) * fast_fraction);
+  const uint64_t slow_pages = total_pages - fast_pages;
+  const uint64_t per_endpoint = slow_pages / static_cast<uint64_t>(endpoints);
+
+  TopologySpec spec;
+  spec.capacity_pages = {fast_pages};
+  spec.load_latency = {80 * kNanosecond};
+  spec.store_latency = {80 * kNanosecond};
+  spec.bandwidth = {12e9};
+
+  const std::function<std::string(int)> render = [&](int k) {
+    const int64_t device_load = (150 + 20 * (k - 1)) * kNanosecond;
+    spec.capacity_pages.push_back(per_endpoint);
+    spec.load_latency.push_back(device_load);
+    spec.store_latency.push_back(device_load + 60 * kNanosecond);
+    spec.bandwidth.push_back(8e9);
+    const std::string id = std::to_string(k + 1);
+    if (k + 2 > endpoints) {
+      return id;
+    }
+    return "(" + id + "," + render(k + 2) + ")";
+  };
+  std::string tree = "(1," + render(1);
+  if (endpoints >= 2) {
+    tree += "," + render(2);
+  }
+  spec.tree = tree + ")";
+  return spec;
 }
 
 // Row label helpers for the R/W ratio sweeps.

@@ -36,44 +36,6 @@ namespace ct = chronotier;
 
 namespace {
 
-// Renders the two-chain topology tree for `endpoints` endpoints and fills the per-node
-// spec arrays in the parser's pre-order (root, chain of endpoint 1, chain of endpoint 2),
-// so array slot k describes the node with topo_id k. Endpoint k (1-based) has node id
-// k + 1; endpoints 1 and 2 hang off the root, endpoint k >= 3 under endpoint k - 2.
-ct::TopologySpec SweepTopology(int endpoints, uint64_t total_pages, double fast_fraction) {
-  const auto fast_pages =
-      static_cast<uint64_t>(static_cast<double>(total_pages) * fast_fraction);
-  const uint64_t slow_pages = total_pages - fast_pages;
-  const uint64_t per_endpoint = slow_pages / static_cast<uint64_t>(endpoints);
-
-  ct::TopologySpec spec;
-  spec.capacity_pages = {fast_pages};
-  spec.load_latency = {80 * ct::kNanosecond};
-  spec.store_latency = {80 * ct::kNanosecond};
-  spec.bandwidth = {12e9};
-
-  // Recursive pre-order render; deeper endpoints are also slower devices (farther switch
-  // hops usually mean cheaper, denser memory in CXL pooling designs).
-  const std::function<std::string(int)> render = [&](int k) {
-    const int64_t device_load = (150 + 20 * (k - 1)) * ct::kNanosecond;
-    spec.capacity_pages.push_back(per_endpoint);
-    spec.load_latency.push_back(device_load);
-    spec.store_latency.push_back(device_load + 60 * ct::kNanosecond);
-    spec.bandwidth.push_back(8e9);
-    const std::string id = std::to_string(k + 1);
-    if (k + 2 > endpoints) {
-      return id;
-    }
-    return "(" + id + "," + render(k + 2) + ")";
-  };
-  std::string tree = "(1," + render(1);
-  if (endpoints >= 2) {
-    tree += "," + render(2);
-  }
-  spec.tree = tree + ")";
-  return spec;
-}
-
 struct Cell {
   int endpoints;
   std::string policy;
@@ -121,7 +83,7 @@ int main(int argc, char** argv) {
     ct::MatrixRow row;
     row.label = std::to_string(endpoints) + "ep";
     row.config = ct::BenchMachine();
-    row.config.topology = SweepTopology(endpoints, total_pages, 0.25);
+    row.config.topology = ct::BenchChainTopology(endpoints, total_pages, 0.25);
     row.config.warmup = quick ? 5 * ct::kSecond : 15 * ct::kSecond;
     row.config.measure = quick ? 8 * ct::kSecond : 25 * ct::kSecond;
     // 12 us/op keeps the combined access stream just above a single scaled endpoint

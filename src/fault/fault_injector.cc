@@ -9,16 +9,24 @@ namespace chronotier {
 FaultInjector::FaultInjector(FaultPlan plan, FaultStats* stats)
     : plan_(plan), stats_(stats), rng_(SplitMix64(plan.seed ^ 0xFA17FA17FA17FA17ULL)) {
   CHECK(stats_ != nullptr);
+  if (plan_.enabled && plan_.fabric.Any()) {
+    fabric_ = std::make_unique<FabricFaultDriver>(plan_.fabric, plan_.seed,
+                                                  plan_.start_after, stats_);
+  }
 }
 
 void FaultInjector::Arm(EventQueue& queue, TieredMemory& memory, MigrationEngine& engine,
-                        std::function<uint64_t(uint64_t)> emergency_reclaim) {
+                        std::function<uint64_t(uint64_t)> emergency_reclaim,
+                        std::function<uint64_t(NodeId)> evacuate) {
   queue_ = &queue;
   memory_ = &memory;
   engine_ = &engine;
   emergency_reclaim_ = std::move(emergency_reclaim);
   if (!plan_.enabled) {
     return;
+  }
+  if (fabric_ != nullptr) {
+    fabric_->Arm(queue, memory, engine, std::move(evacuate));
   }
   if (plan_.stall_period > 0) {
     queue.SchedulePeriodic(plan_.stall_period, [this](SimTime now) { StallTick(now); });

@@ -20,9 +20,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "src/common/rng.h"
 #include "src/common/time.h"
+#include "src/fault/fabric_faults.h"
 #include "src/fault/fault_types.h"
 #include "src/mem/tiered_memory.h"
 #include "src/migration/migration_engine.h"
@@ -40,9 +42,12 @@ class FaultInjector : public CopyFaultOracle {
 
   // Schedules the plan's periodic fault windows. `emergency_reclaim(target)` demotes
   // fast-tier pages until free >= target (the machine's ReclaimFastTier); called when a
-  // pressure spike leaves the fast tier below its high watermark.
+  // pressure spike leaves the fast tier below its high watermark. `evacuate(node)` drains
+  // one batch of resident pages off a failing endpoint (the machine's EvacuateEndpoint);
+  // only consulted when the plan schedules fabric endpoint failures.
   void Arm(EventQueue& queue, TieredMemory& memory, MigrationEngine& engine,
-           std::function<uint64_t(uint64_t)> emergency_reclaim);
+           std::function<uint64_t(uint64_t)> emergency_reclaim,
+           std::function<uint64_t(NodeId)> evacuate = nullptr);
 
   // CopyFaultOracle: per copy pass, draw persistent then transient failure.
   CopyFault OnCopyPassDone(NodeId from, NodeId to, uint64_t pages, int attempt,
@@ -50,7 +55,10 @@ class FaultInjector : public CopyFaultOracle {
 
   // Installs the tracer (null = no tracing); window begin/end events land on the fault
   // injector's track. Never consulted for injection decisions.
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    if (fabric_ != nullptr) fabric_->set_tracer(tracer);
+  }
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -65,6 +73,9 @@ class FaultInjector : public CopyFaultOracle {
   FaultStats* stats_;
   Rng rng_;
   Tracer* tracer_ = nullptr;
+  // Fabric fault domains (own Rng stream; exists only when the plan schedules them, so
+  // non-fabric chaos plans run bitwise identically to pre-fabric builds).
+  std::unique_ptr<FabricFaultDriver> fabric_;
 
   // Wired by Arm().
   EventQueue* queue_ = nullptr;

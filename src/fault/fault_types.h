@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/common/time.h"
+#include "src/fault/fabric_faults.h"
 
 namespace chronotier {
 
@@ -47,8 +48,14 @@ struct FaultPlan {
   double alloc_fail_fire_p = 1.0;
   SimDuration alloc_fail_duration = 20 * kMillisecond;  // Strict-min floor held this long.
 
+  // --- fabric fault domains (link down/degrade windows, endpoint failure + evacuation;
+  //     see fabric_faults.h). Driven by its own Rng stream derived from `seed`, so adding
+  //     fabric chaos leaves the base plan's draw sequence untouched. ---
+  FabricFaultPlan fabric;
+
   bool AnyWindows() const {
-    return stall_period > 0 || pressure_period > 0 || alloc_fail_period > 0;
+    return stall_period > 0 || pressure_period > 0 || alloc_fail_period > 0 ||
+           fabric.Any();
   }
 };
 
@@ -65,6 +72,15 @@ struct FaultStats {
   uint64_t alloc_refusals = 0;       // Demand faults refused (page stays absent, retried).
   uint64_t emergency_reclaims = 0;   // Direct-reclaim passes run for refused allocations.
   SimDuration alloc_stall_time = 0;  // Latency charged to refused faulting accesses.
+
+  // Fabric fault domains (src/fault/fabric_faults).
+  uint64_t links_down = 0;              // Link-down windows opened.
+  uint64_t links_degraded = 0;          // Link bandwidth-collapse windows opened.
+  uint64_t endpoint_failures = 0;       // Endpoints that entered kFailing.
+  uint64_t endpoint_recoveries = 0;     // Endpoints returned to service.
+  uint64_t evacuations_completed = 0;   // Drains that reached kOffline (endpoint empty).
+  uint64_t evacuated_pages = 0;         // Pages moved off failing endpoints.
+  uint64_t evacuation_refused = 0;      // Drains abandoned at the deadline (OOM-safe path).
 
   // Invariant auditing.
   uint64_t audits_run = 0;

@@ -218,6 +218,39 @@ AuditReport InvariantAuditor::Audit(SimTime now, const TieredMemory& memory,
                 .Add("inflight_transactions", engine->inflight_transactions()));
   }
 
+  // (7) Fabric fault domains: an endpoint only transitions to kOffline once its drain
+  // completes, so an offline endpoint must hold no resident pages and no in-flight target
+  // reservations — hot-removing it loses nothing.
+  if (memory.health().endpoints_unavailable() > 0) {
+    for (NodeId node = 0; node < num_nodes; ++node) {
+      if (memory.health().endpoint(node) != EndpointHealth::kOffline) {
+        continue;
+      }
+      const uint64_t reserved =
+          engine != nullptr ? engine->inflight_reserved_pages_on(node) : 0;
+      if (resident[static_cast<size_t>(node)] != 0 || reserved != 0) {
+        violate(SimError("resident pages on an offline endpoint", now)
+                    .Add("node", node)
+                    .Add("resident", resident[static_cast<size_t>(node)])
+                    .Add("inflight_reserved", reserved));
+      }
+    }
+  }
+
+  // (8) No bytes are ever booked on a down link: the engine must route around or park, so
+  // any CopyChannel::Book() landing inside a down window is a routing bug.
+  if (engine != nullptr) {
+    for (int i = 0; i < engine->num_channels(); ++i) {
+      const CopyChannel& channel = engine->channel_at(i);
+      if (channel.books_while_down() != 0) {
+        violate(SimError("copy booked on a down link", now)
+                    .Add("lo", channel.lo())
+                    .Add("hi", channel.hi())
+                    .Add("bookings_while_down", channel.books_while_down()));
+      }
+    }
+  }
+
   return report;
 }
 

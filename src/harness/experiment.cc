@@ -82,6 +82,7 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
       machine.Run(config.warmup);
       machine.metrics().Reset();
       congestion_baseline = congestion_totals();
+      result.inflight_at_measure_start = machine.migration().inflight_transactions();
     }
     machine.Run(config.measure);
     result.elapsed = config.measure;
@@ -146,6 +147,12 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   result.emergency_reclaims = fault.emergency_reclaims;
   result.pressure_spikes = fault.pressure_spikes;
   result.stall_windows = fault.stall_windows;
+  result.links_down = fault.links_down;
+  result.endpoint_failures = fault.endpoint_failures;
+  result.evacuated_pages = fault.evacuated_pages;
+  result.evacuation_refused = fault.evacuation_refused;
+  result.reroutes = migration.reroutes;
+  result.reroute_parks = migration.reroute_parks;
 
   // End-of-run audit: every experiment, faulted or not, must finish with consistent
   // bookkeeping. CHECK here so a silent corruption can never make it into a figure.

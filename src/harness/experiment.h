@@ -97,6 +97,20 @@ struct ExperimentResult {
   uint64_t emergency_reclaims = 0;
   uint64_t pressure_spikes = 0;
   uint64_t stall_windows = 0;
+
+  // Fabric fault domains over the measured window (all 0 without a fabric fault plan).
+  uint64_t links_down = 0;           // Link-down windows opened.
+  uint64_t endpoint_failures = 0;    // Endpoints that entered kFailing.
+  uint64_t evacuated_pages = 0;      // Pages drained off failing endpoints.
+  uint64_t evacuation_refused = 0;   // Drains abandoned at the deadline (OOM-safe path).
+  uint64_t reroutes = 0;             // Copy passes re-routed around a down link.
+  uint64_t reroute_parks = 0;        // Transactions parked with no surviving route.
+
+  // Transactions in flight when the warmup boundary reset the counters: these retire
+  // inside the measured window without a matching submission, so ledger checks must
+  // allow `retired <= submitted + inflight_at_measure_start + inflight at end`.
+  uint64_t inflight_at_measure_start = 0;
+
   uint64_t audits_run = 0;
 
   // FNV-1a over (owner, vpn, target, commit time) in commit order. Deterministic-replay

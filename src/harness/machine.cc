@@ -70,6 +70,7 @@ std::vector<std::string> MachineConfig::Validate() const {
   require(migration.async_backlog_limit >= 0, "migration.async_backlog_limit must be >= 0");
   require(migration.reclaim_backlog_limit >= 0,
           "migration.reclaim_backlog_limit must be >= 0");
+  require(migration.evac_backlog_limit >= 0, "migration.evac_backlog_limit must be >= 0");
   require(migration.source_inflight_page_limit > 0,
           "migration.source_inflight_page_limit must be > 0");
 
@@ -90,8 +91,52 @@ std::vector<std::string> MachineConfig::Validate() const {
           "fault.pressure_fraction must be in [0, 1)");
   require(fault.alloc_fail_period >= 0, "fault.alloc_fail_period must be >= 0");
   require(fault.alloc_fail_duration >= 0, "fault.alloc_fail_duration must be >= 0");
+  probability(fault.fabric.link_fault_fire_p, "fault.fabric.link_fault_fire_p");
+  probability(fault.fabric.link_down_p, "fault.fabric.link_down_p");
+  probability(fault.fabric.endpoint_fail_fire_p, "fault.fabric.endpoint_fail_fire_p");
+  require(fault.fabric.link_fault_period >= 0, "fault.fabric.link_fault_period must be >= 0");
+  require(fault.fabric.link_down_duration > 0,
+          "fault.fabric.link_down_duration must be > 0");
+  require(fault.fabric.link_degrade_duration > 0,
+          "fault.fabric.link_degrade_duration must be > 0");
+  require(fault.fabric.link_degrade_factor >= 1.0,
+          "fault.fabric.link_degrade_factor must be >= 1");
+  require(fault.fabric.endpoint_fail_period >= 0,
+          "fault.fabric.endpoint_fail_period must be >= 0");
+  require(fault.fabric.endpoint_recovery_after >= 0,
+          "fault.fabric.endpoint_recovery_after must be >= 0");
+  // The drain pump self-reschedules at this cadence; zero would spin the event queue.
+  require(fault.fabric.evac_drain_period > 0, "fault.fabric.evac_drain_period must be > 0");
+  require(fault.fabric.endpoint_drain_deadline >= 0,
+          "fault.fabric.endpoint_drain_deadline must be >= 0");
   require(alloc_retry_stall >= 0, "alloc_retry_stall must be >= 0");
   require(audit_period >= 0, "audit_period must be >= 0");
+
+  // Per-endpoint watermark floors. Fault injection drives every node to its strict `min`
+  // floor (allocation-failure windows) and steers demotion/evacuation by low-watermark
+  // headroom; the old check implicitly assumed the two-tier shape (one big slow tier),
+  // but an N-tier tree can hide an endpoint so small its derived floors swallow the whole
+  // node. Require one `min` of usable frames above the derived high watermark (min =
+  // max(capacity/250, 4), high = 3*min — MemoryTier::SetDefaultWatermarks).
+  if (fault.enabled && (fault.alloc_fail_period > 0 || fault.fabric.Any())) {
+    const auto check_floor = [&require](const std::string& which, uint64_t capacity) {
+      const uint64_t min_floor = std::max<uint64_t>(capacity / 250, 4);
+      require(capacity >= 4 * min_floor,
+              which + ": capacity " + std::to_string(capacity) +
+                  " pages cannot honour its derived watermark floors under fault " +
+                  "injection (needs >= " + std::to_string(4 * min_floor) + ")");
+    };
+    if (topology.enabled()) {
+      for (size_t i = 0; i < topology.capacity_pages.size(); ++i) {
+        check_floor("topology node " + std::to_string(i), topology.capacity_pages[i]);
+      }
+    } else {
+      for (size_t i = 0; i < tiers.size(); ++i) {
+        check_floor("tier " + std::to_string(i) + " (" + tiers[i].name + ")",
+                    tiers[i].capacity_pages);
+      }
+    }
+  }
 
   if (trace.enabled) {
     require(trace.ring_capacity > 0, "trace.ring_capacity must be > 0");
@@ -119,11 +164,13 @@ TieredMemory BuildMemory(const MachineConfig& config) {
   std::string error;
   CHECK(Topology::Build(config.topology, &topo, &error)) << "invalid topology: " << error;
   // A miniature machine scales the endpoint links together with the tiers' copy engines,
-  // or congestion and routed-copy pressure become free at scale.
-  topo.ScaleBandwidth(config.bandwidth_scale);
-  // Two statements: evaluation order of function arguments is unspecified, and the
-  // TierSpecs() call must complete before `topo` is moved into the constructor.
+  // or congestion and routed-copy pressure become free at scale. TierSpecs() shares the
+  // parsed spec's bandwidth storage with the link model, so it must be snapshotted BEFORE
+  // the link scaling — each consumer is scaled exactly once. (Scaling the links first used
+  // to double-scale the copy engines: every topology-machine page copy ran bandwidth_scale
+  // times slower than the equivalent two-tier machine's.)
   std::vector<TierSpec> tiers = ScaleBandwidth(topo.TierSpecs(), config.bandwidth_scale);
+  topo.ScaleBandwidth(config.bandwidth_scale);
   return TieredMemory(std::move(tiers), std::move(topo));
 }
 }  // namespace
@@ -199,7 +246,8 @@ void Machine::Start() {
   }
   if (injector_ != nullptr) {
     injector_->Arm(queue_, memory_, *engine_,
-                   [this](uint64_t target) { return ReclaimFastTier(target); });
+                   [this](uint64_t target) { return ReclaimFastTier(target); },
+                   [this](NodeId node) { return EvacuateEndpoint(node); });
   }
   if (config_.audit_period > 0) {
     // The always-on auditor: any bookkeeping divergence dies loudly at the next period
@@ -236,6 +284,19 @@ std::string Machine::FatalDump() const {
   }
   os << "\n  migration: inflight_transactions=" << engine_->inflight_transactions()
      << " inflight_reserved_pages=" << engine_->inflight_reserved_pages();
+  const TopologyHealth& health = memory_.health();
+  if (health.any_fault()) {
+    os << "\n  fabric: generation=" << health.generation()
+       << " links_down=" << health.links_down()
+       << " endpoints_unavailable=" << health.endpoints_unavailable();
+    for (NodeId node = 0; node < memory_.num_nodes(); ++node) {
+      if (health.endpoint(node) == EndpointHealth::kFailing) {
+        os << " node" << node << "=FAILING";
+      } else if (health.endpoint(node) == EndpointHealth::kOffline) {
+        os << " node" << node << "=OFFLINE";
+      }
+    }
+  }
   return os.str();
 }
 
@@ -666,6 +727,93 @@ uint64_t Machine::ReclaimFastTier(uint64_t refill_target) {
             examined);
   reclaim_in_progress_ = false;
   return demoted;
+}
+
+uint64_t Machine::EvacuateEndpoint(NodeId source) {
+  CHECK(source > kFastNode && source < memory_.num_nodes())
+      << "evacuation source must be a non-root endpoint, got " << source;
+  if (reclaim_in_progress_) {
+    return 0;
+  }
+  reclaim_in_progress_ = true;
+  NodeLru& lru = lrus_[static_cast<size_t>(source)];
+  const SimTime now = queue_.now();
+  const uint64_t batch_limit = config_.reclaim_batch_limit;
+  uint64_t moved = 0;
+  uint64_t examined = 0;
+  bool stop = false;
+
+  // Best surviving endpoint for one unit: device latency plus (capped) live route backlog,
+  // skipping unavailable/degraded endpoints and any without low-watermark headroom for the
+  // unit. Ties break toward the lower node id; the AdmissionController still has the final
+  // say at Submit. Returning kInvalidNode is the OOM-safe refusal: no survivor can absorb
+  // the unit, so it stays resident rather than forcing a floor violation.
+  const auto pick_target = [this, source, now](uint64_t pages) {
+    constexpr SimDuration kBacklogCap = 10 * kMillisecond;
+    NodeId best = kInvalidNode;
+    SimDuration best_score = 0;
+    for (NodeId id = 0; id < memory_.num_nodes(); ++id) {
+      if (id == source || !memory_.health().endpoint_available(id)) {
+        continue;
+      }
+      const MemoryTier& tier = memory_.node(id);
+      if (tier.degraded() || tier.free_pages() < tier.watermarks().low + pages) {
+        continue;
+      }
+      const SimDuration backlog =
+          std::min(engine_->RouteBacklog(source, id, now), kBacklogCap);
+      const SimDuration score = memory_.AccessLatency(id, /*is_store=*/false) + backlog;
+      if (best == kInvalidNode || score < best_score) {
+        best = id;
+        best_score = score;
+      }
+    }
+    return best;
+  };
+
+  // Coldest first (inactive, then active). Each list is walked at most its starting length:
+  // committed units leave the list via ApplyMigration, skipped ones rotate to the head.
+  for (PageList* list : {&lru.inactive(), &lru.active()}) {
+    size_t remaining = list->size();
+    while (!stop && remaining > 0 && moved < batch_limit) {
+      PageInfo* page = list->Tail();
+      --remaining;
+      ++examined;
+      if (page->Has(kPageUnevictable) || page->Has(kPageMigrating)) {
+        list->Rotate(page);
+        continue;
+      }
+      Vma* vma = ResolveVma(*page);
+      if (vma == nullptr) {
+        list->Rotate(page);
+        continue;
+      }
+      const uint64_t pages = vma->UnitPages(page->vpn);
+      const NodeId target = pick_target(pages);
+      if (target == kInvalidNode) {
+        stop = true;  // Survivors lack capacity; the drain pump retries next tick.
+        break;
+      }
+      const MigrationTicket ticket = engine_->Submit(
+          *vma, *page, target, MigrationClass::kReclaim, MigrationSource::kEvacuation);
+      if (!ticket.admitted) {
+        // Backlog/throttle pacing (or a capacity race): resume at the next drain tick
+        // rather than hammering admission.
+        stop = true;
+        break;
+      }
+      if (ticket.outcome == MigrationOutcome::kCommitted) {
+        moved += pages;
+      } else {
+        list->Rotate(page);  // Parked (injected copy fault): stays resident at the source.
+      }
+    }
+  }
+
+  metrics_.ChargeKernel(KernelWork::kReclaim,
+                        static_cast<SimDuration>(examined) * config_.lru_visit_cost);
+  reclaim_in_progress_ = false;
+  return moved;
 }
 
 void Machine::ReclaimTick(SimTime now) {

@@ -170,6 +170,14 @@ class Machine : private MigrationEnv {
   // Returns pages demoted. Exposed so policies with custom triggers can reuse the mechanism.
   uint64_t ReclaimFastTier(uint64_t refill_target);
 
+  // Fabric evacuation: drains one batch of resident pages off failing endpoint `source`
+  // toward the best surviving endpoints (latency-scored with live route backlog), as
+  // reclaim-class submissions under the normal AdmissionController. Returns pages moved.
+  // OOM-safe: targets must keep low-watermark headroom, so when survivors cannot absorb
+  // the pages the batch stops short instead of forcing allocations below floors (the
+  // FabricFaultDriver gives up at its drain deadline and the endpoint stays kFailing).
+  uint64_t EvacuateEndpoint(NodeId source);
+
   void ChargeKernel(KernelWork work, SimDuration d) { metrics_.ChargeKernel(work, d); }
 
   // Runs a full invariant audit right now and returns the report (also counted in

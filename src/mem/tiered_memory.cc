@@ -25,6 +25,7 @@ TieredMemory::TieredMemory(std::vector<TierSpec> specs, Topology topology) {
         << " tiers were given";
     topology_ = std::move(topology);
   }
+  health_ = TopologyHealth(num_nodes(), static_cast<int>(topology_.edges().size()));
   congestion_enabled_ = topology_.congestion_enabled();
   if (congestion_enabled_) {
     const TopologySpec& spec = topology_.spec();
@@ -49,10 +50,17 @@ NodeId TieredMemory::AllocatePages(NodeId preferred, uint64_t pages) {
   if (preferred < 0 || preferred >= num_nodes()) {
     preferred = kFastNode;
   }
+  // Failing/offline endpoints take no new allocations: a failing endpoint is being
+  // evacuated (new pages would race the drain) and an offline one must stay empty. The
+  // gate is O(1)-false on healthy fabrics, so fault-free machines see no change.
+  const bool faulted = health_.any_fault();
   // Zonelist order: preferred node, then every node after it, then nodes before it. In the
   // two-tier case this is fast-then-slow for default allocations.
   for (int offset = 0; offset < num_nodes(); ++offset) {
     const NodeId id = (preferred + offset) % num_nodes();
+    if (faulted && !health_.endpoint_available(id)) {
+      continue;
+    }
     if (tiers_[static_cast<size_t>(id)].TryAllocate(pages)) {
       return id;
     }
@@ -61,6 +69,9 @@ NodeId TieredMemory::AllocatePages(NodeId preferred, uint64_t pages) {
   // ALLOC_HARDER) so demand paging does not spuriously OOM while reclaim catches up.
   for (int offset = 0; offset < num_nodes(); ++offset) {
     const NodeId id = (preferred + offset) % num_nodes();
+    if (faulted && !health_.endpoint_available(id)) {
+      continue;
+    }
     if (tiers_[static_cast<size_t>(id)].TryAllocate(pages, /*allow_below_min=*/true)) {
       return id;
     }

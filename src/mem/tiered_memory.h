@@ -9,6 +9,7 @@
 #include "src/common/time.h"
 #include "src/mem/tier.h"
 #include "src/topology/congestion.h"
+#include "src/topology/health.h"
 #include "src/topology/topology.h"
 
 namespace chronotier {
@@ -43,6 +44,11 @@ class TieredMemory {
   int num_nodes() const { return static_cast<int>(tiers_.size()); }
 
   const Topology& topology() const { return topology_; }
+
+  // Live fabric fault-domain state (per-edge link health, per-endpoint availability).
+  // All-healthy unless a fabric fault injector mutates it; queries are O(1) when healthy.
+  const TopologyHealth& health() const { return health_; }
+  TopologyHealth& mutable_health() { return health_; }
 
   // Device access latency including the topology hop penalty (0 on complete graphs, so
   // legacy machines see exactly node(id).AccessLatency()).
@@ -102,6 +108,7 @@ class TieredMemory {
  private:
   std::vector<MemoryTier> tiers_;
   Topology topology_;
+  TopologyHealth health_;
   std::vector<EndpointCongestion> congestion_;  // Indexed by node; empty when disabled.
   bool congestion_enabled_ = false;
   SimDuration migration_software_overhead_ = 3 * kMicrosecond;

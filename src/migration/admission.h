@@ -16,23 +16,33 @@ class AdmissionController {
  public:
   explicit AdmissionController(const MigrationEngineConfig* config) : config_(config) {}
 
-  // Backlog a request of `klass` tolerates before refusal.
-  SimDuration BacklogLimit(MigrationClass klass) const {
+  // Backlog a request of `klass` from `source` tolerates before refusal. Evacuation
+  // drains (finite, emergency) tolerate more than the class baseline so they make
+  // progress through a fabric that steady-state policy traffic keeps pinned at exactly
+  // the class limits.
+  SimDuration BacklogLimit(MigrationClass klass, MigrationSource source) const {
+    SimDuration limit = 0;
     switch (klass) {
       case MigrationClass::kSync:
-        return config_->sync_slack;
+        limit = config_->sync_slack;
+        break;
       case MigrationClass::kAsync:
-        return config_->async_backlog_limit;
+        limit = config_->async_backlog_limit;
+        break;
       case MigrationClass::kReclaim:
-        return config_->reclaim_backlog_limit;
+        limit = config_->reclaim_backlog_limit;
+        break;
     }
-    return 0;
+    if (source == MigrationSource::kEvacuation && config_->evac_backlog_limit > limit) {
+      limit = config_->evac_backlog_limit;
+    }
+    return limit;
   }
 
   // Verdict for a request seeing `backlog` on its channel. Does not book anything.
   MigrationRefusal Check(MigrationClass klass, MigrationSource source, SimDuration backlog,
                          uint64_t pages) const {
-    if (backlog > BacklogLimit(klass)) {
+    if (backlog > BacklogLimit(klass, source)) {
       return MigrationRefusal::kBacklog;
     }
     const uint64_t inflight = inflight_pages_[static_cast<size_t>(source)];

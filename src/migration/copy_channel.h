@@ -38,6 +38,7 @@ class CopyChannel {
   // (retry backoff). FIFO: the copy begins when the channel drains. A copy that starts
   // inside an injected bandwidth-collapse window is slowed by the window's factor.
   Booking Book(SimTime now, SimTime earliest, SimDuration copy_time) {
+    if (now < down_until_) ++books_while_down_;  // Audited fabric invariant: must stay 0.
     Booking booking;
     booking.start = std::max({now, earliest, cursor_});
     SimDuration effective = copy_time;
@@ -66,6 +67,19 @@ class CopyChannel {
   bool degraded_at(SimTime t) const { return t < degraded_until_; }
   uint64_t stalls_injected() const { return stalls_injected_; }
 
+  // --- fabric faults (src/fault/fabric_faults) ---
+  // Link-down window: the engine must never book on a down link (it routes around or
+  // parks), so Book() calls landing inside the window are counted and audited, not
+  // silently served. The cursor also jumps past the window — a link that was down moved
+  // no bytes, so copies booked right after recovery queue behind the outage.
+  void MarkDown(SimTime until) {
+    if (until <= down_until_) return;
+    down_until_ = until;
+    cursor_ = std::max(cursor_, until);
+  }
+  bool down_at(SimTime t) const { return t < down_until_; }
+  uint64_t books_while_down() const { return books_while_down_; }
+
   // Total copy time ever booked (includes copies later invalidated by a dirty abort).
   SimDuration busy_time() const { return busy_; }
   uint64_t copies_booked() const { return copies_booked_; }
@@ -79,6 +93,8 @@ class CopyChannel {
   SimTime degraded_until_ = 0;  // Injected bandwidth-collapse window end.
   double degrade_factor_ = 1.0;
   uint64_t stalls_injected_ = 0;
+  SimTime down_until_ = 0;  // Injected link-down window end (0 = never down).
+  uint64_t books_while_down_ = 0;
 };
 
 }  // namespace chronotier

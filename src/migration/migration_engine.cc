@@ -50,18 +50,48 @@ uint64_t MigrationEngine::inflight_reserved_pages_on(NodeId node) const {
 }
 
 SimDuration MigrationEngine::RouteBacklog(NodeId from, NodeId to, SimTime now) const {
-  const Topology& topo = env_->memory().topology();
-  if (topo.EdgeIndex(from, to) >= 0) {
+  const TieredMemory& memory = env_->memory();
+  const Topology& topo = memory.topology();
+  if (memory.health().links_down() == 0 && topo.EdgeIndex(from, to) >= 0) {
     // Directly connected (always true on the legacy complete graph): the single channel's
     // backlog, exactly the historical admission quantity.
     return channel(from, to).Backlog(now);
   }
-  const std::vector<NodeId> route = topo.Route(from, to);
+  const std::vector<NodeId> route = HealthyRoute(from, to);
   SimDuration worst = 0;
   for (size_t i = 0; i + 1 < route.size(); ++i) {
     worst = std::max(worst, channel(route[i], route[i + 1]).Backlog(now));
   }
   return worst;
+}
+
+std::vector<NodeId> MigrationEngine::HealthyRoute(NodeId from, NodeId to) const {
+  const TieredMemory& memory = env_->memory();
+  const Topology& topo = memory.topology();
+  if (memory.health().links_down() == 0) {
+    // Fault-free fast path: never allocates health state, matches pre-fabric routing.
+    if (topo.EdgeIndex(from, to) >= 0) return {from, to};
+    return topo.Route(from, to);
+  }
+  return topo.RouteAvoiding(from, to, memory.health().links());
+}
+
+void MigrationEngine::OnLinkDown(NodeId lo, NodeId hi, SimTime now) {
+  (void)now;
+  // Setting a per-transaction flag is commutative, so iteration order cannot leak into
+  // results. The copy-done event of each flagged pass performs the actual abort/re-route.
+  // detlint:allow(unordered-iter) commutative flag set over independent transactions
+  for (auto& [id, txn] : inflight_) {
+    (void)id;
+    for (size_t i = 0; i + 1 < txn.route.size(); ++i) {
+      const NodeId a = txn.route[i];
+      const NodeId b = txn.route[i + 1];
+      if ((a == lo && b == hi) || (a == hi && b == lo)) {
+        txn.leg_failed = true;
+        break;
+      }
+    }
+  }
 }
 
 MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
@@ -93,6 +123,20 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
   const NodeId from = unit.node;
   const uint64_t pages = vma.UnitPages(unit.vpn);
   const bool is_promotion = target == kFastNode;
+
+  // Fabric fault domains: no new work may target a failing/offline endpoint, and a pair
+  // partitioned by down links refuses before any channel or frame state is touched. The
+  // any_fault() gate is O(1)-false on healthy fabrics, so fault-free runs take the exact
+  // pre-fabric path.
+  const TopologyHealth& health = env_->memory().health();
+  if (health.any_fault()) {
+    if (!health.endpoint_available(target)) {
+      return refuse(MigrationRefusal::kEndpointFailing, is_promotion);
+    }
+    if (health.links_down() > 0 && HealthyRoute(from, target).size() < 2) {
+      return refuse(MigrationRefusal::kNoRoute, is_promotion);
+    }
+  }
 
   // Degraded target tier: promotions pause (graceful degradation under injected faults or
   // capacity pressure) while demotions keep draining the tier.
@@ -164,7 +208,8 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
     inflight_reserved_pages_ += pages;
     inflight_pages_by_node_[static_cast<size_t>(target)] += pages;
     peak_inflight_ = std::max(peak_inflight_, static_cast<uint64_t>(inflight_.size()));
-    ScheduleAsyncPass(stored, now, now);
+    // A surviving route exists (checked above) and link state cannot change inside Submit.
+    CHECK(ScheduleAsyncPass(stored, now, now)) << "async booking failed post-admission";
     return ticket;
   }
 
@@ -173,7 +218,10 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
   // store to invalidate it and the commit happens at copy completion. Injected copy faults
   // retry inline (back-to-back passes — the submitter is stalled anyway) and park after
   // the attempt budget, leaving the unit mapped at its source.
-  CopyChannel::Booking booking = BookCopy(txn, now, now);
+  CopyChannel::Booking booking;
+  // Inline transactions run to completion with no intervening events, so the surviving
+  // route found by the admission pre-check above cannot disappear mid-loop.
+  CHECK(BookCopy(txn, now, now, &booking)) << "inline booking failed post-admission";
   ticket.outcome = MigrationOutcome::kCommitted;
   for (;;) {
     const CopyFault fault =
@@ -202,7 +250,8 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
       ticket.outcome = MigrationOutcome::kParked;
       break;
     }
-    booking = BookCopy(txn, booking.finish, booking.finish);
+    CHECK(BookCopy(txn, booking.finish, booking.finish, &booking))
+        << "inline re-booking failed post-admission";
   }
   Retire(txn);
   if (klass == MigrationClass::kSync) {
@@ -216,11 +265,17 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
   return ticket;
 }
 
-CopyChannel::Booking MigrationEngine::BookCopy(Transaction& txn, SimTime now,
-                                               SimTime earliest) {
+bool MigrationEngine::BookCopy(Transaction& txn, SimTime now, SimTime earliest,
+                               CopyChannel::Booking* out) {
   const uint64_t bytes = txn.pages * kBasePageSize;
   TieredMemory& memory = env_->memory();
-  const Topology& topo = memory.topology();
+
+  // Route over the surviving fabric first: a pass that cannot be routed must fail with no
+  // side effects (no attempt counted, no bytes charged) so the caller can park cleanly.
+  std::vector<NodeId> route = HealthyRoute(txn.from, txn.to);
+  if (route.size() < 2) {
+    return false;
+  }
 
   ++txn.attempt;
   txn.write_gen_at_copy = txn.unit->write_gen;
@@ -253,13 +308,12 @@ CopyChannel::Booking MigrationEngine::BookCopy(Transaction& txn, SimTime now,
     return leg;
   };
 
-  if (topo.EdgeIndex(txn.from, txn.to) >= 0) {
-    // Directly connected: a single leg, the historical behaviour.
-    booking = book_leg(txn.from, txn.to, earliest);
+  if (route.size() == 2) {
+    // Directly connected (or a one-hop detour): a single leg, the historical behaviour.
+    booking = book_leg(route[0], route[1], earliest);
   } else {
-    // Routed copy: store-and-forward over the tree path, booking bandwidth on every
-    // traversed link. Leg k+1 starts no earlier than leg k finishes.
-    const std::vector<NodeId> route = topo.Route(txn.from, txn.to);
+    // Routed copy: store-and-forward over the (surviving) path, booking bandwidth on
+    // every traversed link. Leg k+1 starts no earlier than leg k finishes.
     ++stats_->multi_hop_copies;
     SimTime leg_earliest = earliest;
     for (size_t i = 0; i + 1 < route.size(); ++i) {
@@ -272,13 +326,18 @@ CopyChannel::Booking MigrationEngine::BookCopy(Transaction& txn, SimTime now,
       ++stats_->multi_hop_legs;
     }
   }
+  txn.route = std::move(route);
   env_->ChargeMigrationKernelTime(static_cast<SimDuration>(
       static_cast<double>(copy_cpu) / std::max(config_.bandwidth_scale, 1.0)));
-  return booking;
+  *out = booking;
+  return true;
 }
 
-void MigrationEngine::ScheduleAsyncPass(Transaction& txn, SimTime now, SimTime earliest) {
-  const CopyChannel::Booking booking = BookCopy(txn, now, earliest);
+bool MigrationEngine::ScheduleAsyncPass(Transaction& txn, SimTime now, SimTime earliest) {
+  CopyChannel::Booking booking;
+  if (!BookCopy(txn, now, earliest, &booking)) {
+    return false;
+  }
   const uint64_t id = txn.id;
   // The dirty-check window is the *copy* window [start, finish], not [submit, finish]: a
   // queued copy has not read any bytes yet, so stores that land while it waits for the
@@ -291,6 +350,7 @@ void MigrationEngine::ScheduleAsyncPass(Transaction& txn, SimTime now, SimTime e
   });
   env_->queue().ScheduleAt(booking.finish,
                            [this, id](SimTime when) { OnCopyDone(id, when); });
+  return true;
 }
 
 void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
@@ -314,6 +374,31 @@ void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
     inflight_pages_by_node_[static_cast<size_t>(finished.to)] -= finished.pages;
     inflight_.erase(it);
   };
+
+  // Fabric link failure beats everything else: a pass that crossed a link that went down
+  // mid-flight never delivered its bytes, so neither the fault oracle nor the dirty check
+  // applies. Abort the pass and re-route it over the surviving fabric (BookCopy recomputes
+  // the path); when the re-route budget is exhausted — or no surviving path remains — the
+  // transaction parks at its source with its reserved frames released.
+  if (txn.leg_failed) {
+    txn.leg_failed = false;
+    EmitTrace(tracer_, TraceCategory::kMigration, TraceEventType::kMigrationReroute, now,
+              txn.unit->owner, txn.unit->vpn, txn.from, txn.to, txn.id,
+              static_cast<uint64_t>(txn.reroute_attempts + 1));
+    if (txn.reroute_attempts < config_.max_reroute_attempts) {
+      ++txn.reroute_attempts;
+      ++stats_->reroutes;
+      const int shift = std::min(txn.attempt - 1, 20);
+      if (ScheduleAsyncPass(txn, now, now + (config_.retry_backoff << shift))) {
+        return;
+      }
+      // Partitioned right now: fall through and park at the source.
+    }
+    ++stats_->reroute_parks;
+    ParkTransient(txn, now);
+    finish_inflight(txn);
+    return;
+  }
 
   // Injected copy faults are checked first: a pass that failed in hardware never produced
   // a consistent target copy, so its dirty state is irrelevant.
@@ -339,7 +424,11 @@ void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
     }
     // Transient (ECC-style) failure: reuse the dirty-abort exponential backoff.
     const int shift = std::min(txn.attempt - 1, 20);
-    ScheduleAsyncPass(txn, now, now + (config_.retry_backoff << shift));
+    if (!ScheduleAsyncPass(txn, now, now + (config_.retry_backoff << shift))) {
+      ++stats_->reroute_parks;  // Down links partitioned the pair since the last pass.
+      ParkTransient(txn, now);
+      finish_inflight(txn);
+    }
     return;
   }
 
@@ -358,7 +447,11 @@ void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
     // now + retry_backoff * 2^(k-2).
     const int shift = std::min(txn.attempt - 1, 20);
     const SimDuration backoff = config_.retry_backoff << shift;
-    ScheduleAsyncPass(txn, now, now + backoff);
+    if (!ScheduleAsyncPass(txn, now, now + backoff)) {
+      ++stats_->reroute_parks;  // Down links partitioned the pair since the last pass.
+      ParkTransient(txn, now);
+      finish_inflight(txn);
+    }
     return;
   }
 

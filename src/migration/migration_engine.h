@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/time.h"
 #include "src/mem/tiered_memory.h"
@@ -118,10 +119,20 @@ class MigrationEngine {
   CopyChannel& mutable_channel(NodeId from, NodeId to) { return channel_mutable(from, to); }
   // Indexed channel access (the fault injector picks uniformly over existing edges).
   CopyChannel& channel_at(int index) { return channels_[static_cast<size_t>(index)]; }
+  const CopyChannel& channel_at(int index) const {
+    return channels_[static_cast<size_t>(index)];
+  }
 
   // Worst queueing delay over the links a copy from -> to traverses (== the single
-  // channel's backlog when the pair is directly connected).
+  // channel's backlog when the pair is directly connected). Routes around down links.
   SimDuration RouteBacklog(NodeId from, NodeId to, SimTime now) const;
+
+  // Fabric fault notification: the edge {lo, hi} just went down. Every in-flight
+  // transaction whose current copy pass crosses that edge is marked; its copy-done event
+  // dirty-aborts the pass and re-routes over the surviving fabric (bounded re-route
+  // budget, park-at-source fallback). Booking-time avoidance is automatic — BookCopy
+  // consults TopologyHealth — so this only handles passes already in flight.
+  void OnLinkDown(NodeId lo, NodeId hi, SimTime now);
 
  private:
   struct Transaction {
@@ -135,18 +146,29 @@ class MigrationEngine {
     MigrationSource source = MigrationSource::kPolicyDaemon;
     int attempt = 0;                 // Copy passes started.
     uint32_t write_gen_at_copy = 0;  // Snapshot taken when the current pass started.
+    std::vector<NodeId> route;       // Node path of the current pass (set by BookCopy).
+    int reroute_attempts = 0;        // Passes invalidated by a link-down, re-booked.
+    bool leg_failed = false;         // Current pass crossed a link that went down.
   };
 
   size_t ChannelIndex(NodeId from, NodeId to) const;
   CopyChannel& channel_mutable(NodeId from, NodeId to);
 
-  // Books one copy pass for `txn` (charging copy CPU), returns its booking. A pass whose
-  // tier pair is not directly connected books one leg per link of the topology route,
+  // The node path a copy from -> to would take over surviving links: the direct edge or
+  // tree route when no link is down, a recomputed detour otherwise. Empty when down links
+  // partition the pair.
+  std::vector<NodeId> HealthyRoute(NodeId from, NodeId to) const;
+
+  // Books one copy pass for `txn` (charging copy CPU) into *booking. A pass whose tier
+  // pair is not directly connected books one leg per link of the topology route,
   // store-and-forward (leg k+1 starts no earlier than leg k finishes); the returned
-  // booking spans first-leg start to last-leg finish.
-  CopyChannel::Booking BookCopy(Transaction& txn, SimTime now, SimTime earliest);
+  // booking spans first-leg start to last-leg finish. Returns false — with no side
+  // effects — when down links leave no surviving path between the pair.
+  bool BookCopy(Transaction& txn, SimTime now, SimTime earliest,
+                CopyChannel::Booking* booking);
   // Books an async pass and schedules its copy-start snapshot + copy-done events.
-  void ScheduleAsyncPass(Transaction& txn, SimTime now, SimTime earliest);
+  // Returns false (nothing booked or scheduled) when no surviving path exists.
+  bool ScheduleAsyncPass(Transaction& txn, SimTime now, SimTime earliest);
   // Async copy-done event: fault-oracle verdict, dirty check, then commit or retry/abort.
   void OnCopyDone(uint64_t txn_id, SimTime now);
   void Commit(Transaction& txn, SimTime now);

@@ -34,8 +34,9 @@ enum class MigrationSource : uint8_t {
   kFaultPath = 0,      // Inline promotion from a hint fault.
   kPolicyDaemon = 1,   // Promotion queues / scan-batch drains.
   kReclaimDaemon = 2,  // Watermark demotion.
+  kEvacuation = 3,     // Fabric fault domain: drain of a failing endpoint.
 };
-inline constexpr int kNumMigrationSources = 3;
+inline constexpr int kNumMigrationSources = 4;
 
 // Why a submission was not admitted.
 enum class MigrationRefusal : uint8_t {
@@ -47,8 +48,10 @@ enum class MigrationRefusal : uint8_t {
   kInvalid = 5,          // Not present, or already resident on the target node.
   kTierDegraded = 6,     // Target tier is in degraded mode; promotions are paused.
   kEndpointSaturated = 7,  // Target endpoint's in-flight page budget is exhausted.
+  kEndpointFailing = 8,  // Target endpoint is failing/offline (fabric fault domain).
+  kNoRoute = 9,          // Down links partition the source from the target.
 };
-inline constexpr int kNumMigrationRefusals = 8;
+inline constexpr int kNumMigrationRefusals = 10;
 
 // How a transaction ended. kParked is the graceful-degradation terminal: injected copy
 // faults exhausted their retries (or were persistent), the unit stays mapped at its source,
@@ -83,6 +86,12 @@ struct MigrationEngineConfig {
   SimDuration async_backlog_limit = 250 * kMillisecond;
   // Reclaim demotions get the same generous limit: kswapd must make progress.
   SimDuration reclaim_backlog_limit = 250 * kMillisecond;
+  // Endpoint evacuation (fabric fault domains) tolerates a much deeper backlog: policy
+  // traffic self-throttles at the limits above, so a hot-remove drain — finite, bounded by
+  // the endpoint's residency — wins the contended bandwidth instead of starving behind a
+  // fabric the policies keep saturated at exactly their own refusal point. Capacity and
+  // per-source throttles still apply; this is not an unbounded queue.
+  SimDuration evac_backlog_limit = 1 * kSecond;
   // Copy passes per transaction (1 initial + retries) before a dirty abort becomes final.
   int max_copy_attempts = 3;
   // Backoff before retry attempt k is 2^(k-2) times this (attempt 2 waits one unit).
@@ -94,6 +103,10 @@ struct MigrationEngineConfig {
   // never binds (legacy behaviour); N-endpoint topologies tighten it so one saturated
   // endpoint refuses (kEndpointSaturated) instead of queueing unboundedly.
   uint64_t endpoint_inflight_page_limit = ~0ull;
+  // Re-booking attempts after a copy pass is invalidated by a link going down mid-flight
+  // (fabric faults). Each re-route recomputes the surviving path; when the budget is
+  // exhausted (or no surviving path exists) the transaction parks at its source.
+  int max_reroute_attempts = 3;
   // Mirrors MachineConfig::bandwidth_scale: scaled copy time models engine queueing on a
   // miniature machine, so kernel CPU burn is charged at the unscaled rate.
   double bandwidth_scale = 1.0;
@@ -124,6 +137,11 @@ struct MigrationStats {
   // the topology, and the per-link legs those passes booked (>= 2 * multi_hop_copies).
   uint64_t multi_hop_copies = 0;
   uint64_t multi_hop_legs = 0;
+  // Fabric faults: copy passes invalidated by a link going down mid-flight and re-booked
+  // over the recomputed surviving path, and transactions parked at their source because
+  // the re-route budget ran out or no surviving path existed.
+  uint64_t reroutes = 0;
+  uint64_t reroute_parks = 0;
   // FNV-1a over (owner, vpn, target, commit time) in commit order; two runs of the same
   // seed must produce the same hash (deterministic replay).
   uint64_t commit_sequence_hash = 14695981039346656037ull;

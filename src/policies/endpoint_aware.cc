@@ -84,7 +84,10 @@ NodeId EndpointAwarePolicy::DemotionTarget(const TieredMemory& memory, const Pag
   double best_score = 0.0;
   for (NodeId id = 1; id < memory.num_nodes(); ++id) {
     const MemoryTier& tier = memory.node(id);
-    if (tier.degraded() ||
+    // Failing/offline endpoints are never demotion targets (fabric fault domains): the
+    // engine would refuse the submission anyway, and scoring them would steer reclaim
+    // into a wall of kEndpointFailing refusals.
+    if (!memory.health().endpoint_available(id) || tier.degraded() ||
         tier.free_pages() < tier.watermarks().low + config_.demotion_headroom_pages) {
       continue;
     }

@@ -1,0 +1,88 @@
+// TopologyHealth: the live fault-domain state of a tier fabric — per-edge link health and
+// per-endpoint availability — shared by the fault injector (who mutates it), the migration
+// engine (who routes around it), policies (who stop targeting sick endpoints), and the
+// InvariantAuditor (who checks nothing leaks onto dead hardware).
+//
+// A default-constructed TopologyHealth covers zero nodes/edges and reports everything
+// healthy; TieredMemory sizes one per machine at construction, so every consumer can query
+// unconditionally. All mutation bumps a generation counter so cached policy views can
+// detect staleness cheaply. When no fabric faults are ever injected the structure stays in
+// its initial all-healthy state and every query short-circuits on the O(1) counters,
+// keeping fault-free runs bitwise identical to pre-fabric builds.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/mem/tier.h"
+
+namespace chronotier {
+
+// Per-edge link state. kDegraded is informational (bandwidth collapse is applied to the
+// edge's CopyChannel); only kDown removes the edge from the routable graph.
+enum class LinkHealth : uint8_t { kUp = 0, kDegraded = 1, kDown = 2 };
+
+// Per-endpoint lifecycle: kFailing endpoints accept no new migration targets and are being
+// drained (evacuated); kOffline endpoints hold no resident pages (hot-removed). Recovery
+// returns an endpoint to kHealthy.
+enum class EndpointHealth : uint8_t { kHealthy = 0, kFailing = 1, kOffline = 2 };
+
+class TopologyHealth {
+ public:
+  TopologyHealth() = default;
+  TopologyHealth(int num_nodes, int num_edges)
+      : links_(static_cast<size_t>(num_edges), LinkHealth::kUp),
+        endpoints_(static_cast<size_t>(num_nodes), EndpointHealth::kHealthy) {}
+
+  int num_links() const { return static_cast<int>(links_.size()); }
+  int num_endpoints() const { return static_cast<int>(endpoints_.size()); }
+
+  LinkHealth link(int edge) const { return links_[static_cast<size_t>(edge)]; }
+  EndpointHealth endpoint(NodeId node) const {
+    return endpoints_[static_cast<size_t>(node)];
+  }
+  bool endpoint_available(NodeId node) const {
+    return endpoint(node) == EndpointHealth::kHealthy;
+  }
+
+  // Live counts — O(1) guards the hot paths check before doing any per-edge work.
+  int links_down() const { return links_down_; }
+  int endpoints_unavailable() const { return endpoints_unavailable_; }
+  // True when routing or targeting decisions must consult the per-element state.
+  bool any_fault() const { return links_down_ + endpoints_unavailable_ > 0; }
+
+  // Bumped on every state change; policies cache per-generation derived views.
+  uint64_t generation() const { return generation_; }
+
+  const std::vector<LinkHealth>& links() const { return links_; }
+
+  void SetLink(int edge, LinkHealth state) {
+    LinkHealth& slot = links_[static_cast<size_t>(edge)];
+    if (slot == state) return;
+    links_down_ += (state == LinkHealth::kDown) - (slot == LinkHealth::kDown);
+    slot = state;
+    ++generation_;
+  }
+
+  void SetEndpoint(NodeId node, EndpointHealth state) {
+    CHECK(node != kFastNode || state == EndpointHealth::kHealthy)
+        << "the root/fast node cannot fail";
+    EndpointHealth& slot = endpoints_[static_cast<size_t>(node)];
+    if (slot == state) return;
+    endpoints_unavailable_ += (state != EndpointHealth::kHealthy) -
+                              (slot != EndpointHealth::kHealthy);
+    slot = state;
+    ++generation_;
+  }
+
+ private:
+  std::vector<LinkHealth> links_;          // Indexed by Topology edge index.
+  std::vector<EndpointHealth> endpoints_;  // Indexed by NodeId.
+  int links_down_ = 0;
+  int endpoints_unavailable_ = 0;  // kFailing + kOffline.
+  uint64_t generation_ = 0;
+};
+
+}  // namespace chronotier

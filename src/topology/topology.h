@@ -22,6 +22,7 @@
 
 #include "src/common/time.h"
 #include "src/mem/tier.h"
+#include "src/topology/health.h"
 
 namespace chronotier {
 
@@ -101,6 +102,12 @@ class Topology {
   int HopDistance(NodeId a, NodeId b) const;
   // Inclusive node path a -> ... -> b (through the tree LCA); {a, b} when adjacent.
   std::vector<NodeId> Route(NodeId a, NodeId b) const;
+  // Route over surviving links only: shortest path avoiding every edge whose LinkHealth is
+  // kDown, by deterministic BFS (neighbors visited in node-id order, so ties break toward
+  // lower ids). Returns the empty vector when the fault partitions a from b. With no links
+  // down this equals Route() on trees and the direct edge on complete graphs.
+  std::vector<NodeId> RouteAvoiding(NodeId a, NodeId b,
+                                    const std::vector<LinkHealth>& links) const;
 
   // Extra access latency for a node behind more than one link: (depth - 1) * hop_latency.
   SimDuration HopPenalty(NodeId node) const {

@@ -59,6 +59,7 @@ Track TrackFor(const TraceEvent& event) {
     case TraceEventType::kMigrationCommit:
     case TraceEventType::kMigrationAbort:
     case TraceEventType::kMigrationPark:
+    case TraceEventType::kMigrationReroute:
       return {kEnginePid, 0};
     case TraceEventType::kReclaimWake:
     case TraceEventType::kReclaimDone:
@@ -77,6 +78,13 @@ Track TrackFor(const TraceEvent& event) {
     case TraceEventType::kFaultPressureEnd:
     case TraceEventType::kFaultAllocBegin:
     case TraceEventType::kFaultAllocEnd:
+    case TraceEventType::kFaultLinkDown:
+    case TraceEventType::kFaultLinkDegraded:
+    case TraceEventType::kFaultLinkRestored:
+    case TraceEventType::kFaultEndpointFailing:
+    case TraceEventType::kFaultEndpointOffline:
+    case TraceEventType::kFaultEndpointRecovered:
+    case TraceEventType::kFaultEvacuationStalled:
       return {kDaemonsPid, kInjectorTid};
   }
   return {kDaemonsPid, kInjectorTid};

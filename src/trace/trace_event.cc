@@ -80,6 +80,13 @@ const char* TraceEventTypeName(TraceEventType t) {
     case TraceEventType::kFaultPressureEnd: return "pressure_spike_end";
     case TraceEventType::kFaultAllocBegin: return "alloc_fail_window_begin";
     case TraceEventType::kFaultAllocEnd: return "alloc_fail_window_end";
+    case TraceEventType::kFaultLinkDown: return "link_down";
+    case TraceEventType::kFaultLinkDegraded: return "link_degraded";
+    case TraceEventType::kFaultLinkRestored: return "link_restored";
+    case TraceEventType::kFaultEndpointFailing: return "endpoint_failing";
+    case TraceEventType::kFaultEndpointOffline: return "endpoint_offline";
+    case TraceEventType::kFaultEndpointRecovered: return "endpoint_recovered";
+    case TraceEventType::kFaultEvacuationStalled: return "evacuation_stalled";
     case TraceEventType::kScanPoison: return "scan_poison";
     case TraceEventType::kScanLap: return "scan_lap";
     case TraceEventType::kMigrationSubmit: return "migration_submit";
@@ -90,6 +97,7 @@ const char* TraceEventTypeName(TraceEventType t) {
     case TraceEventType::kMigrationCommit: return "migration_commit";
     case TraceEventType::kMigrationAbort: return "migration_abort";
     case TraceEventType::kMigrationPark: return "migration_park";
+    case TraceEventType::kMigrationReroute: return "migration_reroute";
     case TraceEventType::kReclaimWake: return "reclaim_wake";
     case TraceEventType::kReclaimDone: return "reclaim_done";
     case TraceEventType::kPolicyPromote: return "policy_promote";

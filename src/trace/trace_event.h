@@ -76,6 +76,16 @@ enum class TraceEventType : uint16_t {
   kFaultAllocBegin,     // Strict-min-floor window begins.
   kFaultAllocEnd,       // Strict-min-floor window ends.
 
+  // kFault (fabric fault domains; from/to = the edge for link events, from = the endpoint
+  // for endpoint events; pid/vpn unused)
+  kFaultLinkDown,           // Link-down window begins: a = duration ns.
+  kFaultLinkDegraded,       // Bandwidth-collapse window begins: a = ns, b = factor x1000.
+  kFaultLinkRestored,       // Link returns to service.
+  kFaultEndpointFailing,    // Endpoint failure: a = resident pages to evacuate.
+  kFaultEndpointOffline,    // Drain complete, endpoint hot-removed: a = pages evacuated.
+  kFaultEndpointRecovered,  // Endpoint returns to service.
+  kFaultEvacuationStalled,  // Drain gave up (survivors full / deadline): a = pages left.
+
   // kScan
   kScanPoison,  // Page poisoned (PROT_NONE) by a scan; from = resident node.
   kScanLap,     // One scan tick finished: a = units visited, b = lap number.
@@ -90,6 +100,7 @@ enum class TraceEventType : uint16_t {
   kMigrationCommit,     // b = pages; ts = commit time.
   kMigrationAbort,      // Final abort after retries: b = attempts used.
   kMigrationPark,       // b = 1 transient park (frames freed), 2 quarantined.
+  kMigrationReroute,    // Pass crossed a link that went down: b = re-route attempt.
 
   // kReclaim
   kReclaimWake,  // Reclaim pass starts: a = free pages, b = refill target.

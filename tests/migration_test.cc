@@ -380,6 +380,48 @@ TEST_F(RoutedMigrationTest, MultiHopCopyBooksEveryTraversedLink) {
   EXPECT_EQ(env_->memory_.congestion(kLeafNode).migration_bytes(), kBasePageSize);
 }
 
+TEST_F(RoutedMigrationTest, MidRouteDirtyAbortChargesEveryTraversedLeg) {
+  // A store-and-forward pass books both legs up front: 2->1 over [0, 1ms], 1->0 over
+  // [1ms, 2ms]. A store landing at 1.5ms — after the first leg delivered but before the
+  // second finished — invalidates the *whole* pass at its copy-done check.
+  ASSERT_TRUE(engine_
+                  ->Submit(*vma_, page(0), kFastNode, MigrationClass::kAsync,
+                           MigrationSource::kPolicyDaemon)
+                  .admitted);
+  env_->queue_.ScheduleAt(3 * kCopyTime / 2, [this](SimTime) { ++page(0).write_gen; });
+  Drain();
+
+  // One dirty-aborted pass plus one clean retry, both routed over two legs.
+  EXPECT_EQ(stats_.dirty_aborted_copies, 1u);
+  EXPECT_EQ(stats_.copy_attempts, 2u);
+  EXPECT_EQ(stats_.TotalCommitted(), 1u);
+  EXPECT_EQ(stats_.multi_hop_copies, 2u);
+  EXPECT_EQ(stats_.multi_hop_legs, 4u);
+  EXPECT_EQ(page(0).node, kFastNode);
+  EXPECT_EQ(engine_->inflight_reserved_pages(), 0u);
+
+  // The aborted pass pays full fare on every traversed channel: its legs were booked (and
+  // the relay's bytes moved) before the staleness was known, so nothing is refunded.
+  EXPECT_EQ(engine_->channel(kLeafNode, 1).busy_time(), 2 * kCopyTime);
+  EXPECT_EQ(engine_->channel(1, kFastNode).busy_time(), 2 * kCopyTime);
+  EXPECT_EQ(stats_.channel_busy, 4 * kCopyTime);
+  EXPECT_EQ(stats_.copied_bytes, 2 * kBasePageSize);  // Per pass, not per leg.
+
+  // Both endpoint congestion cursors of every leg were charged: the ends carry one leg
+  // per pass, the relay two.
+  EXPECT_EQ(env_->memory_.congestion(kLeafNode).migration_bytes(), 2 * kBasePageSize);
+  EXPECT_EQ(env_->memory_.congestion(kFastNode).migration_bytes(), 2 * kBasePageSize);
+  EXPECT_EQ(env_->memory_.congestion(1).migration_bytes(), 4 * kBasePageSize);
+
+  // Conservation across the fabric: every leg has exactly two ends, so the per-endpoint
+  // byte counters must sum to 2 * legs * bytes-per-pass.
+  uint64_t endpoint_bytes = 0;
+  for (NodeId id = 0; id < env_->memory_.num_nodes(); ++id) {
+    endpoint_bytes += env_->memory_.congestion(id).migration_bytes();
+  }
+  EXPECT_EQ(endpoint_bytes, 2 * stats_.multi_hop_legs * kBasePageSize);
+}
+
 TEST_F(RoutedMigrationTest, ConcurrentMultiHopCopiesConserveEveryLinksBandwidth) {
   constexpr uint64_t kBatch = 4;
   for (uint64_t i = 0; i < kBatch; ++i) {
