@@ -59,12 +59,12 @@ ct::ExperimentJob MakeJob(const ct::NamedPolicyFactory& named, IdentificationRes
       std::unordered_set<uint64_t> hot_set(hot.begin(), hot.end());
       process.aspace().ForEachPage([&](ct::Vma& vma, ct::PageInfo& page) {
         ct::PageInfo& unit = vma.HotnessUnit(page.vpn);
-        if (!unit.present() || page.oracle_access_count == 0) {
+        if (!unit.present() || machine.arena().cold(page).access_count == 0) {
           return;
         }
         const bool truly_hot = hot_set.count(page.vpn) > 0;
         const bool predicted_hot = unit.node == ct::kFastNode;
-        const uint64_t weight = page.oracle_access_count;
+        const uint64_t weight = machine.arena().cold(page).access_count;
         if (truly_hot && predicted_hot) {
           stats.true_positives += weight;
         } else if (!truly_hot && predicted_hot) {

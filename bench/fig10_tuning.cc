@@ -85,7 +85,7 @@ void RunCitCorrelation() {
             return;
           }
           const auto decile = static_cast<int>(offset * kDeciles / stream->num_pages());
-          deciles[static_cast<size_t>(decile)].accesses += page.oracle_access_count;
+          deciles[static_cast<size_t>(decile)].accesses += machine.arena().cold(page).access_count;
         });
       });
 

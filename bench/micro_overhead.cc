@@ -6,7 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
+#include "src/common/check.h"
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
@@ -21,6 +25,24 @@
 #include "src/vm/scanner.h"
 
 namespace ct = chronotier;
+
+// Global allocation counter: every `new` in the binary routes through here, so a
+// benchmark can assert a region of code is allocation-free (the event core's contract).
+// Counting is the only side effect — allocation still comes from malloc.
+std::atomic<uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -180,6 +202,59 @@ void BM_OneShotScheduleAndRun(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(fired));
 }
 BENCHMARK(BM_OneShotScheduleAndRun);
+
+// Cancel cost as the pending-event count grows. The slot-map queue cancels by slot
+// index — O(1) — so the per-cancel time must stay flat across the Arg sweep (the old
+// queue linear-scanned a callbacks vector, making this O(pending)).
+void BM_EventCancelVsPending(benchmark::State& state) {
+  ct::EventQueue queue;
+  const int64_t pending = state.range(0);
+  for (int64_t i = 0; i < pending; ++i) {
+    queue.ScheduleAt(ct::kSecond + static_cast<ct::SimTime>(i), [](ct::SimTime) {});
+  }
+  for (auto _ : state) {
+    const ct::EventId id =
+        queue.ScheduleAt(ct::kMillisecond, [](ct::SimTime) {});
+    benchmark::DoNotOptimize(queue.Cancel(id));
+    // The cancelled entry sorts before every pending event, so this purge pops exactly
+    // it — the heap stays at `pending` entries instead of growing per iteration.
+    benchmark::DoNotOptimize(queue.NextEventTime());
+  }
+  state.counters["pending"] = static_cast<double>(pending);
+}
+BENCHMARK(BM_EventCancelVsPending)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
+
+// The event core's allocation contract: after warmup (slot map and heap at capacity),
+// scheduling and firing an event performs zero heap allocations — the callback lands in
+// the InlineFunction buffer and the slot is recycled off the free list. CHECK-enforced:
+// a regression aborts the bench run, it does not just shift a number.
+void BM_EventScheduleAllocationFree(benchmark::State& state) {
+  ct::EventQueue queue;
+  uint64_t fired = 0;
+  // Warmup: grow the slot map and heap past anything the timed loop needs.
+  for (int i = 0; i < 1024; ++i) {
+    queue.ScheduleAfter(ct::kMillisecond + i, [&fired](ct::SimTime) { ++fired; });
+  }
+  while (queue.pending() > 0) {
+    queue.RunNext();
+  }
+  const uint64_t allocs_before = g_heap_allocs.load();
+  uint64_t events = 0;
+  for (auto _ : state) {
+    queue.ScheduleAfter(ct::kMillisecond, [&fired](ct::SimTime) { ++fired; });
+    queue.RunNext();
+    ++events;
+  }
+  const uint64_t allocs = g_heap_allocs.load() - allocs_before;
+  CHECK_EQ(allocs, uint64_t{0})
+      << "event core allocated " << allocs << " time(s) over " << events
+      << " scheduled events — the steady-state schedule/fire path must be heap-free";
+  state.counters["allocs_per_event"] =
+      events == 0 ? 0.0 : static_cast<double>(allocs) / static_cast<double>(events);
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_EventScheduleAllocationFree);
 
 // --- Migration engine ---
 

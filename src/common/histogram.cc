@@ -70,6 +70,20 @@ void Log2Histogram::TransferValue(uint64_t old_value, uint64_t new_value) {
   }
 }
 
+void Log2Histogram::TransferValues(uint64_t old_value, uint64_t new_value, uint64_t count) {
+  const int old_bucket = std::min(BucketFor(old_value), num_buckets() - 1);
+  const int new_bucket = std::min(BucketFor(new_value), num_buckets() - 1);
+  if (old_bucket == new_bucket || count == 0) {
+    return;
+  }
+  // N repeated TransferValue calls each move one sample while the source bucket is
+  // non-empty, so the bulk form moves min(count, source occupancy).
+  auto& old_count = buckets_[static_cast<size_t>(old_bucket)];
+  const uint64_t moved = std::min<uint64_t>(count, old_count);
+  old_count -= moved;
+  buckets_[static_cast<size_t>(new_bucket)] += moved;
+}
+
 void Log2Histogram::RemoveValue(uint64_t value, uint64_t count) {
   const int bucket = std::min(BucketFor(value), num_buckets() - 1);
   auto& slot = buckets_[static_cast<size_t>(bucket)];

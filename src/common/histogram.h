@@ -32,6 +32,12 @@ class Log2Histogram {
   // access counter that was just incremented). No-op on the total.
   void TransferValue(uint64_t old_value, uint64_t new_value);
 
+  // Moves `count` samples from `old_value`'s bucket to `new_value`'s in one step —
+  // bit-identical to calling TransferValue(old_value, new_value) `count` times (each call
+  // moves at most what the source bucket holds), without the per-call loop. Lets callers
+  // tracking huge-page units (512 base pages per sample) stay O(1) per event.
+  void TransferValues(uint64_t old_value, uint64_t new_value, uint64_t count);
+
   // Removes one previously added sample with the given value.
   void RemoveValue(uint64_t value, uint64_t count = 1);
 

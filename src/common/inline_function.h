@@ -1,0 +1,161 @@
+// InlineFunction: a move-only callable wrapper with small-buffer storage.
+//
+// Drop-in replacement for std::function on the simulator's hot paths (event scheduling
+// fires millions of callbacks per run). Captures up to kInlineBytes land in an inline
+// buffer — storing and invoking them never touches the heap. Larger captures spill to a
+// single heap block; the event-core microbench (bench/micro_overhead) pins the inline
+// path allocation-free and exercises the spill path separately.
+//
+// Differences from std::function, on purpose:
+//   - Move-only (no copy): event callbacks are scheduled once and fired; copyability is
+//     what forces std::function to heap-allocate shared state.
+//   - No target_type()/target() RTTI surface.
+//   - Invoking an empty InlineFunction is a CHECK failure, not std::bad_function_call.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace chronotier {
+
+inline constexpr size_t kInlineFunctionBytes = 48;
+
+template <typename Signature, size_t InlineBytes = kInlineFunctionBytes>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F, typename = std::enable_if_t<!std::is_same_v<
+                            std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace<std::decay_t<F>>(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  template <typename F, typename = std::enable_if_t<!std::is_same_v<
+                            std::decay_t<F>, InlineFunction>>>
+  InlineFunction& operator=(F&& f) {
+    Reset();
+    Emplace<std::decay_t<F>>(std::forward<F>(f));
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) const {
+    CHECK(ops_ != nullptr) << "invoking empty InlineFunction";
+    return ops_->invoke(Target(), std::forward<Args>(args)...);
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(Target());
+      ops_ = nullptr;
+    }
+  }
+
+  // True when the wrapped callable lives in the inline buffer (no heap block).
+  bool is_inline() const { return ops_ != nullptr && ops_->is_inline; }
+
+ private:
+  // Per-callable-type vtable: one static instance per F, shared by all wrappers.
+  struct Ops {
+    R (*invoke)(void* target, Args&&... args);
+    // Moves the callable out of `target` into the storage of `to` (which adopts these
+    // ops), then destroys the source. Used by the move constructor/assignment.
+    void (*relocate)(void* target, InlineFunction* to);
+    void (*destroy)(void* target);
+    bool is_inline;
+  };
+
+  template <typename F>
+  static constexpr bool FitsInline() {
+    return sizeof(F) <= InlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F>
+  void Emplace(F f) {
+    if constexpr (FitsInline<F>()) {
+      static const Ops ops = {
+          // invoke
+          [](void* target, Args&&... args) -> R {
+            return (*static_cast<F*>(target))(std::forward<Args>(args)...);
+          },
+          // relocate
+          [](void* target, InlineFunction* to) {
+            F* src = static_cast<F*>(target);
+            // detlint:allow(naked-new) placement new into the inline buffer, no allocation
+            ::new (static_cast<void*>(to->inline_storage_)) F(std::move(*src));
+            src->~F();
+          },
+          // destroy
+          [](void* target) { static_cast<F*>(target)->~F(); },
+          /*is_inline=*/true,
+      };
+      // detlint:allow(naked-new) placement new into the inline buffer, no allocation
+      ::new (static_cast<void*>(inline_storage_)) F(std::move(f));
+      ops_ = &ops;
+    } else {
+      static const Ops ops = {
+          [](void* target, Args&&... args) -> R {
+            return (*static_cast<F*>(target))(std::forward<Args>(args)...);
+          },
+          // relocate: the callable stays in its heap block; only the pointer moves.
+          [](void* target, InlineFunction* to) { to->heap_target_ = target; },
+          // detlint:allow(naked-new) paired delete below; spill path owns its block.
+          [](void* target) { delete static_cast<F*>(target); },
+          /*is_inline=*/false,
+      };
+      // detlint:allow(naked-new) single owning block, deleted by ops.destroy above.
+      heap_target_ = new F(std::move(f));
+      ops_ = &ops;
+    }
+  }
+
+  void MoveFrom(InlineFunction& other) {
+    if (other.ops_ == nullptr) {
+      return;
+    }
+    const Ops* ops = other.ops_;
+    ops->relocate(other.Target(), this);
+    ops_ = ops;
+    other.ops_ = nullptr;
+  }
+
+  void* Target() const {
+    return ops_->is_inline ? const_cast<void*>(static_cast<const void*>(inline_storage_))
+                           : heap_target_;
+  }
+
+  const Ops* ops_ = nullptr;
+  union {
+    alignas(std::max_align_t) mutable unsigned char inline_storage_[InlineBytes];
+    void* heap_target_;
+  };
+};
+
+}  // namespace chronotier

@@ -74,7 +74,7 @@ AuditReport InvariantAuditor::Audit(SimTime now, const TieredMemory& memory,
     for (const LruMembership membership : {LruMembership::kActive, LruMembership::kInactive}) {
       const PageList& list =
           membership == LruMembership::kActive ? lru.active() : lru.inactive();
-      for (const PageInfo* page = list.Head(); page != nullptr; page = page->lru_next) {
+      for (const PageInfo* page = list.Head(); page != nullptr; page = list.Next(page)) {
         if (!on_lru.emplace(page, std::make_pair(node, membership)).second) {
           violate(SimError("page on more than one LRU position", now)
                       .Add("owner", page->owner)
@@ -97,11 +97,11 @@ AuditReport InvariantAuditor::Audit(SimTime now, const TieredMemory& memory,
                       .Add("page_node", page->node)
                       .Add("list_node", node));
         }
-        if (page->lru != membership) {
+        if (page->lru_state() != membership) {
           violate(SimError("LRU membership tag disagrees with list", now)
                       .Add("owner", page->owner)
                       .Add("vpn", page->vpn)
-                      .Add("tag", MembershipName(page->lru))
+                      .Add("tag", MembershipName(page->lru_state()))
                       .Add("list", MembershipName(membership)));
         }
       }
@@ -120,21 +120,21 @@ AuditReport InvariantAuditor::Audit(SimTime now, const TieredMemory& memory,
                                  !vma->IsGroupSplit(vma->GroupIndex(page.vpn)) &&
                                  !page.huge_head();
         if (shadow_tail) {
-          if (page.present() || page.lru != LruMembership::kNone) {
+          if (page.present() || page.lru_state() != LruMembership::kNone) {
             violate(SimError("shadow tail of unsplit huge group has state", now)
                         .Add("owner", page.owner)
                         .Add("vpn", page.vpn)
                         .Add("present", page.present() ? 1 : 0)
-                        .Add("lru", MembershipName(page.lru)));
+                        .Add("lru", MembershipName(page.lru_state())));
           }
           continue;
         }
         if (!page.present()) {
-          if (page.lru != LruMembership::kNone) {
+          if (page.lru_state() != LruMembership::kNone) {
             violate(SimError("absent unit carries an LRU tag", now)
                         .Add("owner", page.owner)
                         .Add("vpn", page.vpn)
-                        .Add("lru", MembershipName(page.lru)));
+                        .Add("lru", MembershipName(page.lru_state())));
           }
           continue;
         }

@@ -29,6 +29,8 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   machine_config.fault = config.fault;
   machine_config.audit_period = config.audit_period;
   machine_config.enable_translation_cache = config.enable_translation_cache;
+  machine_config.replay_batch_ops = config.replay_batch_ops;
+  machine_config.track_oracle = config.track_oracle;
   machine_config.trace = config.trace;
   Machine machine(machine_config, std::move(policy));
 

@@ -62,6 +62,7 @@ std::vector<std::string> MachineConfig::Validate() const {
   require(reclaim_check_period > 0, "reclaim_check_period must be > 0");
   require(process_quantum > 0, "process_quantum must be > 0");
   require(reclaim_batch_limit > 0, "reclaim_batch_limit must be > 0");
+  require(replay_batch_ops >= 1, "replay_batch_ops must be >= 1");
   require(bandwidth_scale >= 1.0, "bandwidth_scale must be >= 1");
 
   require(migration.max_copy_attempts >= 1, "migration.max_copy_attempts must be >= 1");
@@ -182,6 +183,7 @@ Machine::Machine(MachineConfig config, std::unique_ptr<TieringPolicy> policy)
       pebs_(config.pebs) {
   for (int i = 0; i < memory_.num_nodes(); ++i) {
     lrus_.emplace_back();
+    lrus_.back().set_arena(&arena_);
   }
   CHECK(policy_ != nullptr);
   const std::vector<std::string> errors = config_.Validate();
@@ -212,6 +214,9 @@ Process& Machine::CreateProcess(const std::string& name) {
   processes_.push_back(std::make_unique<Process>(pid, name));
   bindings_.emplace_back();
   Process& process = *processes_.back();
+  // Every region the workload maps registers its pages with the machine's arena (LRU
+  // index space + oracle cold array).
+  process.aspace().set_arena(&arena_);
   process.SyncClockTo(queue_.now());
   if (tracer_ != nullptr) {
     tracer_->SetProcessName(pid, name);
@@ -358,29 +363,64 @@ void Machine::RunProcessUntil(Process& process, WorkloadBinding& binding, SimTim
     process.SyncClockTo(horizon);
     return;
   }
+  // Batched replay: refill the binding's prefetch buffer once per `replay_batch_ops` ops
+  // instead of taking a virtual Next() per op. Streams never see machine state, so a
+  // prefetched op is the op single-stepping would have produced at the same ordinal, and
+  // the stream/RNG call sequence is identical (a short fill marks `exhausted`, after which
+  // the stream is never called again — matching single-step's one terminating Next()).
+  const size_t batch = config_.replay_batch_ops;
+  if (binding.ops.size() < batch) {
+    binding.ops.resize(batch);
+  }
+  // Loop-invariant hoists: the TLB reference and lane flag never change mid-run, and no
+  // event fires inside this loop (faults and PEBS handlers may Push events but never run
+  // them), so the compiler keeps these in registers across the whole batch instead of
+  // re-deriving them per op behind three call frames.
+  TranslationCache& tlb = process.tlb();
+  const bool lane_enabled = config_.enable_translation_cache;
   while (process.clock() < horizon) {
-    MemOp op;
-    if (!binding.stream->Next(binding.rng, &op)) {
-      process.set_finished(true);
-      break;
+    if (binding.cursor == binding.count) {
+      binding.count =
+          binding.exhausted ? 0 : binding.stream->FillBatch(binding.rng, binding.ops.data(), batch);
+      binding.cursor = 0;
+      if (binding.count < batch) {
+        binding.exhausted = true;
+      }
+      if (binding.count == 0) {
+        process.set_finished(true);
+        break;
+      }
     }
-    const SimDuration spent = ExecuteOp(process, op);
+    const MemOp& op = binding.ops[binding.cursor++];
+    SimDuration spent = op.think_time + process.access_delay();
+    if (spent > 0) {
+      metrics_.CountThinkTime(spent);
+    }
+    // Inlined AccessMemory: identical lane check and charge sequence, minus the call.
+    const uint64_t vpn = op.vaddr / kBasePageSize;
+    bool fast = false;
+    if (lane_enabled) {
+      if (PageInfo* cached = tlb.Lookup(vpn)) {
+        if ((cached->flags & TranslationCache::kFastPathMask) == kPagePresent) {
+          spent += FastPathAccess(process, *cached, vpn, op.is_store);
+          fast = true;
+        } else {
+          // Stale entry (poisoned, migrating, or demand-fault pending): drop it and take
+          // the slow path, which re-installs once the unit settles.
+          tlb.Invalidate(vpn);
+        }
+      }
+    }
+    if (!fast) {
+      spent += SlowPathAccess(process, vpn, op.is_store);
+    }
+    process.CountAccess();
     process.AdvanceClock(std::max<SimDuration>(spent, 1));
   }
   if (process.finished()) {
     // Idle processes still follow global time.
     process.SyncClockTo(horizon);
   }
-}
-
-SimDuration Machine::ExecuteOp(Process& process, const MemOp& op) {
-  SimDuration total = op.think_time + process.access_delay();
-  if (total > 0) {
-    metrics_.CountThinkTime(total);
-  }
-  total += AccessMemory(process, op.vaddr, op.is_store);
-  process.CountAccess();
-  return total;
 }
 
 SimDuration Machine::FastPathAccess(Process& process, PageInfo& unit, uint64_t vpn,
@@ -399,10 +439,13 @@ SimDuration Machine::FastPathAccess(Process& process, PageInfo& unit, uint64_t v
     unit.Set(kPageDirty);
     ++unit.write_gen;
   }
-  unit.oracle_last_access = now;
-  ++unit.oracle_access_count;
-  if (unit.node != kFastNode) {
-    unit.Set(kPageOracleTouchedSlow);
+  if (config_.track_oracle) {
+    ColdPage& cold = arena_.cold(unit);
+    cold.last_access = now;
+    ++cold.access_count;
+    if (unit.node != kFastNode) {
+      unit.Set(kPageOracleTouchedSlow);
+    }
   }
 
   if (pebs_active_) {
@@ -444,13 +487,14 @@ Machine::TlbCounters Machine::TlbStats() const {
 
 SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_store) {
   const uint64_t vpn = vaddr / kBasePageSize;
-  TranslationCache& tlb = process.tlb();
 
   // Fast lane: a cached translation whose unit still satisfies the fast-path flag mask
   // (present, not PROT_NONE, not migrating) skips VMA resolution and fault handling
   // entirely. PEBS sampling charges inside the lane (FastPathAccess), so PEBS policies
   // like Memtis keep the fast lane instead of forcing every access down the slow path.
+  // The batched replay loop in RunProcessUntil inlines this same check.
   if (config_.enable_translation_cache) {
+    TranslationCache& tlb = process.tlb();
     if (PageInfo* cached = tlb.Lookup(vpn)) {
       if ((cached->flags & TranslationCache::kFastPathMask) == kPagePresent) {
         return FastPathAccess(process, *cached, vpn, is_store);
@@ -460,8 +504,12 @@ SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_stor
       tlb.Invalidate(vpn);
     }
   }
+  return SlowPathAccess(process, vpn, is_store);
+}
 
-  // Slow path. The last-hit VMA short-circuits FindVma for the common same-region miss.
+SimDuration Machine::SlowPathAccess(Process& process, uint64_t vpn, bool is_store) {
+  TranslationCache& tlb = process.tlb();
+  // The last-hit VMA short-circuits FindVma for the common same-region miss.
   Vma* vma = tlb.last_vma();
   if (vma == nullptr || !vma->Contains(vpn)) {
     vma = process.aspace().FindVma(vpn);
@@ -511,10 +559,13 @@ SimDuration Machine::AccessMemory(Process& process, uint64_t vaddr, bool is_stor
     // and will abort at its commit check.
     ++unit.write_gen;
   }
-  unit.oracle_last_access = now;
-  ++unit.oracle_access_count;
-  if (unit.node != kFastNode) {
-    unit.Set(kPageOracleTouchedSlow);
+  if (config_.track_oracle) {
+    ColdPage& cold = arena_.cold(unit);
+    cold.last_access = now;
+    ++cold.access_count;
+    if (unit.node != kFastNode) {
+      unit.Set(kPageOracleTouchedSlow);
+    }
   }
 
   if (pebs_active_) {

@@ -69,12 +69,28 @@ struct MachineConfig {
 
   uint64_t seed = 42;
 
+  // Batched access replay: RunProcessUntil prefetches up to this many ops from a process's
+  // stream per refill and replays them with the virtual stream dispatch hoisted out of the
+  // per-op loop. Streams are machine-state independent (Next sees only the binding's RNG
+  // and the stream's own cursor), so prefetching is invisible to results: any batch size
+  // replays bit-identically to single-stepping (replay_batch_ops = 1, which equivalence
+  // tests use as the reference).
+  uint32_t replay_batch_ops = 64;
+
   // Access-path fast lane: per-process software translation cache (last-hit VMA + a small
   // direct-mapped vpn -> hotness-unit TLB) consulted at the top of AccessMemory. Results
   // are bit-identical with it on or off (the fast lane replays exactly the slow path's
   // present/!PROT_NONE/!migrating tail); the switch exists for equivalence tests and for
   // measuring the fast lane's contribution in bench/sim_throughput.
   bool enable_translation_cache = true;
+
+  // Oracle access bookkeeping: per-access writes to the cold side-array (ColdPage
+  // last_access / access_count) and the kPageOracleTouchedSlow flag. Nothing in src/
+  // reads these — they exist for identification-accuracy figures (fig02a, fig10) and
+  // tests that ground-truth hotness, so results are bit-identical either way (a seed
+  // golden pins this). Off saves the one uncorrelated cache line per access that isn't
+  // part of the simulated system; benches measuring raw replay speed disable it.
+  bool track_oracle = true;
 
   // Fault-injection plan (disabled by default). When enabled, genuine allocation
   // exhaustion degrades gracefully instead of being fatal: the demand fault is refused,
@@ -132,6 +148,10 @@ class Machine : private MigrationEnv {
   EventQueue& queue() override { return queue_; }
   TieredMemory& memory() override { return memory_; }
   NodeLru& lru(NodeId node) { return lrus_[static_cast<size_t>(node)]; }
+  // The machine's page arena: index space for LRU linkage and home of the oracle cold
+  // side-array (metrics/tests only — policies never read it).
+  PageArena& arena() { return arena_; }
+  const PageArena& arena() const { return arena_; }
   // The migration engine: the only path by which pages move between tiers.
   MigrationEngine& migration() { return *engine_; }
   const MigrationEngine& migration() const { return *engine_; }
@@ -218,11 +238,21 @@ class Machine : private MigrationEnv {
   struct WorkloadBinding {
     std::unique_ptr<AccessStream> stream;
     Rng rng;
+    // Batched-replay prefetch buffer: ops[cursor..count) are pending. `exhausted` records
+    // that a short fill already observed the stream's end, so no further stream calls are
+    // made (keeping the stream/RNG interaction identical to single-step replay).
+    std::vector<MemOp> ops;
+    size_t cursor = 0;
+    size_t count = 0;
+    bool exhausted = false;
   };
 
-  // Executes one op for `process`; returns the total latency charged (think + access).
-  SimDuration ExecuteOp(Process& process, const MemOp& op);
   SimDuration AccessMemory(Process& process, uint64_t vaddr, bool is_store);
+  // Everything past the fast-lane check: VMA resolution, demand/hint faults, device
+  // charge, bookkeeping, translation install. AccessMemory is lane check + this; the
+  // batched replay loop in RunProcessUntil performs its own lane check with the TLB
+  // reference and enable flag hoisted out of the per-op loop and calls this on a miss.
+  SimDuration SlowPathAccess(Process& process, uint64_t vpn, bool is_store);
   // The fast lane: device charge + flag/metrics update for a cached, present,
   // non-PROT_NONE, non-migrating unit. Must stay byte-for-byte equivalent to the tail of
   // the slow path under the same conditions — including the PEBS sampling charge (`vpn`
@@ -250,6 +280,8 @@ class Machine : private MigrationEnv {
   MachineConfig config_;
   EventQueue queue_;
   TieredMemory memory_;
+  PageArena arena_;  // Page index space + oracle cold array; before lrus_ (lists link by
+                     // arena index).
   std::deque<NodeLru> lrus_;  // deque: NodeLru is pinned (intrusive lists) and immovable.
   std::unique_ptr<TieringPolicy> policy_;
   Metrics metrics_;

@@ -78,11 +78,9 @@ std::vector<NodeId> MigrationEngine::HealthyRoute(NodeId from, NodeId to) const 
 
 void MigrationEngine::OnLinkDown(NodeId lo, NodeId hi, SimTime now) {
   (void)now;
-  // Setting a per-transaction flag is commutative, so iteration order cannot leak into
-  // results. The copy-done event of each flagged pass performs the actual abort/re-route.
-  // detlint:allow(unordered-iter) commutative flag set over independent transactions
-  for (auto& [id, txn] : inflight_) {
-    (void)id;
+  // Slot-order walk (deterministic, and the flag set is commutative anyway). The
+  // copy-done event of each flagged pass performs the actual abort/re-route.
+  inflight_.ForEach([&](uint64_t /*key*/, Transaction& txn) {
     for (size_t i = 0; i + 1 < txn.route.size(); ++i) {
       const NodeId a = txn.route[i];
       const NodeId b = txn.route[i + 1];
@@ -91,7 +89,7 @@ void MigrationEngine::OnLinkDown(NodeId lo, NodeId hi, SimTime now) {
         break;
       }
     }
-  }
+  });
 }
 
 MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
@@ -204,7 +202,9 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
 
   if (klass == MigrationClass::kAsync) {
     ticket.outcome = MigrationOutcome::kPending;
-    Transaction& stored = inflight_.emplace(txn.id, txn).first->second;
+    const uint64_t slab_key = inflight_.Insert(txn);
+    Transaction& stored = *inflight_.Find(slab_key);
+    stored.slab_key = slab_key;
     inflight_reserved_pages_ += pages;
     inflight_pages_by_node_[static_cast<size_t>(target)] += pages;
     peak_inflight_ = std::max(peak_inflight_, static_cast<uint64_t>(inflight_.size()));
@@ -338,27 +338,26 @@ bool MigrationEngine::ScheduleAsyncPass(Transaction& txn, SimTime now, SimTime e
   if (!BookCopy(txn, now, earliest, &booking)) {
     return false;
   }
-  const uint64_t id = txn.id;
+  const uint64_t key = txn.slab_key;
   // The dirty-check window is the *copy* window [start, finish], not [submit, finish]: a
   // queued copy has not read any bytes yet, so stores that land while it waits for the
   // channel cannot stale it. Re-snapshot the store generation when the copy starts.
-  env_->queue().ScheduleAt(booking.start, [this, id](SimTime /*when*/) {
-    auto it = inflight_.find(id);
-    if (it != inflight_.end()) {
-      it->second.write_gen_at_copy = it->second.unit->write_gen;
+  env_->queue().ScheduleAt(booking.start, [this, key](SimTime /*when*/) {
+    if (Transaction* live = inflight_.Find(key)) {
+      live->write_gen_at_copy = live->unit->write_gen;
     }
   });
   env_->queue().ScheduleAt(booking.finish,
-                           [this, id](SimTime when) { OnCopyDone(id, when); });
+                           [this, key](SimTime when) { OnCopyDone(key, when); });
   return true;
 }
 
-void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
-  auto it = inflight_.find(txn_id);
-  if (it == inflight_.end()) {
+void MigrationEngine::OnCopyDone(uint64_t key, SimTime now) {
+  Transaction* live = inflight_.Find(key);
+  if (live == nullptr) {
     return;
   }
-  Transaction& txn = it->second;
+  Transaction& txn = *live;
   CHECK(txn.unit->present() && txn.unit->node == txn.from)
       << SimError("in-flight migration source vanished", now)
              .Add("vpn", txn.unit->vpn)
@@ -368,11 +367,11 @@ void MigrationEngine::OnCopyDone(uint64_t txn_id, SimTime now) {
              .Add("to", txn.to)
              .Format();
 
-  const auto finish_inflight = [this, &it](Transaction& finished) {
+  const auto finish_inflight = [this, key](Transaction& finished) {
     Retire(finished);
     inflight_reserved_pages_ -= finished.pages;
     inflight_pages_by_node_[static_cast<size_t>(finished.to)] -= finished.pages;
-    inflight_.erase(it);
+    inflight_.Erase(key);
   };
 
   // Fabric link failure beats everything else: a pass that crossed a link that went down

@@ -28,9 +28,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/slab.h"
 #include "src/common/time.h"
 #include "src/mem/tiered_memory.h"
 #include "src/migration/admission.h"
@@ -136,7 +136,8 @@ class MigrationEngine {
 
  private:
   struct Transaction {
-    uint64_t id = 0;
+    uint64_t id = 0;        // Monotonic trace/ticket id (stable across runs).
+    uint64_t slab_key = 0;  // Generational inflight_ handle (async only; 0 for inline).
     Vma* vma = nullptr;
     PageInfo* unit = nullptr;
     NodeId from = kInvalidNode;
@@ -170,7 +171,9 @@ class MigrationEngine {
   // Returns false (nothing booked or scheduled) when no surviving path exists.
   bool ScheduleAsyncPass(Transaction& txn, SimTime now, SimTime earliest);
   // Async copy-done event: fault-oracle verdict, dirty check, then commit or retry/abort.
-  void OnCopyDone(uint64_t txn_id, SimTime now);
+  // `key` is the slab handle captured by the event; stale keys (transaction already
+  // retired) resolve to nothing and the event is a no-op.
+  void OnCopyDone(uint64_t key, SimTime now);
   void Commit(Transaction& txn, SimTime now);
   void FinalAbort(Transaction& txn, SimTime now);
   // Graceful-degradation terminals: the unit stays mapped at its source. ParkTransient
@@ -191,7 +194,10 @@ class MigrationEngine {
   std::vector<int> edge_channel_;      // Dense num_nodes^2 pair -> channel index (-1: none).
   int num_nodes_ = 0;
 
-  std::unordered_map<uint64_t, Transaction> inflight_;  // Async only.
+  // Async transactions, in a generational slot arena: O(1) insert/lookup/erase with no
+  // per-transaction heap node (the old unordered_map allocated one per Submit), and
+  // deterministic slot-order iteration for OnLinkDown.
+  SlotArena<Transaction> inflight_;
   uint64_t next_txn_id_ = 1;
   uint64_t inflight_reserved_pages_ = 0;
   std::vector<uint64_t> inflight_pages_by_node_;  // Reserved target pages per node (async).

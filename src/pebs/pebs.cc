@@ -2,13 +2,8 @@
 
 namespace chronotier {
 
-SimDuration PebsSampler::OnAccess(SimTime now, int32_t pid, uint64_t vpn, NodeId node,
-                                  bool is_store) {
-  ++events_seen_;
-  if (until_next_sample_ > 0) {
-    --until_next_sample_;
-    return 0;
-  }
+SimDuration PebsSampler::TakeSample(SimTime now, int32_t pid, uint64_t vpn, NodeId node,
+                                    bool is_store) {
   until_next_sample_ = NextGap();
 
   // Throttle: at most max_samples_per_sec per simulated second.

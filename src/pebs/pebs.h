@@ -48,8 +48,17 @@ class PebsSampler {
   const PebsConfig& config() const { return config_; }
 
   // Called on every memory access. Returns the overhead to charge to the accessing process
-  // (zero when the access is not sampled or the sample was throttled).
-  SimDuration OnAccess(SimTime now, int32_t pid, uint64_t vpn, NodeId node, bool is_store);
+  // (zero when the access is not sampled or the sample was throttled). The common case — the
+  // jittered countdown has not expired — is inline so the access fast lane pays one
+  // decrement, not an out-of-line call per access.
+  SimDuration OnAccess(SimTime now, int32_t pid, uint64_t vpn, NodeId node, bool is_store) {
+    ++events_seen_;
+    if (until_next_sample_ > 0) {
+      --until_next_sample_;
+      return 0;
+    }
+    return TakeSample(now, pid, vpn, node, is_store);
+  }
 
   uint64_t events_seen() const { return events_seen_; }
   uint64_t samples_delivered() const { return samples_delivered_; }
@@ -58,6 +67,9 @@ class PebsSampler {
   void ResetCounters();
 
  private:
+  // Slow path of OnAccess: re-arm the gap, apply the per-second throttle, deliver.
+  SimDuration TakeSample(SimTime now, int32_t pid, uint64_t vpn, NodeId node, bool is_store);
+
   uint64_t NextGap() {
     const uint64_t period = config_.period;
     if (period < 4) {

@@ -1,17 +1,43 @@
 #include "src/sim/event_queue.h"
 
 #include <algorithm>
+#include <utility>
+
 #include "src/common/check.h"
 
 namespace chronotier {
 
-EventFn* EventQueue::FindCallback(EventId id) {
-  for (auto& [existing_id, fn] : callbacks_) {
-    if (existing_id == id) {
-      return &fn;
-    }
+EventId EventQueue::AllocateSlot(EventFn fn) {
+  uint32_t index;
+  if (free_head_ != kNoSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    CHECK_LT(slots_.size(), size_t{kNoSlot}) << "event slot map overflow";
+    index = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
   }
-  return nullptr;
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.live = true;
+  ++live_events_;
+  return MakeId(slot.generation, index);
+}
+
+EventQueue::Slot* EventQueue::FindSlot(EventId id) {
+  const uint32_t index = SlotOf(id);
+  if (index >= slots_.size()) {
+    return nullptr;
+  }
+  Slot& slot = slots_[index];
+  if (!slot.live || MakeId(slot.generation, index) != id) {
+    return nullptr;
+  }
+  return &slot;
+}
+
+const EventQueue::Slot* EventQueue::FindSlot(EventId id) const {
+  return const_cast<EventQueue*>(this)->FindSlot(id);
 }
 
 void EventQueue::Push(SimTime when, EventId id, SimDuration period) {
@@ -19,9 +45,7 @@ void EventQueue::Push(SimTime when, EventId id, SimDuration period) {
 }
 
 EventId EventQueue::ScheduleAt(SimTime when, EventFn fn) {
-  const EventId id = next_id_++;
-  callbacks_.emplace_back(id, std::move(fn));
-  ++live_events_;
+  const EventId id = AllocateSlot(std::move(fn));
   Push(std::max(when, now_), id, 0);
   return id;
 }
@@ -32,28 +56,28 @@ EventId EventQueue::ScheduleAfter(SimDuration delay, EventFn fn) {
 
 EventId EventQueue::SchedulePeriodic(SimDuration period, EventFn fn) {
   CHECK_GT(period, 0) << "periodic events need a positive period";
-  const EventId id = next_id_++;
-  callbacks_.emplace_back(id, std::move(fn));
-  ++live_events_;
+  const EventId id = AllocateSlot(std::move(fn));
   Push(now_ + period, id, period);
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
-    if (it->first == id) {
-      callbacks_.erase(it);
-      --live_events_;
-      return true;
-    }
+  Slot* slot = FindSlot(id);
+  if (slot == nullptr) {
+    return false;
   }
-  return false;
+  slot->fn.Reset();
+  slot->live = false;
+  ++slot->generation;
+  slot->next_free = free_head_;
+  free_head_ = SlotOf(id);
+  --live_events_;
+  return true;
 }
 
 void EventQueue::PurgeStale() const {
   auto* self = const_cast<EventQueue*>(this);
-  while (!self->heap_.empty() &&
-         const_cast<EventQueue*>(this)->FindCallback(self->heap_.top().id) == nullptr) {
+  while (!self->heap_.empty() && self->FindSlot(self->heap_.top().id) == nullptr) {
     self->heap_.pop();
   }
 }
@@ -70,31 +94,31 @@ bool EventQueue::RunNext() {
   while (!heap_.empty()) {
     Item item = heap_.top();
     heap_.pop();
-    EventFn* fn = FindCallback(item.id);
-    if (fn == nullptr) {
+    Slot* slot = FindSlot(item.id);
+    if (slot == nullptr) {
       continue;  // Cancelled.
     }
     CHECK_GE(item.when, now_) << "event scheduled in the past (now=" << now_ << "ns)";
     now_ = item.when;
     if (item.period == 0) {
-      // One-shot: retire the callback before invoking so re-entrant scheduling is clean.
-      EventFn fn_local = std::move(*fn);
+      // One-shot: retire the slot before invoking so re-entrant scheduling is clean (the
+      // callback may schedule new events, which can reuse this slot — its handle is
+      // already stale thanks to the generation bump in Cancel).
+      EventFn fn_local = std::move(slot->fn);
       Cancel(item.id);
       fn_local(now_);
       return true;
     }
-    // Periodic: re-arm, then invoke via a *moved-out* local instead of a fresh copy — a
-    // copy re-allocates the callback's captures on every firing, which dominates the cost
-    // of high-frequency daemons (bench/micro_overhead BM_PeriodicRearm). Moving empties
-    // the stored slot during the call; the callback may Cancel() itself (slot erased — the
-    // local is simply dropped) or schedule new events (callbacks_ may reallocate — the
+    // Periodic: re-arm, then invoke via a *moved-out* local instead of a fresh copy — the
+    // stored slot is empty during the call; the callback may Cancel() itself (slot retired
+    // — the local is simply dropped) or schedule new events (slots_ may reallocate — the
     // slot is re-found by id before moving back).
     Push(item.when + item.period, item.id, item.period);
-    EventFn fn_local = std::move(*fn);
-    CHECK(fn_local != nullptr) << "re-entrant firing of periodic event " << item.id;
+    EventFn fn_local = std::move(slot->fn);
+    CHECK(fn_local) << "re-entrant firing of periodic event " << item.id;
     fn_local(now_);
-    if (EventFn* slot = FindCallback(item.id)) {
-      *slot = std::move(fn_local);
+    if (Slot* live = FindSlot(item.id)) {
+      live->fn = std::move(fn_local);
     }
     return true;
   }

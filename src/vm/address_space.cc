@@ -7,10 +7,14 @@ namespace chronotier {
 
 Vma::Vma(uint64_t start_vpn, uint64_t num_pages, PageSizeKind kind, int32_t owner)
     : start_vpn_(start_vpn), num_pages_(num_pages), kind_(kind) {
+  // The hot page record stores vpn in 32 bits (16 TB of virtual space) and the owner pid
+  // in 8; both are model-wide invariants, enforced where pages are minted.
+  CHECK_LE(start_vpn + num_pages, uint64_t{kNoPageIndex}) << "VMA exceeds 32-bit vpn space";
+  CHECK(owner >= -1 && owner <= INT8_MAX) << "pid does not fit the packed page record";
   pages_.resize(num_pages);
   for (uint64_t i = 0; i < num_pages; ++i) {
     PageInfo& page = pages_[i];
-    page.vpn = start_vpn + i;
+    page.vpn = static_cast<uint32_t>(start_vpn + i);
     page.owner = owner;
     if (kind == PageSizeKind::kHuge) {
       const bool is_head = (i % kBasePagesPerHugePage) == 0;
@@ -77,13 +81,12 @@ uint64_t Vma::UnitPages(uint64_t vpn) const {
   return std::min<uint64_t>(kBasePagesPerHugePage, num_pages_ - first);
 }
 
-void Vma::ForEachUnit(const std::function<void(PageInfo&)>& fn) {
-  uint64_t i = 0;
-  while (i < num_pages_) {
-    const uint64_t vpn = start_vpn_ + i;
-    PageInfo& unit = HotnessUnit(vpn);
-    fn(unit);
-    i += UnitPages(vpn);
+void AddressSpace::set_arena(PageArena* arena) {
+  arena_ = arena;
+  if (arena_ != nullptr) {
+    for (auto& vma : vmas_) {
+      arena_->RegisterVma(vma.get());
+    }
   }
 }
 
@@ -102,7 +105,11 @@ uint64_t AddressSpace::MapRegion(uint64_t bytes, PageSizeKind kind) {
 
   vmas_.push_back(std::make_unique<Vma>(start, pages, kind, pid_));
   total_pages_ += pages;
+  vma_page_prefix_.push_back(total_pages_);
   next_map_vpn_ = start + pages + 0x100;  // Guard gap between regions.
+  if (arena_ != nullptr) {
+    arena_->RegisterVma(vmas_.back().get());
+  }
   return start * kBasePageSize;
 }
 
@@ -127,21 +134,14 @@ PageInfo* AddressSpace::FindPage(uint64_t vpn) {
 }
 
 PageInfo* AddressSpace::PageByIndex(uint64_t idx) {
-  for (auto& vma : vmas_) {
-    if (idx < vma->num_pages()) {
-      return &vma->pages()[idx];
-    }
-    idx -= vma->num_pages();
+  if (idx >= total_pages_) {
+    return nullptr;
   }
-  return nullptr;
-}
-
-void AddressSpace::ForEachPage(const std::function<void(Vma&, PageInfo&)>& fn) {
-  for (auto& vma : vmas_) {
-    for (auto& page : vma->pages()) {
-      fn(*vma, page);
-    }
-  }
+  // prefix[i] <= idx < prefix[i+1] picks vmas_[i]; upper_bound lands on prefix[i+1].
+  const auto it =
+      std::upper_bound(vma_page_prefix_.begin(), vma_page_prefix_.end(), idx);
+  const size_t vma_index = static_cast<size_t>(it - vma_page_prefix_.begin()) - 1;
+  return &vmas_[vma_index]->pages()[idx - vma_page_prefix_[vma_index]];
 }
 
 uint64_t AddressSpace::lowest_vpn() const {

@@ -3,13 +3,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "src/mem/tier.h"
 
 #include "src/vm/page.h"
+#include "src/vm/page_arena.h"
 
 namespace chronotier {
 
@@ -54,9 +54,19 @@ class Vma {
     return pages_[group * kBasePagesPerHugePage];
   }
 
-  // Invokes fn once per hotness unit: each base page of a base/split mapping, each group
-  // head of an unsplit huge mapping.
-  void ForEachUnit(const std::function<void(PageInfo&)>& fn);
+  // Invokes fn(PageInfo&) once per hotness unit: each base page of a base/split mapping,
+  // each group head of an unsplit huge mapping. Template visitor — scan daemons iterate
+  // the packed page array with zero std::function indirection.
+  template <typename Fn>
+  void ForEachUnit(Fn&& fn) {
+    uint64_t i = 0;
+    while (i < num_pages_) {
+      const uint64_t vpn = start_vpn_ + i;
+      PageInfo& unit = HotnessUnit(vpn);
+      fn(unit);
+      i += UnitPages(vpn);
+    }
+  }
 
   std::vector<PageInfo>& pages() { return pages_; }
   const std::vector<PageInfo>& pages() const { return pages_; }
@@ -76,6 +86,12 @@ class AddressSpace {
   AddressSpace(const AddressSpace&) = delete;
   AddressSpace& operator=(const AddressSpace&) = delete;
 
+  // Attaches the owning machine's page arena. Every VMA mapped afterwards registers its
+  // pages there (existing VMAs are registered immediately). Optional: standalone address
+  // spaces in unit tests/benches that never touch LRU or oracle state may skip it.
+  void set_arena(PageArena* arena);
+  PageArena* arena() const { return arena_; }
+
   // Maps a new region of `bytes` (rounded up to the page-size unit) after the current
   // highest mapping. Returns the starting virtual address.
   uint64_t MapRegion(uint64_t bytes, PageSizeKind kind = PageSizeKind::kBase);
@@ -84,13 +100,23 @@ class AddressSpace {
   PageInfo* FindPage(uint64_t vpn);
 
   // The idx-th mapped page-table entry (0 <= idx < total_pages()), counting across VMAs in
-  // address order. Used by random samplers (DCSC victim selection).
+  // address order. Used by random samplers (DCSC victim selection) on every sample tick, so
+  // it resolves through a cached cumulative-pages index (rebuilt on MapRegion) instead of
+  // walking the VMA list.
   PageInfo* PageByIndex(uint64_t idx);
   Vma* FindVma(uint64_t vpn);
   const Vma* FindVma(uint64_t vpn) const;
 
   // Iterates every page-table entry (including non-present ones) across all VMAs.
-  void ForEachPage(const std::function<void(Vma&, PageInfo&)>& fn);
+  // Template visitor, zero std::function indirection.
+  template <typename Fn>
+  void ForEachPage(Fn&& fn) {
+    for (auto& vma : vmas_) {
+      for (auto& page : vma->pages()) {
+        fn(*vma, page);
+      }
+    }
+  }
 
   uint64_t total_pages() const { return total_pages_; }
   int32_t pid() const { return pid_; }
@@ -104,8 +130,12 @@ class AddressSpace {
  private:
   int32_t pid_;
   std::vector<std::unique_ptr<Vma>> vmas_;  // Sorted by start_vpn.
+  // vma_page_prefix_[i] = total pages in vmas_[0..i-1]; back() = total_pages_. Lets
+  // PageByIndex binary-search instead of walking VMAs.
+  std::vector<uint64_t> vma_page_prefix_ = {0};
   uint64_t total_pages_ = 0;
   uint64_t next_map_vpn_ = 0x10000;  // Leave a guard region at the bottom.
+  PageArena* arena_ = nullptr;
 };
 
 }  // namespace chronotier

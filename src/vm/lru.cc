@@ -5,54 +5,61 @@
 namespace chronotier {
 
 void PageList::PushFront(PageInfo* page) {
-  CHECK(page->lru_prev == nullptr && page->lru_next == nullptr)
+  CHECK(arena_ != nullptr) << "PageList used before set_arena";
+  const uint32_t idx = page->arena;
+  CHECK(idx != kNoPageIndex) << "page not registered with a PageArena";
+  CHECK(page->lru_prev == kNoPageIndex && page->lru_next == kNoPageIndex)
       << "page is already linked into a list";
   page->lru_next = head_;
-  if (head_ != nullptr) {
-    head_->lru_prev = page;
+  if (head_ != kNoPageIndex) {
+    arena_->page(head_)->lru_prev = idx;
   }
-  head_ = page;
-  if (tail_ == nullptr) {
-    tail_ = page;
+  head_ = idx;
+  if (tail_ == kNoPageIndex) {
+    tail_ = idx;
   }
   ++size_;
 }
 
 void PageList::PushBack(PageInfo* page) {
-  CHECK(page->lru_prev == nullptr && page->lru_next == nullptr)
+  CHECK(arena_ != nullptr) << "PageList used before set_arena";
+  const uint32_t idx = page->arena;
+  CHECK(idx != kNoPageIndex) << "page not registered with a PageArena";
+  CHECK(page->lru_prev == kNoPageIndex && page->lru_next == kNoPageIndex)
       << "page is already linked into a list";
   page->lru_prev = tail_;
-  if (tail_ != nullptr) {
-    tail_->lru_next = page;
+  if (tail_ != kNoPageIndex) {
+    arena_->page(tail_)->lru_next = idx;
   }
-  tail_ = page;
-  if (head_ == nullptr) {
-    head_ = page;
+  tail_ = idx;
+  if (head_ == kNoPageIndex) {
+    head_ = idx;
   }
   ++size_;
 }
 
 void PageList::Remove(PageInfo* page) {
-  if (page->lru_prev != nullptr) {
-    page->lru_prev->lru_next = page->lru_next;
+  const uint32_t idx = page->arena;
+  if (page->lru_prev != kNoPageIndex) {
+    arena_->page(page->lru_prev)->lru_next = page->lru_next;
   } else {
-    CHECK_EQ(head_, page);
+    CHECK_EQ(head_, idx);
     head_ = page->lru_next;
   }
-  if (page->lru_next != nullptr) {
-    page->lru_next->lru_prev = page->lru_prev;
+  if (page->lru_next != kNoPageIndex) {
+    arena_->page(page->lru_next)->lru_prev = page->lru_prev;
   } else {
-    CHECK_EQ(tail_, page);
+    CHECK_EQ(tail_, idx);
     tail_ = page->lru_prev;
   }
-  page->lru_prev = nullptr;
-  page->lru_next = nullptr;
+  page->lru_prev = kNoPageIndex;
+  page->lru_next = kNoPageIndex;
   CHECK_GT(size_, 0u);
   --size_;
 }
 
 PageInfo* PageList::PopBack() {
-  PageInfo* page = tail_;
+  PageInfo* page = Tail();
   if (page != nullptr) {
     Remove(page);
   }
@@ -60,18 +67,18 @@ PageInfo* PageList::PopBack() {
 }
 
 void NodeLru::Insert(PageInfo* page, bool active) {
-  CHECK(page->lru == LruMembership::kNone) << "page already on an LRU list";
+  CHECK(page->lru_state() == LruMembership::kNone) << "page already on an LRU list";
   if (active) {
     active_.PushFront(page);
-    page->lru = LruMembership::kActive;
+    page->set_lru_state(LruMembership::kActive);
   } else {
     inactive_.PushFront(page);
-    page->lru = LruMembership::kInactive;
+    page->set_lru_state(LruMembership::kInactive);
   }
 }
 
 void NodeLru::Erase(PageInfo* page) {
-  switch (page->lru) {
+  switch (page->lru_state()) {
     case LruMembership::kActive:
       active_.Remove(page);
       break;
@@ -81,27 +88,27 @@ void NodeLru::Erase(PageInfo* page) {
     case LruMembership::kNone:
       return;
   }
-  page->lru = LruMembership::kNone;
+  page->set_lru_state(LruMembership::kNone);
 }
 
 void NodeLru::Activate(PageInfo* page) {
-  if (page->lru == LruMembership::kActive) {
+  if (page->lru_state() == LruMembership::kActive) {
     active_.Rotate(page);
     return;
   }
   Erase(page);
   active_.PushFront(page);
-  page->lru = LruMembership::kActive;
+  page->set_lru_state(LruMembership::kActive);
 }
 
 void NodeLru::Deactivate(PageInfo* page) {
-  if (page->lru == LruMembership::kInactive) {
+  if (page->lru_state() == LruMembership::kInactive) {
     inactive_.Rotate(page);
     return;
   }
   Erase(page);
   inactive_.PushFront(page);
-  page->lru = LruMembership::kInactive;
+  page->set_lru_state(LruMembership::kInactive);
 }
 
 size_t NodeLru::BalanceInactive(double inactive_ratio, size_t max_scan) {
@@ -118,7 +125,7 @@ size_t NodeLru::BalanceInactive(double inactive_ratio, size_t max_scan) {
     }
     active_.Remove(page);
     inactive_.PushFront(page);
-    page->lru = LruMembership::kInactive;
+    page->set_lru_state(LruMembership::kInactive);
   }
   return examined;
 }

@@ -2,12 +2,17 @@
 //
 // Multi-Clock, TPP and the demotion path all reason about these lists, so they are part of
 // the shared substrate rather than any single policy.
+//
+// Linkage is by 32-bit PageArena index (PageInfo::lru_prev/lru_next), not by pointer: the
+// hot page record stays 32 bytes and two pages share a cache line during list walks. Every
+// list therefore needs the arena that resolves indices (set_arena) before first use.
 
 #pragma once
 
 #include <cstddef>
 
 #include "src/vm/page.h"
+#include "src/vm/page_arena.h"
 
 namespace chronotier {
 
@@ -18,13 +23,22 @@ class PageList {
   PageList(const PageList&) = delete;
   PageList& operator=(const PageList&) = delete;
 
+  // Must be called before any page operation; all pages pushed here must be registered
+  // with this arena.
+  void set_arena(PageArena* arena) { arena_ = arena; }
+  PageArena* arena() const { return arena_; }
+
   void PushFront(PageInfo* page);
   void PushBack(PageInfo* page);
   void Remove(PageInfo* page);
   // Oldest entry (tail), or nullptr.
-  PageInfo* Tail() const { return tail_; }
-  PageInfo* Head() const { return head_; }
+  PageInfo* Tail() const { return At(tail_); }
+  PageInfo* Head() const { return At(head_); }
   PageInfo* PopBack();
+
+  // Successor of `page` toward the tail, or nullptr (head-to-tail walk order; used by the
+  // invariant auditor).
+  PageInfo* Next(const PageInfo* page) const { return At(page->lru_next); }
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -36,14 +50,24 @@ class PageList {
   }
 
  private:
-  PageInfo* head_ = nullptr;
-  PageInfo* tail_ = nullptr;
+  PageInfo* At(uint32_t idx) const {
+    return idx == kNoPageIndex ? nullptr : arena_->page(idx);
+  }
+
+  uint32_t head_ = kNoPageIndex;
+  uint32_t tail_ = kNoPageIndex;
   size_t size_ = 0;
+  PageArena* arena_ = nullptr;
 };
 
 // Active + inactive lists for one NUMA node.
 class NodeLru {
  public:
+  void set_arena(PageArena* arena) {
+    active_.set_arena(arena);
+    inactive_.set_arena(arena);
+  }
+
   // Inserts a newly faulted-in or migrated-in page. New anonymous pages start on the active
   // list (kernel behaviour for anon).
   void Insert(PageInfo* page, bool active = true);

@@ -1,0 +1,27 @@
+#include "src/vm/page_arena.h"
+
+#include "src/common/check.h"
+#include "src/vm/address_space.h"
+
+namespace chronotier {
+
+void PageArena::Append(PageInfo* page, Vma* vma) {
+  CHECK(page->arena == kNoPageIndex) << "page already registered with an arena";
+  CHECK_LT(pages_.size(), static_cast<size_t>(kNoPageIndex)) << "page arena index overflow";
+  page->arena = static_cast<uint32_t>(pages_.size());
+  pages_.push_back(page);
+  vma_of_.push_back(vma);
+  cold_.emplace_back();
+}
+
+void PageArena::RegisterVma(Vma* vma) {
+  const uint64_t count = vma->num_pages();
+  pages_.reserve(pages_.size() + count);
+  vma_of_.reserve(vma_of_.size() + count);
+  cold_.reserve(cold_.size() + count);
+  for (auto& page : vma->pages()) {
+    Append(&page, vma);
+  }
+}
+
+}  // namespace chronotier

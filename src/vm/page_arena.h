@@ -1,0 +1,62 @@
+// Per-machine page arena: the index space behind the SoA page-metadata layout.
+//
+// Every PageInfo owned by a machine registers here and receives a dense 32-bit index
+// (stored back into PageInfo::arena). The arena then backs three things:
+//   - the intrusive LRU lists, which link pages by index instead of by pointer
+//     (8 bytes per page instead of 16, and indices survive serialization),
+//   - the cold side-array of ColdPage records (oracle last-access / access-count),
+//     touched only by metrics and tests so the hot record stays 32 bytes,
+//   - an O(1) index -> owning-Vma map for samplers that hold only a page.
+//
+// Registration is append-only: VMAs never unmap in this model, and Vma::pages_ is sized
+// once at construction, so the PageInfo* values stored here stay stable for the machine's
+// lifetime.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/vm/page.h"
+
+namespace chronotier {
+
+class Vma;
+
+class PageArena {
+ public:
+  PageArena() = default;
+  PageArena(const PageArena&) = delete;
+  PageArena& operator=(const PageArena&) = delete;
+
+  // Registers every page of `vma` (which must be fully constructed and must not move
+  // afterwards), assigning contiguous indices.
+  void RegisterVma(Vma* vma);
+
+  // Registers one standalone page (unit tests and micro-benches that build loose pages
+  // without a VMA).
+  void RegisterPage(PageInfo* page) { Append(page, nullptr); }
+
+  PageInfo* page(uint32_t idx) { return pages_[idx]; }
+  const PageInfo* page(uint32_t idx) const { return pages_[idx]; }
+
+  // Owning VMA of the idx-th page; nullptr for standalone pages.
+  Vma* vma_of(uint32_t idx) const { return vma_of_[idx]; }
+
+  // Oracle side-array access. Callers are metrics/tests only — policies never see this.
+  ColdPage& cold(uint32_t idx) { return cold_[idx]; }
+  const ColdPage& cold(uint32_t idx) const { return cold_[idx]; }
+  ColdPage& cold(const PageInfo& page) { return cold_[page.arena]; }
+  const ColdPage& cold(const PageInfo& page) const { return cold_[page.arena]; }
+
+  uint32_t size() const { return static_cast<uint32_t>(pages_.size()); }
+
+ private:
+  void Append(PageInfo* page, Vma* vma);
+
+  std::vector<PageInfo*> pages_;
+  std::vector<Vma*> vma_of_;
+  std::vector<ColdPage> cold_;
+};
+
+}  // namespace chronotier

@@ -4,50 +4,6 @@
 
 namespace chronotier {
 
-RangeScanner::ChunkResult RangeScanner::ScanChunk(
-    uint64_t max_pages, const std::function<void(Vma&, PageInfo&)>& fn) {
-  ChunkResult result;
-  auto& vmas = aspace_->vmas();
-  if (vmas.empty() || max_pages == 0) {
-    return result;
-  }
-  if (vma_index_ >= vmas.size()) {
-    vma_index_ = 0;
-    offset_ = 0;
-  }
-  // A single chunk never covers the space more than once.
-  max_pages = std::min(max_pages, aspace_->total_pages());
-
-  while (result.pages_covered < max_pages) {
-    Vma& vma = *vmas[vma_index_];
-    if (offset_ >= vma.num_pages()) {
-      offset_ = 0;
-      ++vma_index_;
-      if (vma_index_ >= vmas.size()) {
-        vma_index_ = 0;
-        result.wrapped = true;
-      }
-      continue;
-    }
-
-    const uint64_t vpn = vma.start_vpn() + offset_;
-    PageInfo& unit = vma.HotnessUnit(vpn);
-    const uint64_t unit_pages = vma.UnitPages(vpn);
-
-    fn(vma, unit);
-    ++result.units_visited;
-    result.pages_covered += unit_pages;
-    offset_ += unit_pages;
-  }
-  // Normalize an exact-boundary finish so the lap is reported on this chunk.
-  if (vma_index_ == vmas.size() - 1 && offset_ >= vmas.back()->num_pages()) {
-    vma_index_ = 0;
-    offset_ = 0;
-    result.wrapped = true;
-  }
-  return result;
-}
-
 double RangeScanner::LapProgress() const {
   const auto& vmas = aspace_->vmas();
   if (vmas.empty() || aspace_->total_pages() == 0) {

@@ -1,6 +1,9 @@
 #include "src/workloads/patterns.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
 
 namespace chronotier {
 
@@ -113,6 +116,19 @@ void SegmentedStream::Init(Process& process, Rng& /*rng*/) {
     pages_per_segment_shift_ = 0;
     while ((uint64_t{1} << pages_per_segment_shift_) < pages_per_segment_) {
       ++pages_per_segment_shift_;
+    }
+  } else if (num_pages_ < (uint64_t{1} << 32) && pages_per_segment_ < (uint64_t{1} << 32)) {
+    // Round-up reciprocal for the hot-path divide (see IndexToVpn). Exactness over the
+    // whole index range follows from idx, d < 2^32; verify the hardest cases anyway —
+    // the quotient steps at segment boundaries, so those are where a bad magic breaks.
+    seg_magic_ = std::numeric_limits<uint64_t>::max() / pages_per_segment_ + 1;
+    for (uint64_t seg = 1; seg * pages_per_segment_ < num_pages_; ++seg) {
+      const uint64_t boundary = seg * pages_per_segment_;
+      for (const uint64_t idx : {boundary - 1, boundary}) {
+        const uint64_t fast =
+            static_cast<uint64_t>((static_cast<__uint128_t>(idx) * seg_magic_) >> 64);
+        CHECK_EQ(fast, idx / pages_per_segment_) << "bad segment reciprocal";
+      }
     }
   }
   uint64_t remaining = num_pages_;

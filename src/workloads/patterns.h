@@ -125,11 +125,21 @@ class SegmentedStream : public AccessStream {
   uint64_t segments() const { return base_vpns_.size(); }
 
  private:
-  // Virtual page holding the idx-th page of the working set (idx < num_pages_).
+  // Virtual page holding the idx-th page of the working set (idx < num_pages_). This is
+  // the per-op address map on the bench hot path, so the non-power-of-two segment case
+  // uses a precomputed reciprocal instead of a hardware divide: with
+  // m = floor(2^64 / d) + 1, (idx * m) >> 64 == idx / d exactly for all idx, d < 2^32
+  // (Lemire's round-up multiply-shift; Init verifies every segment boundary and falls
+  // back to real division outside the proven range).
   uint64_t IndexToVpn(uint64_t idx) const {
-    const uint64_t seg = pages_per_segment_shift_ >= 0
-                             ? idx >> pages_per_segment_shift_
-                             : idx / pages_per_segment_;
+    uint64_t seg;
+    if (pages_per_segment_shift_ >= 0) {
+      seg = idx >> pages_per_segment_shift_;
+    } else if (seg_magic_ != 0) {
+      seg = static_cast<uint64_t>((static_cast<__uint128_t>(idx) * seg_magic_) >> 64);
+    } else {
+      seg = idx / pages_per_segment_;
+    }
     return base_vpns_[seg] + (idx - seg * pages_per_segment_);
   }
 
@@ -138,6 +148,7 @@ class SegmentedStream : public AccessStream {
   uint64_t num_pages_ = 0;
   uint64_t pages_per_segment_ = 1;
   int pages_per_segment_shift_ = -1;  // >= 0 when pages_per_segment_ is a power of two.
+  uint64_t seg_magic_ = 0;  // Round-up reciprocal of pages_per_segment_; 0 = divide.
   uint64_t ops_issued_ = 0;
   uint64_t init_cursor_ = 0;
 };

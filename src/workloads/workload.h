@@ -31,6 +31,21 @@ class AccessStream {
   // Produces the next operation. Returns false when the stream is exhausted (finite
   // workloads such as graph traversals); infinite workloads always return true.
   virtual bool Next(Rng& rng, MemOp* op) = 0;
+
+  // Fills up to `max` operations into `ops` and returns how many were produced; fewer than
+  // `max` means the stream ended. The default implementation delegates to Next() in a loop,
+  // so any stream is batchable and the op/RNG sequence is identical to single-stepping —
+  // that equivalence is what lets Machine::RunProcessUntil replay a whole batch per quantum
+  // with the virtual dispatch hoisted out of the per-op loop (tests/bitwise_equivalence_test
+  // holds batched and single-step replay to the same fingerprint). Streams with cheap bulk
+  // generation may override it; overrides must draw from `rng` exactly as Next() would.
+  virtual size_t FillBatch(Rng& rng, MemOp* ops, size_t max) {
+    size_t produced = 0;
+    while (produced < max && Next(rng, &ops[produced])) {
+      ++produced;
+    }
+    return produced;
+  }
 };
 
 }  // namespace chronotier

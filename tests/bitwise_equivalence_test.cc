@@ -1,0 +1,373 @@
+// Bitwise-equivalence suite for the hot-path interpreter overhaul.
+//
+// Two independent claims are pinned here:
+//
+//  1. *Layout equivalence*: the SoA page-metadata refactor (32-byte hot PageInfo, cold
+//     oracle side-array, index-linked LRU on the per-machine PageArena) must not change a
+//     single simulated outcome. Every schedule below was run on the pre-refactor seed
+//     layout (96-byte PageInfo, pointer-linked LRU) and its full ExperimentResult was
+//     folded into an FNV-1a fingerprint; the same schedules must reproduce the same
+//     fingerprints forever. The fingerprint covers every scalar field plus the residency
+//     time series, so a one-ULP drift in any latency average fails loudly.
+//
+//  2. *Replay equivalence*: batched access replay (Machine::RunProcessUntil pulling N ops
+//     per refill through AccessStream::FillBatch) is bit-identical to single-step replay.
+//     Streams are machine-state independent — an op sequence depends only on the stream's
+//     own state and its Rng — so prefetching ops ahead of execution is invisible. Checked
+//     field-for-field (ExpectResultsIdentical) across the same schedule matrix.
+//
+// Schedules deliberately cover the paths where layout/replay bugs would hide: all seven
+// policies (the six-figure lineup plus the N-endpoint placement policy), a many-VMA
+// segmented stream, a chaos fault plan (parks, quarantines, pressure, alloc refusals),
+// and a fabric fault plan (link-down reroutes, endpoint evacuation).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/standard_policies.h"
+#include "src/harness/experiment.h"
+#include "src/workloads/patterns.h"
+#include "src/workloads/pmbench.h"
+#include "tests/experiment_result_testutil.h"
+
+namespace chronotier {
+namespace {
+
+// --- fingerprinting ---
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v;
+  return h * 1099511628211ull;
+}
+
+uint64_t MixDouble(uint64_t h, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix(h, bits);
+}
+
+// FNV-1a over every field of the result, in declaration order. Doubles are folded by bit
+// pattern: "close" is not "identical", and identical is the contract.
+uint64_t Fingerprint(const ExperimentResult& r) {
+  uint64_t h = 1469598103934665603ull;
+  h = Mix(h, static_cast<uint64_t>(r.elapsed));
+  h = MixDouble(h, r.throughput_ops);
+  h = MixDouble(h, r.avg_latency_ns);
+  h = MixDouble(h, r.median_latency_ns);
+  h = MixDouble(h, r.p99_latency_ns);
+  h = MixDouble(h, r.read_avg_ns);
+  h = MixDouble(h, r.write_avg_ns);
+  h = MixDouble(h, r.fmar);
+  h = MixDouble(h, r.kernel_time_fraction);
+  h = MixDouble(h, r.context_switches_per_sec);
+  h = Mix(h, r.promoted_pages);
+  h = Mix(h, r.demoted_pages);
+  h = Mix(h, r.promotion_events);
+  h = Mix(h, r.thrash_events);
+  h = Mix(h, r.hint_faults);
+  h = Mix(h, r.migrations_submitted);
+  h = Mix(h, r.migrations_committed);
+  h = Mix(h, r.migrations_aborted);
+  h = Mix(h, r.migrations_refused);
+  h = MixDouble(h, r.migration_mean_attempts);
+  h = MixDouble(h, r.copy_bandwidth_utilization);
+  h = Mix(h, r.congested_accesses);
+  h = Mix(h, r.congestion_queued_ns);
+  h = Mix(h, r.multi_hop_copies);
+  h = Mix(h, r.multi_hop_legs);
+  h = Mix(h, r.migrations_parked);
+  h = Mix(h, r.faults_injected_transient);
+  h = Mix(h, r.faults_injected_persistent);
+  h = Mix(h, r.frames_quarantined);
+  h = Mix(h, r.alloc_refusals);
+  h = Mix(h, r.emergency_reclaims);
+  h = Mix(h, r.pressure_spikes);
+  h = Mix(h, r.stall_windows);
+  h = Mix(h, r.links_down);
+  h = Mix(h, r.endpoint_failures);
+  h = Mix(h, r.evacuated_pages);
+  h = Mix(h, r.evacuation_refused);
+  h = Mix(h, r.reroutes);
+  h = Mix(h, r.reroute_parks);
+  h = Mix(h, r.audits_run);
+  h = Mix(h, r.migration_commit_hash);
+  h = Mix(h, r.trace_events_dropped);
+  for (const SimTime t : r.sample_times) {
+    h = Mix(h, static_cast<uint64_t>(t));
+  }
+  for (const auto& series : r.residency_percent) {
+    for (const double v : series) {
+      h = MixDouble(h, v);
+    }
+  }
+  return h;
+}
+
+// --- schedule matrix (mirrors tests/tlb_test.cc shapes, which the seed already ran) ---
+
+ScanGeometry FastGeometry() {
+  ScanGeometry geometry;
+  geometry.scan_period = 2 * kSecond;
+  geometry.scan_step_pages = 512;
+  return geometry;
+}
+
+ExperimentConfig SmallExperiment() {
+  ExperimentConfig config;
+  config.total_pages = 16384;  // 64 MB machine, 16 MB DRAM.
+  config.bandwidth_scale = 256.0;
+  config.warmup = 6 * kSecond;
+  config.measure = 6 * kSecond;
+  config.residency_sample_interval = 2 * kSecond;
+  return config;
+}
+
+std::vector<ProcessSpec> GaussianProcs(int count, double read_ratio = 0.95,
+                                       uint64_t ws_pages = 6144) {
+  PmbenchConfig w;
+  w.working_set_bytes = ws_pages * kBasePageSize;
+  w.read_ratio = read_ratio;
+  w.per_op_delay = kMicrosecond;
+  w.sequential_init = true;
+  std::vector<ProcessSpec> procs;
+  for (int i = 0; i < count; ++i) {
+    procs.push_back({"pm", [w] { return std::make_unique<PmbenchStream>(w); }});
+  }
+  return procs;
+}
+
+std::vector<ProcessSpec> SegmentedProcs(int count) {
+  SegmentedConfig w;
+  w.working_set_bytes = 6144 * kBasePageSize;
+  w.segments = 12;
+  w.read_ratio = 0.9;
+  w.per_op_delay = kMicrosecond;
+  w.sequential_init = true;
+  std::vector<ProcessSpec> procs;
+  for (int i = 0; i < count; ++i) {
+    procs.push_back({"seg", [w] { return std::make_unique<SegmentedStream>(w); }});
+  }
+  return procs;
+}
+
+ExperimentConfig NTierExperiment() {
+  ExperimentConfig config = SmallExperiment();
+  config.topology.tree = "(1,(2,4),(3,5))";
+  config.topology.capacity_pages = {4096, 3072, 3072, 3072, 3072};
+  return config;
+}
+
+ExperimentConfig ChaosExperiment() {
+  ExperimentConfig config = SmallExperiment();
+  config.fault.enabled = true;
+  config.fault.seed = 11;
+  config.fault.start_after = kSecond;
+  config.fault.copy_fail_transient_p = 0.05;
+  config.fault.copy_fail_persistent_p = 0.002;
+  config.fault.pressure_period = 1500 * kMillisecond;
+  config.fault.pressure_fire_p = 0.8;
+  config.fault.pressure_duration = 100 * kMillisecond;
+  config.fault.pressure_fraction = 0.08;
+  config.fault.alloc_fail_period = 1900 * kMillisecond;
+  config.fault.alloc_fail_fire_p = 0.8;
+  config.fault.alloc_fail_duration = 50 * kMillisecond;
+  config.audit_period = 500 * kMillisecond;
+  return config;
+}
+
+ExperimentConfig FabricExperiment() {
+  ExperimentConfig config = NTierExperiment();
+  config.fault.enabled = true;
+  config.fault.seed = 23;
+  config.fault.start_after = kSecond;
+  config.fault.fabric.link_fault_period = 400 * kMillisecond;
+  config.fault.fabric.link_fault_fire_p = 0.7;
+  config.fault.fabric.link_down_p = 0.5;
+  config.fault.fabric.link_down_duration = 20 * kMillisecond;
+  config.fault.fabric.link_degrade_duration = 40 * kMillisecond;
+  config.fault.fabric.endpoint_fail_period = 2600 * kMillisecond;
+  config.fault.fabric.endpoint_recovery_after = 300 * kMillisecond;
+  config.audit_period = 500 * kMillisecond;
+  return config;
+}
+
+NamedPolicyFactory FindPolicy(const std::vector<NamedPolicyFactory>& set,
+                              const std::string& name) {
+  for (const auto& named : set) {
+    if (named.name == name) {
+      return named;
+    }
+  }
+  ADD_FAILURE() << "no such policy in set: " << name;
+  return {};
+}
+
+// --- recorded seed fingerprints ---
+//
+// Captured from the pre-refactor layout (96-byte PageInfo, pointer LRU, single-step
+// replay) by running this same binary on the seed tree; see DESIGN.md §5. Any layout or
+// replay change that shifts one bit of any result field changes these values.
+struct SeedGolden {
+  const char* key;
+  uint64_t fingerprint;
+};
+
+constexpr SeedGolden kSeedGoldens[] = {
+    {"standard/Linux-NB", 0xb82dfa6f01a365a8ull},
+    {"standard/AutoTiering", 0x630a8abc525cea74ull},
+    {"standard/Multi-Clock", 0x597cee9681fa22adull},
+    {"standard/TPP", 0x2a44dc9e8b80c526ull},
+    {"standard/Memtis", 0x8328973cc3d52bd7ull},
+    {"standard/Chrono", 0xd997293d8dbe540bull},
+    {"ntier/endpoint_aware_hotness", 0xed83abd49288db49ull},
+    {"segmented/Chrono", 0x8705bab22cc8c76bull},
+    {"segmented/TPP", 0x334830899288a16ull},
+    {"chaos/Chrono", 0x71ebccd08cc76b7dull},
+    {"chaos/Multi-Clock", 0xa113efe9235758feull},
+    {"fabric/Chrono", 0x4aad45429fed8a3dull},
+};
+
+uint64_t GoldenFor(const std::string& key) {
+  for (const SeedGolden& golden : kSeedGoldens) {
+    if (key == golden.key) {
+      return golden.fingerprint;
+    }
+  }
+  ADD_FAILURE() << "no seed golden recorded for " << key;
+  return 0;
+}
+
+void ExpectSeedFingerprint(const std::string& key, const ExperimentConfig& config,
+                           const NamedPolicyFactory& named,
+                           const std::vector<ProcessSpec>& procs) {
+  const ExperimentResult result = Experiment::Run(config, named.make, procs);
+  const uint64_t actual = Fingerprint(result);
+  // Harvest line: regenerating goldens after an *intentional* behaviour change means
+  // re-running this binary and pasting these lines into kSeedGoldens.
+  std::cout << "SEED-GOLDEN {\"" << key << "\", 0x" << std::hex << actual << std::dec
+            << "ull}," << std::endl;
+  EXPECT_EQ(actual, GoldenFor(key)) << "layout/replay diverged from the recorded seed "
+                                    << "result on schedule " << key;
+}
+
+TEST(SoaSeedEquivalenceTest, StandardLineup) {
+  for (const auto& named : StandardPolicySet(FastGeometry())) {
+    ExpectSeedFingerprint("standard/" + named.name, SmallExperiment(), named,
+                          GaussianProcs(2));
+  }
+}
+
+TEST(SoaSeedEquivalenceTest, NTierEndpointAware) {
+  ExpectSeedFingerprint("ntier/endpoint_aware_hotness", NTierExperiment(),
+                        FindPolicy(TopologyPolicySet(FastGeometry()),
+                                   "endpoint_aware_hotness"),
+                        GaussianProcs(2));
+}
+
+TEST(SoaSeedEquivalenceTest, SegmentedStream) {
+  const auto set = StandardPolicySet(FastGeometry());
+  ExpectSeedFingerprint("segmented/Chrono", SmallExperiment(), FindPolicy(set, "Chrono"),
+                        SegmentedProcs(2));
+  ExpectSeedFingerprint("segmented/TPP", SmallExperiment(), FindPolicy(set, "TPP"),
+                        SegmentedProcs(2));
+}
+
+TEST(SoaSeedEquivalenceTest, FaultInjectedSchedule) {
+  const auto set = StandardPolicySet(FastGeometry());
+  ExpectSeedFingerprint("chaos/Chrono", ChaosExperiment(), FindPolicy(set, "Chrono"),
+                        GaussianProcs(2, /*read_ratio=*/0.5));
+  ExpectSeedFingerprint("chaos/Multi-Clock", ChaosExperiment(),
+                        FindPolicy(set, "Multi-Clock"),
+                        GaussianProcs(2, /*read_ratio=*/0.5));
+}
+
+// Oracle bookkeeping (ColdPage last_access/access_count, kPageOracleTouchedSlow) is
+// instrumentation for ground-truth figures, not simulated state: with tracking off the
+// run must still hit the recorded seed fingerprints. This is what licenses
+// bench/sim_throughput to exclude the oracle writes from its timed loop.
+TEST(SoaSeedEquivalenceTest, OracleTrackingOff) {
+  const auto set = StandardPolicySet(FastGeometry());
+  for (const char* name : {"Chrono", "Linux-NB", "Memtis"}) {
+    ExperimentConfig config = SmallExperiment();
+    config.track_oracle = false;
+    ExpectSeedFingerprint(std::string("standard/") + name, config, FindPolicy(set, name),
+                          GaussianProcs(2));
+  }
+}
+
+TEST(SoaSeedEquivalenceTest, FabricFaultSchedule) {
+  ExpectSeedFingerprint("fabric/Chrono", FabricExperiment(),
+                        FindPolicy(TopologyPolicySet(FastGeometry()), "Chrono"),
+                        GaussianProcs(2, /*read_ratio=*/0.6));
+}
+
+// --- batched vs single-step replay ---
+//
+// replay_batch_ops = 1 is single-step replay (the seed behaviour); any larger batch must
+// be bit-identical because streams are machine-state independent: prefetching ops cannot
+// observe anything the ops themselves would have changed. Compared field-for-field, not
+// by fingerprint, so a divergence names the exact field.
+
+void ExpectBatchEquivalence(const std::string& key, ExperimentConfig config,
+                            const NamedPolicyFactory& named,
+                            const std::vector<ProcessSpec>& procs,
+                            uint32_t batch = 64) {
+  config.replay_batch_ops = 1;
+  const ExperimentResult single = Experiment::Run(config, named.make, procs);
+  config.replay_batch_ops = batch;
+  const ExperimentResult batched = Experiment::Run(config, named.make, procs);
+  ExpectResultsIdentical(single, batched,
+                         key + ": batch=" + std::to_string(batch) + " vs single-step");
+}
+
+TEST(BatchReplayEquivalenceTest, StandardLineup) {
+  for (const auto& named : StandardPolicySet(FastGeometry())) {
+    ExpectBatchEquivalence("standard/" + named.name, SmallExperiment(), named,
+                           GaussianProcs(2));
+  }
+}
+
+TEST(BatchReplayEquivalenceTest, OddBatchNeverAlignsWithQuanta) {
+  // A batch size that never divides the refill cadence exercises the partial-batch
+  // cursor logic on every quantum boundary.
+  ExpectBatchEquivalence("standard/Chrono", SmallExperiment(),
+                         FindPolicy(StandardPolicySet(FastGeometry()), "Chrono"),
+                         GaussianProcs(2), /*batch=*/7);
+}
+
+TEST(BatchReplayEquivalenceTest, NTierEndpointAware) {
+  ExpectBatchEquivalence("ntier/endpoint_aware_hotness", NTierExperiment(),
+                         FindPolicy(TopologyPolicySet(FastGeometry()),
+                                    "endpoint_aware_hotness"),
+                         GaussianProcs(2));
+}
+
+TEST(BatchReplayEquivalenceTest, SegmentedStream) {
+  // SegmentedStream is a finite-phase workload: exercises the stream-exhaustion edge
+  // (short FillBatch) that single-step replay observes as a terminating Next().
+  ExpectBatchEquivalence("segmented/Chrono", SmallExperiment(),
+                         FindPolicy(StandardPolicySet(FastGeometry()), "Chrono"),
+                         SegmentedProcs(2));
+}
+
+TEST(BatchReplayEquivalenceTest, FaultInjectedSchedule) {
+  ExpectBatchEquivalence("chaos/Chrono", ChaosExperiment(),
+                         FindPolicy(StandardPolicySet(FastGeometry()), "Chrono"),
+                         GaussianProcs(2, /*read_ratio=*/0.5));
+}
+
+TEST(BatchReplayEquivalenceTest, FabricFaultSchedule) {
+  ExpectBatchEquivalence("fabric/Chrono", FabricExperiment(),
+                         FindPolicy(TopologyPolicySet(FastGeometry()), "Chrono"),
+                         GaussianProcs(2, /*read_ratio=*/0.6));
+}
+
+}  // namespace
+}  // namespace chronotier

@@ -135,6 +135,18 @@ TEST(DetlintRules, NakedNewCleanIsSilent) {
   EXPECT_EQ(Lint({"naked_new_clean.cc"}), Expected{});
 }
 
+TEST(DetlintRules, StdFunctionHotPathFiresOnParamAndAlias) {
+  EXPECT_EQ(Lint({"src/vm/hot_fn_dirty.h"}), (Expected{{"DL009", 7}, {"DL009", 9}}));
+}
+
+TEST(DetlintRules, StdFunctionHotPathSuppressionSilences) {
+  EXPECT_EQ(Lint({"src/vm/hot_fn_suppressed.h"}), Expected{});
+}
+
+TEST(DetlintRules, StdFunctionOutsideHotPathIsSilent) {
+  EXPECT_EQ(Lint({"hot_fn_elsewhere.h"}), Expected{});
+}
+
 TEST(DetlintConfig, RejectsMalformedInput) {
   Config config;
   std::string error;
@@ -189,9 +201,9 @@ TEST(DetlintLexer, StringsCommentsAndRawStringsAreStripped) {
 
 TEST(DetlintRules, AllRulesHaveStableIdsAndHints) {
   const auto& rules = AllRules();
-  ASSERT_EQ(rules.size(), 8u);
+  ASSERT_EQ(rules.size(), 9u);
   EXPECT_STREQ(rules.front().id, "DL001");
-  EXPECT_STREQ(rules.back().id, "DL008");
+  EXPECT_STREQ(rules.back().id, "DL009");
   for (const RuleInfo& rule : rules) {
     EXPECT_NE(std::string(rule.name), "");
     EXPECT_NE(std::string(rule.hint), "");

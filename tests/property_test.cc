@@ -92,11 +92,11 @@ TEST_P(MachineInvariantTest, LruListsHoldExactlyTheResidentUnits) {
     process->aspace().ForEachPage([&](Vma& vma, PageInfo& page) {
       PageInfo& unit = vma.HotnessUnit(page.vpn);
       if (&unit == &page && unit.present()) {
-        ASSERT_NE(unit.lru, LruMembership::kNone);
+        ASSERT_NE(unit.lru_state(), LruMembership::kNone);
         ++units_on_node[unit.node];
       } else if (&unit != &page) {
         // Tail pages of unsplit huge groups never sit on LRU lists.
-        EXPECT_EQ(page.lru, LruMembership::kNone);
+        EXPECT_EQ(page.lru_state(), LruMembership::kNone);
       }
     });
   }

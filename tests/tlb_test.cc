@@ -242,12 +242,12 @@ TEST(TlbStaleTranslationTest, HugeSplitRemapsTailVpns) {
   PageInfo& tail = vma->PageAt(tail_vpn);
   ASSERT_EQ(&vma->HotnessUnit(tail_vpn), &tail);
 
-  const uint64_t tail_count_before = tail.oracle_access_count;
-  const uint64_t head_count_before = head.oracle_access_count;
+  const uint64_t tail_count_before = machine.arena().cold(tail).access_count;
+  const uint64_t head_count_before = machine.arena().cold(head).access_count;
   machine.Run(kSecond);
-  EXPECT_GT(tail.oracle_access_count, tail_count_before)
+  EXPECT_GT(machine.arena().cold(tail).access_count, tail_count_before)
       << "post-split accesses must land on the tail's own base page";
-  EXPECT_EQ(head.oracle_access_count, head_count_before)
+  EXPECT_EQ(machine.arena().cold(head).access_count, head_count_before)
       << "post-split tail accesses must not aggregate to the old group head";
 }
 

@@ -102,8 +102,9 @@ TEST(TraceTest, ReplayReproducesAccessCounts) {
     machine.Start();
     machine.RunToCompletion(kMinute);
     std::vector<uint64_t> counts;
-    process.aspace().ForEachPage(
-        [&counts](Vma&, PageInfo& page) { counts.push_back(page.oracle_access_count); });
+    process.aspace().ForEachPage([&counts, &machine](Vma&, PageInfo& page) {
+      counts.push_back(machine.arena().cold(page).access_count);
+    });
     return counts;
   };
   const std::vector<uint64_t> a = run_replay(1);

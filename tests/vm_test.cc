@@ -31,10 +31,15 @@ TEST(PageInfoTest, CitMetadataIsFourBytes) {
 // --- PageList / NodeLru ---
 
 TEST(PageListTest, PushRemovePop) {
+  PageArena arena;
   PageList list;
+  list.set_arena(&arena);
   PageInfo a;
   PageInfo b;
   PageInfo c;
+  arena.RegisterPage(&a);
+  arena.RegisterPage(&b);
+  arena.RegisterPage(&c);
   list.PushFront(&a);
   list.PushFront(&b);
   list.PushBack(&c);
@@ -51,9 +56,13 @@ TEST(PageListTest, PushRemovePop) {
 }
 
 TEST(PageListTest, RotateMovesToHead) {
+  PageArena arena;
   PageList list;
+  list.set_arena(&arena);
   PageInfo a;
   PageInfo b;
+  arena.RegisterPage(&a);
+  arena.RegisterPage(&b);
   list.PushFront(&a);
   list.PushFront(&b);  // head=b, tail=a
   list.Rotate(&a);
@@ -62,26 +71,32 @@ TEST(PageListTest, RotateMovesToHead) {
 }
 
 TEST(NodeLruTest, InsertEraseActivateDeactivate) {
+  PageArena arena;
   NodeLru lru;
+  lru.set_arena(&arena);
   PageInfo page;
+  arena.RegisterPage(&page);
   lru.Insert(&page, /*active=*/true);
-  EXPECT_EQ(page.lru, LruMembership::kActive);
+  EXPECT_EQ(page.lru_state(), LruMembership::kActive);
   EXPECT_EQ(lru.active().size(), 1u);
   lru.Deactivate(&page);
-  EXPECT_EQ(page.lru, LruMembership::kInactive);
+  EXPECT_EQ(page.lru_state(), LruMembership::kInactive);
   EXPECT_EQ(lru.inactive().size(), 1u);
   lru.Activate(&page);
-  EXPECT_EQ(page.lru, LruMembership::kActive);
+  EXPECT_EQ(page.lru_state(), LruMembership::kActive);
   lru.Erase(&page);
-  EXPECT_EQ(page.lru, LruMembership::kNone);
+  EXPECT_EQ(page.lru_state(), LruMembership::kNone);
   EXPECT_EQ(lru.total(), 0u);
   lru.Erase(&page);  // Idempotent.
 }
 
 TEST(NodeLruTest, BalanceMovesUnreferencedToInactive) {
+  PageArena arena;
   NodeLru lru;
+  lru.set_arena(&arena);
   std::vector<PageInfo> pages(10);
   for (auto& page : pages) {
+    arena.RegisterPage(&page);
     lru.Insert(&page, /*active=*/true);
   }
   // Mark the LRU-oldest three as referenced.
@@ -93,7 +108,7 @@ TEST(NodeLruTest, BalanceMovesUnreferencedToInactive) {
   // Referenced pages got a second chance: their accessed bits were consumed and they stayed
   // active.
   EXPECT_FALSE(pages[0].accessed());
-  EXPECT_EQ(pages[0].lru, LruMembership::kActive);
+  EXPECT_EQ(pages[0].lru_state(), LruMembership::kActive);
 }
 
 // --- AddressSpace / Vma ---

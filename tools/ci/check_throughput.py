@@ -18,6 +18,12 @@ Three classes of check, in decreasing order of strictness:
    catch order-of-magnitude hot-path regressions, not single-digit ones. Drops
    beyond --warn-below (default 10%) but inside the tolerance are reported as
    warnings in the output without failing.
+4. runner.speedup (the --jobs N sweep wall-clock speedup over --jobs 1) is
+   tracked warn-only: it depends on how many cores the runner actually grants,
+   which CI cannot promise, so it never hard-fails. A drop of more than
+   --runner-band (default 0.25, fractional) below baseline — e.g. the sweep no
+   longer parallelising at all — is surfaced as a warning so the multicore
+   baseline is visible on every run.
 
 Exit status 0 = gate passed (warnings allowed), 1 = hard failure.
 """
@@ -37,6 +43,9 @@ def main() -> int:
                         help="fractional drop that triggers a warning (default 0.10)")
     parser.add_argument("--hit-rate-band", type=float, default=0.05,
                         help="max absolute tlb_hit_rate drift (default 0.05)")
+    parser.add_argument("--runner-band", type=float, default=0.25,
+                        help="warn when runner.speedup drops more than this "
+                             "fraction below baseline (default 0.25; never fails)")
     args = parser.parse_args()
 
     cur = json.load(open(args.current))
@@ -81,6 +90,24 @@ def main() -> int:
     extra = set(cur_by_policy) - {b["policy"] for b in base["per_policy"]}
     if extra:
         warnings.append(f"policies not in baseline (unchecked): {sorted(extra)}")
+
+    # Warn-only multicore tracking: the runner speedup is a property of the host's
+    # core grant as much as of the code, so it informs but never gates.
+    cur_runner = cur.get("runner")
+    base_runner = base.get("runner")
+    if cur_runner and base_runner:
+        b_sp, c_sp = base_runner["speedup"], cur_runner["speedup"]
+        sp_delta = (c_sp - b_sp) / b_sp
+        print(f"runner speedup (--jobs {cur_runner.get('jobs', '?')}, "
+              f"{cur_runner.get('host_cpus', '?')} host cpus): "
+              f"{c_sp:.2f}x vs baseline {b_sp:.2f}x ({sp_delta:+.1%})")
+        if sp_delta < -args.runner_band:
+            warnings.append(
+                f"runner.speedup {c_sp:.2f}x dropped {sp_delta:+.1%} vs baseline "
+                f"{b_sp:.2f}x (warn band -{args.runner_band:.0%}; warn-only — "
+                "shared runners do not promise cores)")
+    elif base_runner and not cur_runner:
+        warnings.append("runner section missing from current run (unchecked)")
 
     print("| policy | acc/s base | acc/s now | delta | hit base | hit now |")
     print("|---|---|---|---|---|---|")

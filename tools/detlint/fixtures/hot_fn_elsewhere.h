@@ -1,0 +1,6 @@
+#pragma once
+
+#include <functional>
+
+// std::function outside src/vm/ and src/sim/ is not DL009's business.
+using FinishCallback = std::function<void(int)>;

@@ -1,0 +1,9 @@
+#pragma once
+
+#include <functional>
+
+// A std::function parameter and an exported alias in a hot-path header: both
+// must fire DL009.
+void VisitPages(const std::function<void(int)>& visitor);
+
+using PageVisitor = std::function<void(int)>;

@@ -1,0 +1,6 @@
+#pragma once
+
+#include <functional>
+
+// detlint:allow(std-function-hot-path) cold-path debug hook, invoked once per run
+void InstallDebugHook(const std::function<void(int)>& hook);

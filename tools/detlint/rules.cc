@@ -39,6 +39,11 @@ const RuleInfo kNakedNew = {
     "DL008", "naked-new",
     "use std::make_unique/containers; raw allocation files are allowlisted in "
     "tools/detlint/detlint.toml"};
+const RuleInfo kStdFunctionHotPath = {
+    "DL009", "std-function-hot-path",
+    "hot-path headers (src/vm, src/sim) must not traffic in std::function — every "
+    "capture heap-allocates and every call is an indirect dispatch; use a template "
+    "visitor or InlineFunction (src/common/inline_function.h)"};
 
 bool EndsWith(const std::string& s, const char* suffix) {
   const size_t n = std::strlen(suffix);
@@ -142,6 +147,7 @@ class RuleRunner {
     UnseededShuffle();
     HeaderHygiene();
     NakedNew();
+    StdFunctionHotPath();
     std::sort(findings_.begin(), findings_.end(), FindingLess);
     findings_.erase(std::unique(findings_.begin(), findings_.end(),
                                 [](const Finding& a, const Finding& b) {
@@ -445,6 +451,27 @@ class RuleRunner {
     }
   }
 
+  // DL009: any std::function mention in a hot-path header. Scoped to headers under
+  // src/vm/ and src/sim/ — the layers the per-access and per-event loops live in —
+  // where a std::function parameter or member means a heap-allocated callable and an
+  // indirect call on paths that run millions of times per simulated second. Aliases
+  // count too: exporting `using Fn = std::function<...>` from a hot-path header just
+  // moves the allocation to the caller.
+  void StdFunctionHotPath() {
+    if (!IsHeaderPath(file_.path)) {
+      return;
+    }
+    if (file_.path.rfind("src/vm/", 0) != 0 && file_.path.rfind("src/sim/", 0) != 0) {
+      return;
+    }
+    for (size_t i = 0; i < t_.size(); ++i) {
+      if (t_.MatchStdQualified(i, "function") != Tokens::kNpos) {
+        Report(kStdFunctionHotPath, t_.At(i).line,
+               "std::function in hot-path header " + file_.path);
+      }
+    }
+  }
+
   const LexedFile& file_;
   const Config& config_;
   Tokens t_;
@@ -456,8 +483,9 @@ class RuleRunner {
 
 const std::vector<RuleInfo>& AllRules() {
   static const std::vector<RuleInfo> kRules = {
-      kWallClock,     kAssert,     kUnorderedIter,        kPointerSort,
-      kUnseededShuffle, kPragmaOnce, kUsingNamespaceHeader, kNakedNew};
+      kWallClock,       kAssert,     kUnorderedIter,        kPointerSort,
+      kUnseededShuffle, kPragmaOnce, kUsingNamespaceHeader, kNakedNew,
+      kStdFunctionHotPath};
   return kRules;
 }
 

@@ -9,6 +9,7 @@
 //   DL006 pragma-once             header missing #pragma once
 //   DL007 using-namespace-header  using namespace at header scope
 //   DL008 naked-new               raw new/delete outside allowlisted files
+//   DL009 std-function-hot-path   std::function in hot-path headers (src/vm, src/sim)
 //
 // Findings can be suppressed three ways, all reviewable in diffs:
 //   * inline:  // detlint:allow(rule-name) justification   (same line)
