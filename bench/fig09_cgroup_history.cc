@@ -68,6 +68,16 @@ int main(int argc, char** argv) {
   row.config.residency_sample_interval = 10 * ct::kSecond;
   row.config.page_kind = ct::PageSizeKind::kBase;  // Residency comparable across systems.
   for (int i = 0; i < kProcs; ++i) {
+    // Each cgroup is a Tenant (src/tenant): the per-access stall that used to live on the
+    // process (the deprecated ProcessSpec::access_delay alias) is now the tenant's
+    // access_delay. The i-th tenant stalls i extra delay units per access (paper: i x 50
+    // cycles); the spread is ~3x hottest-to-coldest, matching the paper's 2.8x
+    // cgroup-0 : cgroup-49. tests/tenant_test pins this route bit-identical to the alias.
+    ct::TenantSpec tenant;
+    tenant.name = "cg-" + std::to_string(i);
+    tenant.access_delay = static_cast<ct::SimDuration>(i) * 600 * ct::kNanosecond;
+    row.config.tenants.push_back(tenant);
+
     ct::UniformConfig w;  // Paper: random access pattern per cgroup.
     w.working_set_bytes = 24ull << 20;
     w.read_ratio = 0.95;
@@ -75,9 +85,7 @@ int main(int argc, char** argv) {
     w.sequential_init = true;
     ct::ProcessSpec spec{"cgroup-" + std::to_string(i),
                          [w] { return std::make_unique<ct::UniformStream>(w); }};
-    // The i-th process stalls i extra delay units per access (paper: i x 50 cycles); the
-    // spread is ~3x hottest-to-coldest, matching the paper's 2.8x cgroup-0 : cgroup-49.
-    spec.access_delay = static_cast<ct::SimDuration>(i) * 600 * ct::kNanosecond;
+    spec.tenant = i;
     row.processes.push_back(spec);
   }
 

@@ -41,7 +41,8 @@ std::string AuditReport::Summary() const {
 AuditReport InvariantAuditor::Audit(SimTime now, const TieredMemory& memory,
                                     const std::vector<std::unique_ptr<Process>>& processes,
                                     const std::deque<NodeLru>& lrus,
-                                    const MigrationEngine* engine) {
+                                    const MigrationEngine* engine,
+                                    const TenantRegistry* tenants) {
   AuditReport report;
   report.tick = now;
   const auto violate = [&report](const SimError& err) {
@@ -247,6 +248,25 @@ AuditReport InvariantAuditor::Audit(SimTime now, const TieredMemory& memory,
                     .Add("lo", channel.lo())
                     .Add("hi", channel.hi())
                     .Add("bookings_while_down", channel.books_while_down()));
+      }
+    }
+  }
+
+  // (9) Tenant residency mirror: per node, the registry's per-tenant resident frames must
+  // sum to the walked residency. A mismatch means the QoS budget accounting double-charged
+  // or leaked frames somewhere between the alloc/migrate-commit/reclaim sites.
+  if (tenants != nullptr && tenants->num_tenants() > 0) {
+    for (NodeId node = 0; node < num_nodes; ++node) {
+      uint64_t tenant_sum = 0;
+      for (int t = 0; t < tenants->num_tenants(); ++t) {
+        tenant_sum += tenants->resident_pages(t, node);
+      }
+      if (tenant_sum != resident[static_cast<size_t>(node)]) {
+        violate(SimError("tenant residency sum disagrees with page-table walk", now)
+                    .Add("node", node)
+                    .Add("tenant_sum", tenant_sum)
+                    .Add("walked", resident[static_cast<size_t>(node)])
+                    .Add("tenants", tenants->num_tenants()));
       }
     }
   }

@@ -17,6 +17,10 @@
 //   4. Per-process residency counters match the page-table walk.
 //   5. Watermark ordering: min <= low <= high <= pro <= capacity.
 //   6. Exactly engine.inflight_transactions() units carry kPageMigrating.
+//   7. Offline endpoints hold no resident pages and no in-flight reservations.
+//   8. No copy bytes are ever booked on a down link.
+//   9. Tenant residency: per node, the tenant registry's per-tenant resident frames sum
+//      to the walked residency (catches double-charge/leak in QoS budget accounting).
 
 #pragma once
 
@@ -28,6 +32,7 @@
 #include "src/common/time.h"
 #include "src/mem/tiered_memory.h"
 #include "src/migration/migration_engine.h"
+#include "src/tenant/tenant.h"
 #include "src/vm/lru.h"
 #include "src/vm/process.h"
 
@@ -44,10 +49,12 @@ struct AuditReport {
 
 class InvariantAuditor {
  public:
-  // `engine` may be null (no migration engine => no in-flight reservations to account).
+  // `engine` may be null (no migration engine => no in-flight reservations to account);
+  // `tenants` may be null (no tenant registry => check 9 is skipped).
   static AuditReport Audit(SimTime now, const TieredMemory& memory,
                            const std::vector<std::unique_ptr<Process>>& processes,
-                           const std::deque<NodeLru>& lrus, const MigrationEngine* engine);
+                           const std::deque<NodeLru>& lrus, const MigrationEngine* engine,
+                           const TenantRegistry* tenants = nullptr);
 };
 
 }  // namespace chronotier

@@ -32,6 +32,7 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   machine_config.replay_batch_ops = config.replay_batch_ops;
   machine_config.track_oracle = config.track_oracle;
   machine_config.trace = config.trace;
+  machine_config.tenants = config.tenants;
   Machine machine(machine_config, std::move(policy));
 
   for (size_t i = 0; i < process_specs.size(); ++i) {
@@ -39,6 +40,14 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
     Process& process = machine.CreateProcess(spec.name.empty() ? "proc" : spec.name);
     process.set_default_page_kind(page_kind);
     process.set_access_delay(spec.access_delay);
+    if (!config.tenants.empty()) {
+      CHECK(spec.tenant >= 0 && static_cast<size_t>(spec.tenant) < config.tenants.size())
+          << "process " << spec.name << " names tenant " << spec.tenant << " but only "
+          << config.tenants.size() << " are declared";
+      // May override the deprecated per-process delay set above when the tenant
+      // declares its own.
+      machine.AssignTenant(process, spec.tenant);
+    }
     machine.AttachWorkload(process, spec.make_stream(),
                            SplitMix64(config.seed + 0x1000 + i));
   }
@@ -155,6 +164,30 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config,
   result.evacuation_refused = fault.evacuation_refused;
   result.reroutes = migration.reroutes;
   result.reroute_parks = migration.reroute_parks;
+
+  if (!config.tenants.empty()) {
+    const TenantRegistry& tenants = machine.tenants();
+    result.tenants.resize(config.tenants.size());
+    for (size_t t = 0; t < config.tenants.size(); ++t) {
+      TenantResult& row = result.tenants[t];
+      const TenantStats& stats = metrics.tenant_stats()[t];
+      const TenantAccount& account = tenants.account(static_cast<int>(t));
+      row.name = config.tenants[t].name;
+      row.accesses = stats.accesses;
+      row.p50_latency_ns = stats.access_latency.Quantile(0.50);
+      row.p99_latency_ns = stats.access_latency.Quantile(0.99);
+      row.resident_fast_pages = account.ResidentOn(0);
+      for (uint64_t resident : account.resident_pages) {
+        row.resident_total_pages += resident;
+      }
+      row.qos_checks = stats.qos_checks;
+      row.qos_refusals = stats.qos_refusals;
+      row.qos_admits = stats.qos_admits;
+      row.borrows = stats.borrows;
+      row.migration_pages_admitted = stats.migration_pages_admitted;
+      row.migration_bytes_admitted = stats.migration_bytes_admitted;
+    }
+  }
 
   // End-of-run audit: every experiment, faulted or not, must finish with consistent
   // bookkeeping. CHECK here so a silent corruption can never make it into a figure.

@@ -19,7 +19,12 @@ using StreamFactory = std::function<std::unique_ptr<AccessStream>()>;
 struct ProcessSpec {
   std::string name = "proc";
   StreamFactory make_stream;
-  SimDuration access_delay = 0;  // Fig. 9's per-cgroup stall knob.
+  // Deprecated alias for TenantSpec::access_delay (Fig. 9's per-cgroup stall knob):
+  // still honoured, but a nonzero delay on the owning tenant overrides it. New code
+  // should declare tenants and set the delay there.
+  SimDuration access_delay = 0;
+  // Owning tenant (index into ExperimentConfig::tenants; 0 = first/default tenant).
+  int tenant = 0;
 };
 
 struct ExperimentConfig {
@@ -56,6 +61,27 @@ struct ExperimentConfig {
   // export paths (Chrome trace JSON, telemetry time series, provenance dump) are written
   // after the measured window, before `finish` runs.
   TraceConfig trace;
+
+  // Multi-tenant subsystem (src/tenant), forwarded to MachineConfig. Empty = legacy
+  // single-tenant mode (ExperimentResult::tenants stays empty). Processes pick their
+  // tenant via ProcessSpec::tenant.
+  std::vector<TenantSpec> tenants;
+};
+
+// Per-tenant results over the measured window (one row per configured tenant).
+struct TenantResult {
+  std::string name;
+  uint64_t accesses = 0;
+  double p50_latency_ns = 0;   // From the tenant's Log2Histogram (bucket-interpolated).
+  double p99_latency_ns = 0;
+  uint64_t resident_fast_pages = 0;  // End-of-run gauge (not window-differenced).
+  uint64_t resident_total_pages = 0;
+  uint64_t qos_checks = 0;
+  uint64_t qos_refusals = 0;
+  uint64_t qos_admits = 0;
+  uint64_t borrows = 0;
+  uint64_t migration_pages_admitted = 0;
+  uint64_t migration_bytes_admitted = 0;
 };
 
 struct ExperimentResult {
@@ -131,6 +157,9 @@ struct ExperimentResult {
   // Residency time series (per process, per sample) and the sample times.
   std::vector<SimTime> sample_times;
   std::vector<std::vector<double>> residency_percent;
+
+  // Per-tenant rows (empty unless the experiment declared tenants).
+  std::vector<TenantResult> tenants;
 };
 
 class Experiment {

@@ -144,6 +144,23 @@ std::vector<std::string> MachineConfig::Validate() const {
     require(trace.provenance_depth > 0, "trace.provenance_depth must be > 0");
     require(trace.telemetry_period >= 0, "trace.telemetry_period must be >= 0");
   }
+
+  const size_t num_nodes =
+      topology.enabled() ? topology.capacity_pages.size() : tiers.size();
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    const TenantSpec& tenant = tenants[t];
+    const std::string which = "tenants[" + std::to_string(t) + "]";
+    require(!tenant.name.empty(), which + ".name must be non-empty");
+    require(tenant.weight > 0.0, which + ".weight must be > 0");
+    require(tenant.migration_budget_bytes_per_sec >= 0.0,
+            which + ".migration_budget_bytes_per_sec must be >= 0");
+    require(tenant.migration_budget_burst >= 0, which + ".migration_budget_burst must be >= 0");
+    require(tenant.access_delay >= 0, which + ".access_delay must be >= 0");
+    require(tenant.residency_budget_pages.size() <= num_nodes,
+            which + ".residency_budget_pages has more entries than memory nodes");
+    require(tenant.qos_program.empty() || IsRegisteredQosProgram(tenant.qos_program),
+            which + ".qos_program \"" + tenant.qos_program + "\" is not registered");
+  }
   return errors;
 }
 
@@ -205,6 +222,19 @@ Machine::Machine(MachineConfig config, std::unique_ptr<TieringPolicy> policy)
       injector_->set_tracer(tracer_.get());
     }
   }
+  // Tenant registry: always configured (one implicit tenant in legacy mode) so residency
+  // mirroring and the auditor's tenant check are unconditional; the admission hook and
+  // per-access accounting engage only when the config declares tenants with QoS.
+  metrics_.InitTenantStats(std::max<size_t>(config_.tenants.size(), 1));
+  tenants_.Configure(config_.tenants, &memory_);
+  tenants_.set_stats(metrics_.mutable_tenant_stats());
+  tenant_accounting_ = tenants_.active();
+  if (tracer_ != nullptr) {
+    tenants_.set_tracer(tracer_.get());
+  }
+  if (tenants_.qos_active()) {
+    engine_->set_qos_hook(&tenants_);
+  }
 }
 
 Machine::~Machine() = default;
@@ -218,6 +248,7 @@ Process& Machine::CreateProcess(const std::string& name) {
   // index space + oracle cold array).
   process.aspace().set_arena(&arena_);
   process.SyncClockTo(queue_.now());
+  tenants_.AssignProcess(pid, 0);  // Default membership; AssignTenant moves it later.
   if (tracer_ != nullptr) {
     tracer_->SetProcessName(pid, name);
   }
@@ -225,6 +256,23 @@ Process& Machine::CreateProcess(const std::string& name) {
     policy_->OnProcessCreated(process);
   }
   return process;
+}
+
+void Machine::AssignTenant(Process& process, int tenant) {
+  uint64_t resident = 0;
+  for (NodeId node = 0; node < memory_.num_nodes(); ++node) {
+    resident += process.resident_pages(node);
+  }
+  CHECK(resident == 0) << "AssignTenant after first touch: pid=" << process.pid()
+                       << " holds " << resident << " resident pages";
+  process.set_tenant(tenant);
+  tenants_.AssignProcess(process.pid(), tenant);
+  // Fold the tenant's Fig. 9 stall knob onto the member process; a nonzero tenant delay
+  // overrides the deprecated per-process alias (ProcessSpec::access_delay).
+  const TenantSpec& spec = tenants_.spec(tenant);
+  if (spec.access_delay > 0) {
+    process.set_access_delay(spec.access_delay);
+  }
 }
 
 void Machine::AttachWorkload(Process& process, std::unique_ptr<AccessStream> stream,
@@ -269,7 +317,8 @@ void Machine::Start() {
 
 AuditReport Machine::AuditNow() {
   ++metrics_.mutable_fault()->audits_run;
-  return InvariantAuditor::Audit(queue_.now(), memory_, processes_, lrus_, engine_.get());
+  return InvariantAuditor::Audit(queue_.now(), memory_, processes_, lrus_, engine_.get(),
+                                 &tenants_);
 }
 
 std::string Machine::FatalDump() const {
@@ -300,6 +349,17 @@ std::string Machine::FatalDump() const {
       } else if (health.endpoint(node) == EndpointHealth::kOffline) {
         os << " node" << node << "=OFFLINE";
       }
+    }
+  }
+  if (tenants_.active()) {
+    for (int t = 0; t < tenants_.num_tenants(); ++t) {
+      const TenantAccount& acct = tenants_.account(t);
+      os << "\n  tenant " << t << " (" << acct.spec.name << "): resident=[";
+      for (size_t node = 0; node < acct.resident_pages.size(); ++node) {
+        os << (node == 0 ? "" : " ") << acct.resident_pages[node];
+      }
+      os << "] program=" << (acct.program != nullptr ? acct.program->name() : "-")
+         << " bandwidth_cursor=" << acct.bandwidth_cursor;
     }
   }
   return os.str();
@@ -456,6 +516,9 @@ SimDuration Machine::FastPathAccess(Process& process, PageInfo& unit, uint64_t v
   }
 
   metrics_.CountAccess(is_store, unit.node == kFastNode, latency);
+  if (tenant_accounting_) {
+    tenants_.CountAccess(process.tenant(), latency);
+  }
   EmitTrace(tracer_.get(), TraceCategory::kAccess, TraceEventType::kAccess, now,
             process.pid(), unit.vpn, unit.node, kInvalidNode, is_store ? 1 : 0,
             /*fast_lane=*/1, queued);
@@ -573,6 +636,9 @@ SimDuration Machine::SlowPathAccess(Process& process, uint64_t vpn, bool is_stor
   }
 
   metrics_.CountAccess(is_store, unit.node == kFastNode, latency);
+  if (tenant_accounting_) {
+    tenants_.CountAccess(process.tenant(), latency);
+  }
   EmitTrace(tracer_.get(), TraceCategory::kAccess, TraceEventType::kAccess, now,
             process.pid(), unit.vpn, unit.node, kInvalidNode, is_store ? 1 : 0,
             /*fast_lane=*/0, queued);
@@ -624,6 +690,7 @@ SimDuration Machine::HandleDemandFault(Process& process, Vma& vma, PageInfo& uni
   unit.node = node;
   lrus_[static_cast<size_t>(node)].Insert(&unit, /*active=*/true);
   process.AddResident(node, static_cast<int64_t>(pages));
+  tenants_.AddResident(process.tenant(), node, static_cast<int64_t>(pages));
 
   metrics_.CountDemandFault();
   metrics_.CountContextSwitch();
@@ -660,6 +727,10 @@ void Machine::ApplyMigration(Vma& vma, PageInfo& unit, NodeId from, NodeId to) {
   if (Process* owner = ProcessByPid(unit.owner)) {
     owner->AddResident(from, -static_cast<int64_t>(pages));
     owner->AddResident(to, static_cast<int64_t>(pages));
+    // The tenant residency mirror moves with the per-process counters, so promote,
+    // demote, reclaim, and evacuation commits all land in one place.
+    tenants_.AddResident(owner->tenant(), from, -static_cast<int64_t>(pages));
+    tenants_.AddResident(owner->tenant(), to, static_cast<int64_t>(pages));
   }
   if (is_promotion) {
     metrics_.CountPromotion(pages);
@@ -745,14 +816,51 @@ uint64_t Machine::ReclaimFastTier(uint64_t refill_target) {
   // and thrash hot pages. Aging across reclaim wakeups gives hot pages a real second chance.
   size_t eligible = fast_lru.inactive().size();
 
-  while (fast.free_pages() < refill_target && demoted < batch_limit && eligible > 0) {
+  // Targeted reclaim (memory.high semantics): a per-pass ledger of each tenant's excess
+  // over its declared fast-tier budget. While a tenant has excess, the pass keeps going
+  // even past the free-page target, its pages lose their second chance, and each demotion
+  // pays the excess down — over-budget squatters drain even if they keep touching their
+  // pages, and the admission-side budget then refuses their way back in. Empty (and
+  // `draining` false) unless the config declares tenants with budget-reading programs,
+  // keeping the legacy reclaim path bit-identical.
+  std::vector<int64_t> budget_excess;
+  int64_t draining = 0;
+  if (tenant_accounting_) {
+    budget_excess.assign(static_cast<size_t>(tenants_.num_tenants()), 0);
+    for (int t = 0; t < tenants_.num_tenants(); ++t) {
+      if (tenants_.OverBudget(t, kFastNode)) {
+        const TenantAccount& acct = tenants_.account(t);
+        budget_excess[static_cast<size_t>(t)] = static_cast<int64_t>(
+            acct.ResidentOn(kFastNode) - acct.BudgetFor(kFastNode));
+        draining += budget_excess[static_cast<size_t>(t)];
+      }
+    }
+  }
+
+  while ((fast.free_pages() < refill_target || draining > 0) && demoted < batch_limit &&
+         eligible > 0) {
     PageInfo* page = fast_lru.inactive().Tail();
     --eligible;
     ++examined;
-    if (page->accessed()) {
+    int targeted = -1;  // Tenant whose budget excess this page would pay down, if any.
+    if (!budget_excess.empty()) {
+      if (const Process* owner = ProcessByPid(page->owner)) {
+        const int tenant = owner->tenant();
+        if (budget_excess[static_cast<size_t>(tenant)] > 0) {
+          targeted = tenant;
+        }
+      }
+    }
+    if (page->accessed() && targeted < 0) {
       // Second chance: referenced since deactivation, back to active.
       page->ClearFlag(kPageAccessed);
       fast_lru.Activate(page);
+      continue;
+    }
+    if (targeted < 0 && fast.free_pages() >= refill_target) {
+      // In the pass only to drain over-budget tenants: within-budget pages keep their
+      // spot (rotated, not demoted).
+      fast_lru.inactive().Rotate(page);
       continue;
     }
     if (page->Has(kPageUnevictable) || page->Has(kPageMigrating)) {
@@ -766,7 +874,49 @@ uint64_t Machine::ReclaimFastTier(uint64_t refill_target) {
       // Cannot demote (slow tier full); stop trying.
       break;
     }
-    demoted += vma->UnitPages(page->vpn);
+    const uint64_t unit_pages = vma->UnitPages(page->vpn);
+    demoted += unit_pages;
+    if (targeted >= 0) {
+      // Pay the excess down at submit time (the residency mirror moves at commit): one
+      // pass never over-drains a tenant below its budget.
+      budget_excess[static_cast<size_t>(targeted)] -= static_cast<int64_t>(unit_pages);
+      draining -= static_cast<int64_t>(unit_pages);
+    }
+  }
+
+  // An over-budget tenant's pages are, by definition, the ones it keeps touching — they
+  // sit on the active list and never age to the inactive tail, so excess that survived
+  // the inactive pass is drained from the active list directly (the analogue of cgroup
+  // targeted reclaim walking the offending cgroup's own LRU). Within-budget tenants'
+  // pages are rotated, not demoted. Skipped entirely in legacy mode (draining == 0).
+  size_t active_eligible = draining > 0 ? fast_lru.active().size() : 0;
+  while (draining > 0 && demoted < batch_limit && active_eligible > 0) {
+    PageInfo* page = fast_lru.active().Tail();
+    --active_eligible;
+    ++examined;
+    int targeted = -1;
+    if (const Process* owner = ProcessByPid(page->owner)) {
+      const int tenant = owner->tenant();
+      if (budget_excess[static_cast<size_t>(tenant)] > 0) {
+        targeted = tenant;
+      }
+    }
+    if (targeted < 0 || page->Has(kPageUnevictable) || page->Has(kPageMigrating)) {
+      fast_lru.active().Rotate(page);
+      continue;
+    }
+    Vma* vma = ResolveVma(*page);
+    if (vma == nullptr) {
+      fast_lru.active().Rotate(page);
+      continue;
+    }
+    if (!DemoteUnit(*vma, *page)) {
+      break;  // Admission refused the drain (backlog/bandwidth): retry next wakeup.
+    }
+    const uint64_t unit_pages = vma->UnitPages(page->vpn);
+    demoted += unit_pages;
+    budget_excess[static_cast<size_t>(targeted)] -= static_cast<int64_t>(unit_pages);
+    draining -= static_cast<int64_t>(unit_pages);
   }
 
   // Refill the inactive list so the next wakeup has aged candidates.
@@ -872,9 +1022,18 @@ void Machine::ReclaimTick(SimTime now) {
     tracer_->Poll(now);
   }
   // Demotion triggers when free memory drops below the high watermark (Section 3.3.1) and
-  // refills to the policy's target (`high` for the baselines, `pro` for Chrono).
+  // refills to the policy's target (`high` for the baselines, `pro` for Chrono). Like
+  // memory.high reclaim, a tenant sitting over its fast-tier budget is pressure in its own
+  // right: the targeted pass must run even when the machine as a whole has free headroom,
+  // or a squatter on an otherwise idle machine would never drain.
   MemoryTier& fast = memory_.node(kFastNode);
-  if (!fast.BelowHighWatermark()) {
+  bool budget_pressure = false;
+  if (tenant_accounting_) {
+    for (int t = 0; t < tenants_.num_tenants() && !budget_pressure; ++t) {
+      budget_pressure = tenants_.OverBudget(t, kFastNode);
+    }
+  }
+  if (!fast.BelowHighWatermark() && !budget_pressure) {
     return;
   }
   const uint64_t target =
@@ -930,6 +1089,30 @@ void Machine::FillTelemetrySample(SimTime now, TelemetrySample* sample) const {
   const uint64_t lookups = tlb.hits + tlb.misses;
   sample->tlb_hit_rate =
       lookups == 0 ? 0.0 : static_cast<double>(tlb.hits) / static_cast<double>(lookups);
+
+  // Per-tenant rows (only on machines that declared tenants, so legacy telemetry schemas
+  // are unchanged): occupancy, verdict counters, and p50/p99 access latency.
+  if (tenants_.active()) {
+    const std::vector<TenantStats>& tenant_stats = metrics_.tenant_stats();
+    sample->tenants.reserve(static_cast<size_t>(tenants_.num_tenants()));
+    for (int t = 0; t < tenants_.num_tenants(); ++t) {
+      const TenantAccount& acct = tenants_.account(t);
+      const TenantStats& stats = tenant_stats[static_cast<size_t>(t)];
+      TelemetrySample::Tenant row;
+      row.resident_fast = acct.ResidentOn(kFastNode);
+      row.resident_total = 0;
+      for (uint64_t pages : acct.resident_pages) {
+        row.resident_total += pages;
+      }
+      row.accesses = stats.accesses;
+      row.qos_checks = stats.qos_checks;
+      row.qos_refusals = stats.qos_refusals;
+      row.borrows = stats.borrows;
+      row.p50_latency_ns = stats.access_latency.Quantile(0.50);
+      row.p99_latency_ns = stats.access_latency.Quantile(0.99);
+      sample->tenants.push_back(row);
+    }
+  }
 }
 
 SimDuration Machine::ChargeScanCost(uint64_t units_visited) {

@@ -24,6 +24,7 @@
 #include "src/migration/migration_engine.h"
 #include "src/pebs/pebs.h"
 #include "src/sim/event_queue.h"
+#include "src/tenant/tenant.h"
 #include "src/trace/tracer.h"
 #include "src/vm/lru.h"
 #include "src/vm/process.h"
@@ -110,6 +111,14 @@ struct MachineConfig {
   // with tracing on or off (tests/trace_test.cc).
   TraceConfig trace;
 
+  // Multi-tenant subsystem (src/tenant). Empty (the default) = single-tenant legacy mode:
+  // one implicit unlimited tenant, no admission hook, no per-access tenant accounting —
+  // the machine replays the exact pre-tenant path. Non-empty declares the tenants
+  // processes are assigned to (Machine::AssignTenant / ProcessSpec::tenant); per-tenant
+  // residency budgets and QoS programs then gate migration admission, and per-tenant
+  // counters flow into Metrics, telemetry rows, and ExperimentResult.
+  std::vector<TenantSpec> tenants;
+
   // Configuration validation, run at Machine construction (CHECK-fatal on any error).
   // Returns every violated constraint as a human-readable string; empty means valid.
   std::vector<std::string> Validate() const;
@@ -128,6 +137,10 @@ class Machine : private MigrationEnv {
 
   // --- setup ---
   Process& CreateProcess(const std::string& name);
+  // Moves a process into `tenant` (default membership is tenant 0). Must happen before
+  // the process faults any page in (the residency mirror starts at zero); applies the
+  // tenant's access_delay override when one is configured.
+  void AssignTenant(Process& process, int tenant);
   // Binds a workload; Init() runs immediately (mapping regions), first ops run on Start.
   void AttachWorkload(Process& process, std::unique_ptr<AccessStream> stream, uint64_t seed);
 
@@ -211,6 +224,10 @@ class Machine : private MigrationEnv {
   // The fault injector, or nullptr when config.fault.enabled is false.
   FaultInjector* fault_injector() { return injector_.get(); }
 
+  // The tenant registry (always configured; single implicit tenant in legacy mode).
+  TenantRegistry& tenants() { return tenants_; }
+  const TenantRegistry& tenants() const { return tenants_; }
+
   // The tracer, or nullptr when config.trace.enabled is false. Instrumentation sites go
   // through EmitTrace(tracer(), ...), which is a single null check when tracing is off.
   Tracer* tracer() { return tracer_.get(); }
@@ -293,6 +310,8 @@ class Machine : private MigrationEnv {
                                      // (the engine holds a raw pointer into it).
   std::unique_ptr<MigrationEngine> engine_;  // After metrics_: stats live there.
   std::unique_ptr<FaultInjector> injector_;  // Null unless config.fault.enabled.
+  TenantRegistry tenants_;  // After memory_ (holds a view) and metrics_ (stats live there).
+  bool tenant_accounting_ = false;  // Per-access tenant counters; on iff tenants declared.
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<WorkloadBinding> bindings_;  // Indexed by pid.

@@ -51,6 +51,9 @@ void Metrics::Reset() {
   write_latency_.Clear();
   migration_.Reset();
   fault_.Reset();
+  for (TenantStats& tenant : tenant_stats_) {
+    tenant.Reset();
+  }
 }
 
 }  // namespace chronotier

@@ -4,11 +4,13 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "src/common/stats.h"
 #include "src/common/time.h"
 #include "src/fault/fault_types.h"
 #include "src/migration/migration_types.h"
+#include "src/tenant/tenant.h"
 
 namespace chronotier {
 
@@ -131,6 +133,15 @@ class Metrics {
   const FaultStats& fault() const { return fault_; }
   FaultStats* mutable_fault() { return &fault_; }
 
+  // Per-tenant counters (same in-place update arrangement: the TenantRegistry writes
+  // here). Sized once at machine construction to the tenant count; Reset() clears the
+  // counters but keeps the size, so per-tenant results cover the measured window only.
+  const std::vector<TenantStats>& tenant_stats() const { return tenant_stats_; }
+  std::vector<TenantStats>* mutable_tenant_stats() { return &tenant_stats_; }
+  void InitTenantStats(size_t num_tenants) {
+    tenant_stats_.assign(num_tenants, TenantStats());
+  }
+
   // Tracer ring-buffer overwrites (oldest events evicted by a full ring). Copied from the
   // Tracer at end of run so a truncated trace is detectable in ExperimentResult rather
   // than silent; stays 0 when tracing is off or the ring never filled.
@@ -166,6 +177,7 @@ class Metrics {
   ReservoirSampler write_latency_;
   MigrationStats migration_;
   FaultStats fault_;
+  std::vector<TenantStats> tenant_stats_;
 };
 
 }  // namespace chronotier

@@ -143,9 +143,11 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
   }
 
   // Admission: route backlog (worst traversed link) against the class limit, then
-  // per-source throttling. Both are checked before any frame or channel state is touched.
+  // per-source throttling, then the owner tenant's QoS program (when a hook is installed).
+  // All are checked before any frame or channel state is touched.
   const SimDuration backlog = RouteBacklog(from, target, now);
-  const MigrationRefusal verdict = admission_.Check(klass, source, backlog, pages);
+  const MigrationRefusal verdict =
+      admission_.Check(klass, source, backlog, pages, unit.owner, from, target, now);
   if (verdict != MigrationRefusal::kNone) {
     return refuse(verdict, is_promotion);
   }
@@ -174,7 +176,8 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
     // faces may have grown past its class limit. Re-check before copying; on refusal the
     // reserved frames go back (the demotions stay — reclaim progress is never undone).
     const SimDuration backlog_after = RouteBacklog(from, target, now);
-    const MigrationRefusal recheck = admission_.Check(klass, source, backlog_after, pages);
+    const MigrationRefusal recheck =
+        admission_.Check(klass, source, backlog_after, pages, unit.owner, from, target, now);
     if (recheck != MigrationRefusal::kNone) {
       memory.FreePages(target, pages);
       return refuse(recheck, is_promotion);
@@ -193,7 +196,7 @@ MigrationTicket MigrationEngine::Submit(Vma& vma, PageInfo& unit, NodeId target,
 
   unit.Set(kPageMigrating);
   env_->OnUnitMigrationStateChanged(vma, unit);
-  admission_.OnAdmit(source, pages);
+  admission_.OnAdmit(source, pages, unit.owner, from, target, now);
   ++stats_->submitted[static_cast<size_t>(klass)];
   ticket.admitted = true;
   ticket.txn_id = txn.id;

@@ -95,6 +95,10 @@ class MigrationEngine {
   // complete *parks* — the unit stays mapped at its source and no commit cost is charged.
   void set_fault_oracle(CopyFaultOracle* oracle) { fault_oracle_ = oracle; }
 
+  // Installs the per-tenant admission QoS hook (the tenant registry). nullptr (default) =
+  // no tenant QoS: admission runs exactly the global per-class/per-source checks.
+  void set_qos_hook(AdmissionQosHook* hook) { admission_.set_qos_hook(hook); }
+
   // Installs the tracer (null = no tracing). Strictly observational: emission never
   // changes admission, booking, or retry decisions.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }

@@ -50,8 +50,9 @@ enum class MigrationRefusal : uint8_t {
   kEndpointSaturated = 7,  // Target endpoint's in-flight page budget is exhausted.
   kEndpointFailing = 8,  // Target endpoint is failing/offline (fabric fault domain).
   kNoRoute = 9,          // Down links partition the source from the target.
+  kTenantQos = 10,       // Refused by the owner tenant's admission QoS program.
 };
-inline constexpr int kNumMigrationRefusals = 10;
+inline constexpr int kNumMigrationRefusals = 11;
 
 // How a transaction ended. kParked is the graceful-degradation terminal: injected copy
 // faults exhausted their retries (or were persistent), the unit stays mapped at its source,
@@ -77,6 +78,24 @@ class CopyFaultOracle {
   virtual ~CopyFaultOracle() = default;
   virtual CopyFault OnCopyPassDone(NodeId from, NodeId to, uint64_t pages, int attempt,
                                    SimTime now) = 0;
+};
+
+// Owner when a submission has no process behind it (tests driving the controller bare).
+inline constexpr int32_t kQosNoOwner = -1;
+
+// The admission controller's view of per-tenant QoS (implemented by tenant::TenantRegistry;
+// defined here so src/migration does not depend on src/tenant). QosCheck renders a verdict
+// for one submission by `owner`'s tenant — it must be side-effect-free with respect to
+// admission state because a submission can be re-checked after a reclaim retry. QosAdmit
+// charges an admitted submission against the tenant's migration-bandwidth budget.
+class AdmissionQosHook {
+ public:
+  virtual ~AdmissionQosHook() = default;
+  virtual MigrationRefusal QosCheck(int32_t owner, MigrationClass klass,
+                                    MigrationSource source, NodeId from, NodeId to,
+                                    uint64_t pages, SimTime now) = 0;
+  virtual void QosAdmit(int32_t owner, NodeId from, NodeId to, uint64_t pages,
+                        SimTime now) = 0;
 };
 
 struct MigrationEngineConfig {

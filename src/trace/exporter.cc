@@ -17,6 +17,7 @@ constexpr int kWorkloadsPid = 1;
 constexpr int kEnginePid = 2;
 constexpr int kDaemonsPid = 3;
 constexpr int kTelemetryPid = 4;
+constexpr int kTenantsPid = 5;  // One track per tenant (QoS verdict stream).
 
 // Engine-track tids: 0 is the transaction lifecycle track, channels start at 16. The
 // stride bounds the decodable node count (hi < stride); 16 covers every topology the
@@ -61,6 +62,9 @@ Track TrackFor(const TraceEvent& event) {
     case TraceEventType::kMigrationPark:
     case TraceEventType::kMigrationReroute:
       return {kEnginePid, 0};
+    case TraceEventType::kTenantQosVerdict:
+      // a carries the tenant id, so Perfetto renders one verdict track per tenant.
+      return {kTenantsPid, static_cast<int>(event.a)};
     case TraceEventType::kReclaimWake:
     case TraceEventType::kReclaimDone:
       return {kDaemonsPid, kReclaimTid};
@@ -97,6 +101,9 @@ std::string ThreadName(const Tracer& tracer, const Track& track) {
       return it->second + " (pid " + std::to_string(track.tid) + ")";
     }
     return "pid " + std::to_string(track.tid);
+  }
+  if (track.pid == kTenantsPid) {
+    return "tenant " + std::to_string(track.tid);
   }
   if (track.pid == kEnginePid) {
     if (track.tid == 0) return "transactions";
@@ -231,6 +238,15 @@ void WriteChromeTrace(const Tracer& tracer, std::ostream& out) {
   WriteMetadata(json, "process_name", kEnginePid, -1, "migration engine");
   WriteMetadata(json, "process_name", kDaemonsPid, -1, "daemons");
   WriteMetadata(json, "process_name", kTelemetryPid, -1, "telemetry");
+  // Tenant tracks only exist on machines with declared tenants; traces without them keep
+  // their exact byte layout.
+  for (const auto& [track, events] : tracks) {
+    (void)events;
+    if (track.pid == kTenantsPid) {
+      WriteMetadata(json, "process_name", kTenantsPid, -1, "tenants");
+      break;
+    }
+  }
   for (const auto& [track, events] : tracks) {
     (void)events;
     WriteMetadata(json, "thread_name", track.pid, track.tid, ThreadName(tracer, track));

@@ -41,7 +41,17 @@ void TelemetrySampler::WriteCsv(std::ostream& out) const {
         << "_congested_accesses,tier" << t << "_migration_link_bytes";
   }
   out << ",inflight_transactions,backlog_sync,backlog_async,backlog_reclaim,accesses,fmar,"
-         "tlb_hit_rate\n";
+         "tlb_hit_rate";
+  // Tenant columns appear only when the machine declared tenants (legacy schemas are
+  // byte-identical without them); every sample carries the same tenant count.
+  const size_t tenants = samples_.empty() ? 0 : samples_.front().tenants.size();
+  for (size_t t = 0; t < tenants; ++t) {
+    out << ",tenant" << t << "_resident_fast,tenant" << t << "_resident_total,tenant" << t
+        << "_accesses,tenant" << t << "_qos_checks,tenant" << t << "_qos_refusals,tenant"
+        << t << "_borrows,tenant" << t << "_p50_latency_ns,tenant" << t
+        << "_p99_latency_ns";
+  }
+  out << '\n';
   for (const TelemetrySample& s : samples_) {
     out << ToMilliseconds(s.ts);
     for (size_t t = 0; t < tiers; ++t) {
@@ -55,7 +65,15 @@ void TelemetrySampler::WriteCsv(std::ostream& out) const {
     }
     out << ',' << s.inflight_transactions << ',' << s.backlog_sync << ',' << s.backlog_async
         << ',' << s.backlog_reclaim << ',' << s.accesses << ',' << s.fmar << ','
-        << s.tlb_hit_rate << '\n';
+        << s.tlb_hit_rate;
+    for (size_t t = 0; t < tenants; ++t) {
+      const TelemetrySample::Tenant& tenant = s.tenants[t];
+      out << ',' << tenant.resident_fast << ',' << tenant.resident_total << ','
+          << tenant.accesses << ',' << tenant.qos_checks << ',' << tenant.qos_refusals
+          << ',' << tenant.borrows << ',' << tenant.p50_latency_ns << ','
+          << tenant.p99_latency_ns;
+    }
+    out << '\n';
   }
 }
 
@@ -95,6 +113,23 @@ void TelemetrySampler::WriteJson(std::ostream& out) const {
     json.Field("accesses", s.accesses);
     json.Field("fmar", s.fmar);
     json.Field("tlb_hit_rate", s.tlb_hit_rate);
+    if (!s.tenants.empty()) {
+      json.Key("tenants");
+      json.BeginArray();
+      for (const TelemetrySample::Tenant& tenant : s.tenants) {
+        json.BeginObject();
+        json.Field("resident_fast", tenant.resident_fast);
+        json.Field("resident_total", tenant.resident_total);
+        json.Field("accesses", tenant.accesses);
+        json.Field("qos_checks", tenant.qos_checks);
+        json.Field("qos_refusals", tenant.qos_refusals);
+        json.Field("borrows", tenant.borrows);
+        json.Field("p50_latency_ns", tenant.p50_latency_ns);
+        json.Field("p99_latency_ns", tenant.p99_latency_ns);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
     json.EndObject();
   }
   json.EndArray();

@@ -56,6 +56,21 @@ struct TelemetrySample {
   uint64_t accesses = 0;
   double fmar = 0;          // Fast-memory access ratio.
   double tlb_hit_rate = 0;  // Translation-cache hit ratio (0 when the lane is off).
+
+  // Per-tenant rows (src/tenant). Empty on machines without declared tenants, so legacy
+  // time series keep their exact schema; when present, every sample carries one row per
+  // tenant in registry order (occupancy, QoS verdict counters, latency quantiles).
+  struct Tenant {
+    uint64_t resident_fast = 0;   // Frames held on the fast tier.
+    uint64_t resident_total = 0;  // Frames held across all nodes.
+    uint64_t accesses = 0;
+    uint64_t qos_checks = 0;
+    uint64_t qos_refusals = 0;
+    uint64_t borrows = 0;
+    double p50_latency_ns = 0;
+    double p99_latency_ns = 0;
+  };
+  std::vector<Tenant> tenants;
 };
 
 class TelemetrySampler {

@@ -98,6 +98,7 @@ const char* TraceEventTypeName(TraceEventType t) {
     case TraceEventType::kMigrationAbort: return "migration_abort";
     case TraceEventType::kMigrationPark: return "migration_park";
     case TraceEventType::kMigrationReroute: return "migration_reroute";
+    case TraceEventType::kTenantQosVerdict: return "tenant_qos_verdict";
     case TraceEventType::kReclaimWake: return "reclaim_wake";
     case TraceEventType::kReclaimDone: return "reclaim_done";
     case TraceEventType::kPolicyPromote: return "policy_promote";

@@ -101,6 +101,8 @@ enum class TraceEventType : uint16_t {
   kMigrationAbort,      // Final abort after retries: b = attempts used.
   kMigrationPark,       // b = 1 transient park (frames freed), 2 quarantined.
   kMigrationReroute,    // Pass crossed a link that went down: b = re-route attempt.
+  kTenantQosVerdict,    // Tenant QoS consult: a = tenant id, b = refusal reason enum
+                        // (0 = admitted); from/to = tier pair, pid = submitting owner.
 
   // kReclaim
   kReclaimWake,  // Reclaim pass starts: a = free pages, b = refill target.

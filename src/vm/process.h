@@ -43,9 +43,17 @@ class Process {
   void AdvanceClock(SimDuration d) { clock_ += d; }
   void SyncClockTo(SimTime t) { clock_ = std::max(clock_, t); }
 
-  // Extra stall inserted before every access (Fig. 9's per-cgroup delay knob).
+  // Extra stall inserted before every access. Historically Fig. 9's per-cgroup delay knob
+  // set directly per process; with the tenant subsystem the machine folds the owning
+  // tenant's TenantSpec::access_delay into this field at assignment, and the per-process
+  // setter survives as the deprecated alias.
   SimDuration access_delay() const { return access_delay_; }
   void set_access_delay(SimDuration d) { access_delay_ = d; }
+
+  // Owning tenant index (TenantRegistry id). 0 — the implicit default tenant — unless the
+  // machine assigns otherwise. Cached here for O(1) lookup on the access path.
+  int tenant() const { return tenant_; }
+  void set_tenant(int t) { tenant_ = t; }
 
   uint64_t completed_accesses() const { return completed_accesses_; }
   void CountAccess() { ++completed_accesses_; }
@@ -87,6 +95,7 @@ class Process {
   TranslationCache tlb_;
   SimTime clock_ = 0;
   SimDuration access_delay_ = 0;
+  int tenant_ = 0;
   uint64_t completed_accesses_ = 0;
   std::array<uint64_t, kMaxNodes> resident_pages_ = {};
   bool finished_ = false;

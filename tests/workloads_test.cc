@@ -1,4 +1,5 @@
-// Unit tests for the workload generators: pmbench, patterns, graph500, kvstore.
+// Unit tests for the workload generators: pmbench, patterns, graph500, kvstore, and the
+// open-loop multi-tenant KV driver.
 
 #include <gtest/gtest.h>
 
@@ -8,6 +9,7 @@
 #include "src/workloads/kvstore.h"
 #include "src/workloads/patterns.h"
 #include "src/workloads/pmbench.h"
+#include "src/workloads/tenant_kv.h"
 
 namespace chronotier {
 namespace {
@@ -380,6 +382,93 @@ TEST(KvStoreTest, OpLimitCountsPostInitOps) {
   }
   EXPECT_EQ(stream.ops_issued(), 10u);
   EXPECT_GT(total, 10u);  // Init ops + 10 driver ops (each multi-access).
+}
+
+TEST(TenantKvTest, InitCoversEveryItemThenStaysInBounds) {
+  Process process = MakeProcess();
+  Rng rng(20);
+  TenantKvConfig config;
+  config.virtual_tenants = 8;
+  config.items_per_tenant = 16;
+  config.value_bytes = 128;
+  config.op_limit = 500;
+  config.set_fraction = 0.0;  // Driver phase is GET-only, so every store is an init SET.
+  TenantKvStream stream(config);
+  stream.Init(process, rng);
+
+  // The init phase SETs every item exactly once; every reference (init and driver) stays
+  // inside the two mapped regions (directory + heap).
+  const uint64_t dir_lo = stream.directory_region_vpn() * kBasePageSize;
+  const uint64_t dir_hi = dir_lo + config.virtual_tenants * 64;
+  const uint64_t heap_lo = stream.heap_region_vpn() * kBasePageSize;
+  const uint64_t heap_hi = heap_lo + stream.total_items() * config.value_bytes;
+  std::unordered_set<uint64_t> init_items;
+  MemOp op;
+  uint64_t total = 0;
+  while (stream.Next(rng, &op)) {
+    ASSERT_TRUE((op.vaddr >= dir_lo && op.vaddr < dir_hi) ||
+                (op.vaddr >= heap_lo && op.vaddr < heap_hi));
+    if (op.vaddr >= heap_lo && op.is_store) {
+      init_items.insert((op.vaddr - heap_lo) / config.value_bytes);
+    }
+    ++total;
+    ASSERT_LT(total, 100000u);
+  }
+  EXPECT_EQ(init_items.size(), stream.total_items());
+  EXPECT_EQ(stream.ops_issued(), config.op_limit);
+}
+
+TEST(TenantKvTest, OpenLoopArrivalsCarryThinkTime) {
+  Process process = MakeProcess();
+  Rng rng(21);
+  TenantKvConfig config;
+  config.virtual_tenants = 4;
+  config.items_per_tenant = 8;
+  config.op_limit = 200;
+  config.mean_interarrival = 5 * kMicrosecond;
+  TenantKvStream stream(config);
+  stream.Init(process, rng);
+  MemOp op;
+  while (!stream.initialization_done()) {
+    ASSERT_TRUE(stream.Next(rng, &op));
+  }
+  // Post-init, the first reference of each op (the directory probe, a load) carries the
+  // exponential interarrival gap; the mean should land near the configured mean.
+  SimDuration total_gap = 0;
+  uint64_t gaps = 0;
+  const uint64_t dir_lo = stream.directory_region_vpn() * kBasePageSize;
+  const uint64_t dir_hi = dir_lo + config.virtual_tenants * 64;
+  while (stream.Next(rng, &op)) {
+    if (op.vaddr >= dir_lo && op.vaddr < dir_hi) {
+      EXPECT_FALSE(op.is_store);
+      total_gap += op.think_time;
+      ++gaps;
+    } else {
+      EXPECT_EQ(op.think_time, 0);
+    }
+  }
+  ASSERT_GT(gaps, 100u);
+  const double mean = static_cast<double>(total_gap) / static_cast<double>(gaps);
+  EXPECT_GT(mean, 0.5 * static_cast<double>(config.mean_interarrival));
+  EXPECT_LT(mean, 2.0 * static_cast<double>(config.mean_interarrival));
+}
+
+TEST(TenantKvTest, ChurnRotatesTenantPopularity) {
+  TenantKvConfig config;
+  config.virtual_tenants = 10;
+  config.churn_stride = 3;
+  TenantKvStream stream(config);
+  // Pure rotation arithmetic: rank r in epoch e maps to (r + 3e) mod 10, so the hot rank
+  // walks the tenant space and every tenant eventually takes a turn being hot.
+  EXPECT_EQ(stream.TenantForRank(0, 0), 0u);
+  EXPECT_EQ(stream.TenantForRank(0, 1), 3u);
+  EXPECT_EQ(stream.TenantForRank(0, 2), 6u);
+  EXPECT_EQ(stream.TenantForRank(7, 1), 0u);
+  std::unordered_set<uint64_t> hot_tenants;
+  for (uint64_t epoch = 0; epoch < 10; ++epoch) {
+    hot_tenants.insert(stream.TenantForRank(0, epoch));
+  }
+  EXPECT_EQ(hot_tenants.size(), 10u);  // Stride 3 is coprime to 10: full cycle.
 }
 
 }  // namespace
