@@ -130,7 +130,7 @@ class InlineFunction<R(Args...), InlineBytes> {
           [](void* target) { delete static_cast<F*>(target); },
           /*is_inline=*/false,
       };
-      // detlint:allow(naked-new) single owning block, deleted by ops.destroy above.
+      // detlint:allow(naked-new, hot-path-alloc) single owning block, deleted by ops.destroy; spill fires only for callables over the inline budget
       heap_target_ = new F(std::move(f));
       ops_ = &ops;
     }

@@ -45,7 +45,7 @@ class SlotArena {
     } else {
       CHECK_LT(entries_.size(), size_t{kNoSlot}) << "SlotArena overflow";
       slot = static_cast<uint32_t>(entries_.size());
-      entries_.emplace_back();
+      entries_.emplace_back();  // detlint:allow(hot-path-alloc) arena high-water growth; steady state reuses the free list
     }
     Entry& entry = entries_[slot];
     entry.value.emplace(std::move(value));
@@ -98,7 +98,7 @@ class SlotArena {
   size_t size() const { return live_; }
   bool empty() const { return live_ == 0; }
   // Backing-vector length (live + free slots): steady-state == peak live count.
-  size_t capacity_slots() const { return entries_.size(); }
+  size_t capacity_slots() const { return entries_.size(); }  // detlint:allow(dead-symbol) allocation-freeness probe for future benches
 
  private:
   static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;

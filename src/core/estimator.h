@@ -66,7 +66,6 @@ class HotnessDensity {
 
   double operator()(double x) const;
   double alpha() const { return alpha_; }
-  double normalization() const { return c_alpha_; }
 
  private:
   double Raw(double x) const;

@@ -59,7 +59,6 @@ class ThrashMonitor {
   }
 
   uint64_t total_thrashes() const { return total_thrashes_; }
-  uint64_t window_thrashes() const { return window_thrashes_; }
 
  private:
   double ratio_threshold_;

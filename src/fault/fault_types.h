@@ -53,6 +53,7 @@ struct FaultPlan {
   //     fabric chaos leaves the base plan's draw sequence untouched. ---
   FabricFaultPlan fabric;
 
+  // detlint:allow(dead-symbol) config-validation helper, part of the fault-plan API
   bool AnyWindows() const {
     return stall_period > 0 || pressure_period > 0 || alloc_fail_period > 0 ||
            fabric.Any();

@@ -222,7 +222,7 @@ class Machine : private MigrationEnv {
   std::string FatalDump() const;
 
   // The fault injector, or nullptr when config.fault.enabled is false.
-  FaultInjector* fault_injector() { return injector_.get(); }
+  FaultInjector* fault_injector() { return injector_.get(); }  // detlint:allow(dead-symbol) test access point for mid-run fault control
 
   // The tenant registry (always configured; single implicit tenant in legacy mode).
   TenantRegistry& tenants() { return tenants_; }
@@ -264,6 +264,7 @@ class Machine : private MigrationEnv {
     bool exhausted = false;
   };
 
+  // detlint:allow(dead-symbol) readable reference implementation of the inlined fast lane in RunProcessSlice
   SimDuration AccessMemory(Process& process, uint64_t vaddr, bool is_store);
   // Everything past the fast-lane check: VMA resolution, demand/hint faults, device
   // charge, bookkeeping, translation install. AccessMemory is lane check + this; the

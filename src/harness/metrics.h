@@ -110,7 +110,7 @@ class Metrics {
   uint64_t promoted_pages() const { return promoted_pages_; }
   uint64_t demoted_pages() const { return demoted_pages_; }
   uint64_t promotion_events() const { return promotion_events_; }
-  uint64_t demotion_events() const { return demotion_events_; }
+  uint64_t demotion_events() const { return demotion_events_; }  // detlint:allow(dead-symbol) symmetric twin of promotion_events
   uint64_t promotion_failures() const { return promotion_failures_; }
   uint64_t thrash_events() const { return thrash_events_; }
   SimDuration app_time() const { return app_time_; }

@@ -102,7 +102,7 @@ class TieredMemory {
   uint64_t total_used_pages() const;
 
   // Fixed per-migration software overhead (tunable for sensitivity studies).
-  void set_migration_software_overhead(SimDuration d) { migration_software_overhead_ = d; }
+  void set_migration_software_overhead(SimDuration d) { migration_software_overhead_ = d; }  // detlint:allow(dead-symbol) sensitivity-study knob, getter is live
   SimDuration migration_software_overhead() const { return migration_software_overhead_; }
 
  private:

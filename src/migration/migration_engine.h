@@ -111,7 +111,7 @@ class MigrationEngine {
   // pages by exactly `inflight_reserved_pages` while copies are in flight.
   uint64_t inflight_transactions() const { return static_cast<uint64_t>(inflight_.size()); }
   uint64_t inflight_reserved_pages() const { return inflight_reserved_pages_; }
-  uint64_t peak_inflight_transactions() const { return peak_inflight_; }
+  uint64_t peak_inflight_transactions() const { return peak_inflight_; }  // detlint:allow(dead-symbol) high-water stat for concurrency-cap tuning
   // Target frames reserved on `node` by in-flight transactions (invariant auditing).
   uint64_t inflight_reserved_pages_on(NodeId node) const;
 

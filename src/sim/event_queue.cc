@@ -15,7 +15,7 @@ EventId EventQueue::AllocateSlot(EventFn fn) {
   } else {
     CHECK_LT(slots_.size(), size_t{kNoSlot}) << "event slot map overflow";
     index = static_cast<uint32_t>(slots_.size());
-    slots_.emplace_back();
+    slots_.emplace_back();  // detlint:allow(hot-path-alloc) slot map high-water growth; steady state reuses the free list
   }
   Slot& slot = slots_[index];
   slot.fn = std::move(fn);

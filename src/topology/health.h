@@ -36,9 +36,6 @@ class TopologyHealth {
       : links_(static_cast<size_t>(num_edges), LinkHealth::kUp),
         endpoints_(static_cast<size_t>(num_nodes), EndpointHealth::kHealthy) {}
 
-  int num_links() const { return static_cast<int>(links_.size()); }
-  int num_endpoints() const { return static_cast<int>(endpoints_.size()); }
-
   LinkHealth link(int edge) const { return links_[static_cast<size_t>(edge)]; }
   EndpointHealth endpoint(NodeId node) const {
     return endpoints_[static_cast<size_t>(node)];

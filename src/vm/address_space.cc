@@ -11,7 +11,7 @@ Vma::Vma(uint64_t start_vpn, uint64_t num_pages, PageSizeKind kind, int32_t owne
   // in 8; both are model-wide invariants, enforced where pages are minted.
   CHECK_LE(start_vpn + num_pages, uint64_t{kNoPageIndex}) << "VMA exceeds 32-bit vpn space";
   CHECK(owner >= -1 && owner <= INT8_MAX) << "pid does not fit the packed page record";
-  pages_.resize(num_pages);
+  pages_.resize(num_pages);  // detlint:allow(hot-path-alloc) one-time VMA construction, not per-access
   for (uint64_t i = 0; i < num_pages; ++i) {
     PageInfo& page = pages_[i];
     page.vpn = static_cast<uint32_t>(start_vpn + i);
@@ -103,9 +103,11 @@ uint64_t AddressSpace::MapRegion(uint64_t bytes, PageSizeKind kind) {
   uint64_t start = next_map_vpn_;
   start = (start + unit_pages - 1) / unit_pages * unit_pages;
 
-  vmas_.push_back(std::make_unique<Vma>(start, pages, kind, pid_));
+  // Map() is setup-side API (workloads map regions before the access loop);
+  // the per-access paths (Translate/FindVma) never reach it.
+  vmas_.push_back(std::make_unique<Vma>(start, pages, kind, pid_));  // detlint:allow(hot-path-alloc) mmap-time, not access-time
   total_pages_ += pages;
-  vma_page_prefix_.push_back(total_pages_);
+  vma_page_prefix_.push_back(total_pages_);  // detlint:allow(hot-path-alloc) mmap-time, not access-time
   next_map_vpn_ = start + pages + 0x100;  // Guard gap between regions.
   if (arena_ != nullptr) {
     arena_->RegisterVma(vmas_.back().get());

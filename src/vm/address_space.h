@@ -125,7 +125,7 @@ class AddressSpace {
 
   // Lowest and one-past-highest mapped vpn (0,0 when empty); used by scanners.
   uint64_t lowest_vpn() const;
-  uint64_t highest_vpn() const;
+  uint64_t highest_vpn() const;  // detlint:allow(dead-symbol) scanner-range pair of lowest_vpn
 
  private:
   int32_t pid_;

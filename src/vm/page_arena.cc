@@ -9,9 +9,11 @@ void PageArena::Append(PageInfo* page, Vma* vma) {
   CHECK(page->arena == kNoPageIndex) << "page already registered with an arena";
   CHECK_LT(pages_.size(), static_cast<size_t>(kNoPageIndex)) << "page arena index overflow";
   page->arena = static_cast<uint32_t>(pages_.size());
-  pages_.push_back(page);
-  vma_of_.push_back(vma);
-  cold_.emplace_back();
+  // Setup-time only: Append runs during VMA registration, before the first
+  // simulated access, and RegisterVma reserves capacity up front.
+  pages_.push_back(page);        // detlint:allow(hot-path-alloc) reserved in RegisterVma
+  vma_of_.push_back(vma);        // detlint:allow(hot-path-alloc) reserved in RegisterVma
+  cold_.emplace_back();          // detlint:allow(hot-path-alloc) reserved in RegisterVma
 }
 
 void PageArena::RegisterVma(Vma* vma) {

@@ -41,7 +41,7 @@ class PageArena {
   const PageInfo* page(uint32_t idx) const { return pages_[idx]; }
 
   // Owning VMA of the idx-th page; nullptr for standalone pages.
-  Vma* vma_of(uint32_t idx) const { return vma_of_[idx]; }
+  Vma* vma_of(uint32_t idx) const { return vma_of_[idx]; }  // detlint:allow(dead-symbol) reverse mapping of RegisterVma, kept with it
 
   // Oracle side-array access. Callers are metrics/tests only — policies never see this.
   ColdPage& cold(uint32_t idx) { return cold_[idx]; }

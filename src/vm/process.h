@@ -23,6 +23,7 @@ inline constexpr int kMaxNodes = 16;
 
 class Process {
  public:
+  // detlint:allow(hot-path-alloc) by-value sink at process creation; moved, never copied per access
   Process(int32_t pid, std::string name) : pid_(pid), name_(std::move(name)), aspace_(pid) {}
 
   Process(const Process&) = delete;
@@ -90,7 +91,7 @@ class Process {
 
  private:
   int32_t pid_;
-  std::string name_;
+  std::string name_;  // detlint:allow(hot-path-alloc) constructed once per process, read-only afterwards
   AddressSpace aspace_;
   TranslationCache tlb_;
   SimTime clock_ = 0;

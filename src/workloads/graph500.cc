@@ -55,9 +55,6 @@ CsrGraph CsrGraph::Generate(const Graph500Config& config, Rng& rng) {
   return graph;
 }
 
-uint64_t CsrGraph::FootprintBytes() const {
-  return (num_vertices_ + 1) * 8 + adjncy_.size() * 4 + num_vertices_ * 8;
-}
 
 void Graph500Stream::Init(Process& process, Rng& rng) {
   graph_ = std::make_unique<CsrGraph>(CsrGraph::Generate(config_, rng));

@@ -48,8 +48,6 @@ class CsrGraph {
   const std::vector<uint64_t>& xadj() const { return xadj_; }
   const std::vector<uint32_t>& adjncy() const { return adjncy_; }
 
-  // Bytes required for the CSR arrays + per-vertex state when mapped.
-  uint64_t FootprintBytes() const;
 
  private:
   uint64_t num_vertices_ = 0;

@@ -92,8 +92,6 @@ class TraceStream : public AccessStream {
   void Init(Process& process, Rng& rng) override;
   bool Next(Rng& rng, MemOp* op) override;
 
-  size_t position() const { return position_; }
-  int repeats_done() const { return repeats_done_; }
 
  private:
   const Trace* trace_;

@@ -9,6 +9,8 @@
 #include "tools/detlint/rules.h"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -147,6 +149,228 @@ TEST(DetlintRules, StdFunctionOutsideHotPathIsSilent) {
   EXPECT_EQ(Lint({"hot_fn_elsewhere.h"}), Expected{});
 }
 
+// ---- DL000: IO failures are findings under a real rule, not nullptr. ----
+
+TEST(DetlintRules, UnreadableFileYieldsIoErrorFinding) {
+  const std::vector<Finding> findings =
+      AnalyzeFiles(FixtureRoot(), {"no_such_fixture.cc"}, Config());
+  ASSERT_EQ(findings.size(), 1u);
+  ASSERT_NE(findings[0].rule, nullptr);
+  EXPECT_STREQ(findings[0].rule->id, "DL000");
+  EXPECT_EQ(findings[0].rule->severity, Severity::kError);
+  EXPECT_EQ(findings[0].line, 0);
+  EXPECT_EQ(findings[0].file, "no_such_fixture.cc");
+}
+
+// ---- DL010: subsystem layering over the include graph. ----
+
+Config LayeringConfig() {
+  Config config;
+  std::string error;
+  // Multi-line array on purpose: the real detlint.toml writes the DAG this way.
+  EXPECT_TRUE(config.Parse("[rule.subsystem-layering]\n"
+                           "layers = [\n"
+                           "  \"sim\",\n"
+                           "  \"mem trace\",\n"
+                           "  \"harness\",\n"
+                           "]\n",
+                           &error))
+      << error;
+  return config;
+}
+
+TEST(DetlintRules, LayeringBackEdgeFiresAtTheIncludeLine) {
+  EXPECT_EQ(Lint({"src/sim/back_edge.cc", "src/harness/high.h"}, LayeringConfig()),
+            (Expected{{"DL010", 2}}));
+}
+
+TEST(DetlintRules, LayeringDownwardEdgeIsClean) {
+  EXPECT_EQ(Lint({"src/harness/uses_sim.cc", "src/sim/low.h"}, LayeringConfig()),
+            Expected{});
+}
+
+TEST(DetlintRules, LayeringCycleFiresOnceAtTheSmallestFile) {
+  EXPECT_EQ(Lint({"src/mem/cyc_a.h", "src/mem/cyc_b.h"}, LayeringConfig()),
+            (Expected{{"DL010", 4}}));
+}
+
+TEST(DetlintRules, LayeringUnrankedSubsystemFires) {
+  EXPECT_EQ(Lint({"src/rogue/lost.cc"}, LayeringConfig()), (Expected{{"DL010", 1}}));
+}
+
+TEST(DetlintRules, LayeringInlineSuppressionOnIncludeLineSilences) {
+  EXPECT_EQ(Lint({"src/sim/back_edge_suppressed.cc", "src/harness/high.h"},
+                 LayeringConfig()),
+            Expected{});
+}
+
+TEST(DetlintRules, LayeringConfigAllowlistSilences) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.Parse("[rule.subsystem-layering]\n"
+                           "layers = [\"sim\", \"harness\"]\n"
+                           "allow = [\"src/sim/back_edge.cc\"]\n",
+                           &error))
+      << error;
+  EXPECT_EQ(Lint({"src/sim/back_edge.cc", "src/harness/high.h"}, config), Expected{});
+}
+
+TEST(DetlintRules, LayeringInertWithoutConfig) {
+  // No layers declared: the same back-edge batch reports nothing.
+  EXPECT_EQ(Lint({"src/sim/back_edge.cc", "src/harness/high.h"}), Expected{});
+}
+
+// ---- DL011: allocation in declared hot-path files. ----
+
+Config HotPathConfig() {
+  Config config;
+  std::string error;
+  EXPECT_TRUE(config.Parse("[rule.hot-path-alloc]\npaths = [\"src/vm/\"]\n", &error))
+      << error;
+  return config;
+}
+
+TEST(DetlintRules, HotPathAllocFiresOnEveryAllocationForm) {
+  // new also fires DL008 (line 16, plus the delete on 18); both rules report.
+  EXPECT_EQ(Lint({"src/vm/alloc_dirty.cc"}, HotPathConfig()),
+            (Expected{{"DL011", 9},
+                      {"DL011", 10},
+                      {"DL011", 14},
+                      {"DL011", 15},
+                      {"DL008", 16},
+                      {"DL011", 16},
+                      {"DL008", 18}}));
+}
+
+TEST(DetlintRules, HotPathAllocCleanIsSilent) {
+  EXPECT_EQ(Lint({"src/vm/alloc_clean.cc"}, HotPathConfig()), Expected{});
+}
+
+TEST(DetlintRules, HotPathAllocSameLineAndAboveLineSuppressionsSilence) {
+  EXPECT_EQ(Lint({"src/vm/alloc_suppressed.cc"}, HotPathConfig()), Expected{});
+}
+
+TEST(DetlintRules, HotPathAllocConfigAllowlistSilences) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.Parse("[rule.hot-path-alloc]\n"
+                           "paths = [\"src/vm/\"]\n"
+                           "allow = [\"src/vm/alloc_dirty.cc\"]\n"
+                           "[rule.naked-new]\n"
+                           "allow = [\"src/vm/alloc_dirty.cc\"]\n",
+                           &error))
+      << error;
+  EXPECT_EQ(Lint({"src/vm/alloc_dirty.cc"}, config), Expected{});
+}
+
+TEST(DetlintRules, HotPathAllocInertOutsideDeclaredPaths) {
+  // Same allocations, but the file is outside the configured path set: only
+  // the always-on naked-new rule reports.
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.Parse("[rule.hot-path-alloc]\npaths = [\"src/sim/\"]\n", &error))
+      << error;
+  EXPECT_EQ(Lint({"src/vm/alloc_dirty.cc"}, config),
+            (Expected{{"DL008", 16}, {"DL008", 18}}));
+}
+
+// ---- DL012: observational purity of src/trace. ----
+
+Config PurityConfig() {
+  Config config;
+  std::string error;
+  EXPECT_TRUE(config.Parse("[rule.observational-purity]\n"
+                           "paths = [\"src/trace/\"]\n"
+                           "classes = [\"Machine\"]\n",
+                           &error))
+      << error;
+  return config;
+}
+
+TEST(DetlintRules, PurityMutatorCallFromTraceFires) {
+  // The mutator set is harvested from machine_api.h, a different file in the
+  // batch — the cross-TU wiring, not just per-file matching.
+  EXPECT_EQ(Lint({"src/trace/purity_dirty.cc", "src/harness/machine_api.h"},
+                 PurityConfig()),
+            (Expected{{"DL012", 7}}));
+}
+
+TEST(DetlintRules, PurityConstReadsAreClean) {
+  EXPECT_EQ(Lint({"src/trace/purity_clean.cc", "src/harness/machine_api.h"},
+                 PurityConfig()),
+            Expected{});
+}
+
+TEST(DetlintRules, PuritySuppressionSilences) {
+  EXPECT_EQ(Lint({"src/trace/purity_suppressed.cc", "src/harness/machine_api.h"},
+                 PurityConfig()),
+            Expected{});
+}
+
+TEST(DetlintRules, PurityConfigAllowlistSilences) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.Parse("[rule.observational-purity]\n"
+                           "paths = [\"src/trace/\"]\n"
+                           "classes = [\"Machine\"]\n"
+                           "allow = [\"src/trace/purity_dirty.cc\"]\n",
+                           &error))
+      << error;
+  EXPECT_EQ(Lint({"src/trace/purity_dirty.cc", "src/harness/machine_api.h"}, config),
+            Expected{});
+}
+
+TEST(DetlintRules, PurityMutatorCallOutsideTraceIsClean) {
+  // The same call from a non-trace file is not a finding.
+  EXPECT_EQ(Lint({"src/harness/machine_api.h"}, PurityConfig()), Expected{});
+}
+
+// ---- DL013: cross-TU dead symbols (warn tier). ----
+
+Config DeadSymbolConfig() {
+  Config config;
+  std::string error;
+  EXPECT_TRUE(config.Parse("[rule.dead-symbol]\npaths = [\"src/\"]\n", &error)) << error;
+  return config;
+}
+
+TEST(DetlintRules, DeadSymbolFiresAtTheHeaderDeclaration) {
+  EXPECT_EQ(Lint({"src/dead/api.h", "src/dead/api.cc"}, DeadSymbolConfig()),
+            (Expected{{"DL013", 7}}));
+}
+
+TEST(DetlintRules, DeadSymbolIsWarnTier) {
+  EXPECT_EQ(RuleById("DL013").severity, Severity::kWarn);
+  EXPECT_EQ(RuleById("DL010").severity, Severity::kError);
+  EXPECT_EQ(RuleById("DL011").severity, Severity::kError);
+  EXPECT_EQ(RuleById("DL012").severity, Severity::kError);
+}
+
+TEST(DetlintRules, DeadSymbolSuppressionSilences) {
+  EXPECT_EQ(Lint({"src/dead/api_suppressed.h"}, DeadSymbolConfig()), Expected{});
+}
+
+TEST(DetlintRules, DeadSymbolConfigAllowlistSilences) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.Parse("[rule.dead-symbol]\n"
+                           "paths = [\"src/\"]\n"
+                           "allow = [\"src/dead/api.h\"]\n",
+                           &error))
+      << error;
+  EXPECT_EQ(Lint({"src/dead/api.h", "src/dead/api.cc"}, config), Expected{});
+}
+
+TEST(DetlintRules, DeadSymbolInertWithoutConfig) {
+  EXPECT_EQ(Lint({"src/dead/api.h", "src/dead/api.cc"}), Expected{});
+}
+
+// ---- Lexer: rule sites after multi-line raw strings keep exact lines. ----
+
+TEST(DetlintLexer, RuleSiteAfterMultiLineRawStringHasExactLine) {
+  EXPECT_EQ(Lint({"raw_string_lines.cc"}), (Expected{{"DL002", 9}}));
+}
+
 TEST(DetlintConfig, RejectsMalformedInput) {
   Config config;
   std::string error;
@@ -201,12 +425,79 @@ TEST(DetlintLexer, StringsCommentsAndRawStringsAreStripped) {
 
 TEST(DetlintRules, AllRulesHaveStableIdsAndHints) {
   const auto& rules = AllRules();
-  ASSERT_EQ(rules.size(), 9u);
-  EXPECT_STREQ(rules.front().id, "DL001");
-  EXPECT_STREQ(rules.back().id, "DL009");
+  ASSERT_EQ(rules.size(), 14u);
+  EXPECT_STREQ(rules.front().id, "DL000");
+  EXPECT_STREQ(rules.back().id, "DL013");
   for (const RuleInfo& rule : rules) {
     EXPECT_NE(std::string(rule.name), "");
     EXPECT_NE(std::string(rule.hint), "");
+  }
+}
+
+TEST(DetlintConfig, MultiLineArraysParse) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.Parse("[rule.subsystem-layering]\n"
+                           "layers = [\n"
+                           "  \"common\",        # rank 0\n"
+                           "  \"mem topology\",  # rank 1, shared\n"
+                           "]\n",
+                           &error))
+      << error;
+  ASSERT_EQ(config.Layers().size(), 2u);
+  EXPECT_EQ(config.Layers()[0], "common");
+  EXPECT_EQ(config.Layers()[1], "mem topology");
+  EXPECT_FALSE(config.Parse("[rule.a]\nallow = [\n  \"never closed\",\n", &error));
+}
+
+TEST(DetlintConfig, ScanExcludeDropsSubtreeFromCollection) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.Parse("[scan]\nexclude = [\"src/vm/\"]\n", &error)) << error;
+  std::vector<std::string> files;
+  ASSERT_TRUE(CollectSourceFiles(FixtureRoot(), {"src"}, config, &files, &error))
+      << error;
+  EXPECT_FALSE(files.empty());
+  for (const std::string& f : files) {
+    EXPECT_NE(f.rfind("src/vm/", 0), 0u) << f;
+  }
+  EXPECT_FALSE(config.Parse("[scan]\nmystery = [\"x\"]\n", &error));
+}
+
+// DESIGN.md section 7's rule table must match the registry row for row — the
+// same table `detlint --list-rules` emits, so docs cannot drift silently.
+TEST(DetlintDocs, DesignRuleTableMatchesRegistry) {
+  std::ifstream in(std::string(DETLINT_SOURCE_ROOT) + "/DESIGN.md");
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::pair<std::string, std::string>> doc_rows;  // (id, name)
+  std::vector<std::string> doc_tiers;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("| DL", 0) != 0) {
+      continue;
+    }
+    // | DL001 | wall-clock | error | ... |
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream row(line);
+    while (std::getline(row, cell, '|')) {
+      const size_t begin = cell.find_first_not_of(" \t");
+      const size_t end = cell.find_last_not_of(" \t");
+      cells.push_back(begin == std::string::npos
+                          ? ""
+                          : cell.substr(begin, end - begin + 1));
+    }
+    ASSERT_GE(cells.size(), 4u) << line;
+    doc_rows.emplace_back(cells[1], cells[2]);
+    doc_tiers.push_back(cells[3]);
+  }
+  const auto& rules = AllRules();
+  ASSERT_EQ(doc_rows.size(), rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(doc_rows[i].first, rules[i].id);
+    EXPECT_EQ(doc_rows[i].second, rules[i].name);
+    EXPECT_EQ(doc_tiers[i],
+              rules[i].severity == Severity::kError ? "error" : "warn");
   }
 }
 
@@ -219,14 +510,19 @@ TEST(DetlintTree, CleanTreeHasZeroFindings) {
   std::string error;
   ASSERT_TRUE(config.Load(root + "/tools/detlint/detlint.toml", &error)) << error;
   std::vector<std::string> files;
-  ASSERT_TRUE(CollectSourceFiles(root, {"src", "bench", "tests", "examples"}, &files,
-                                 &error))
+  ASSERT_TRUE(CollectSourceFiles(root, {"src", "bench", "tests", "examples", "tools"},
+                                 config, &files, &error))
       << error;
   EXPECT_GT(files.size(), 100u);  // the whole surface, not a subset
+  // The fixture corpus is intentionally dirty and must have been excluded.
+  for (const std::string& f : files) {
+    EXPECT_NE(f.rfind("tools/detlint/fixtures/", 0), 0u) << f;
+  }
+  // Zero findings of ANY severity: warn-tier sites are triaged (deleted or
+  // annotated), never left to rot.
   const std::vector<Finding> findings = AnalyzeFiles(root, files, config);
   for (const Finding& f : findings) {
-    ADD_FAILURE() << f.file << ":" << f.line << " ["
-                  << (f.rule != nullptr ? f.rule->id : "io") << "] " << f.message;
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule->id << "] " << f.message;
   }
 }
 

@@ -69,12 +69,28 @@ bool ParseStringArray(const std::string& value, std::vector<std::string>* out,
   return true;
 }
 
+// Prefix-or-exact path match shared by allowlists, rule path sets, and scan
+// excludes: an entry ending in '/' matches the subtree, otherwise exact.
+bool PathMatches(const std::vector<std::string>& entries, const std::string& rel_path) {
+  for (const std::string& entry : entries) {
+    if (!entry.empty() && entry.back() == '/') {
+      if (rel_path.compare(0, entry.size(), entry) == 0) {
+        return true;
+      }
+    } else if (rel_path == entry) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 bool Config::Parse(const std::string& text, std::string* error) {
   std::istringstream in(text);
   std::string raw;
-  std::string section;  // current rule name, empty outside [rule.*]
+  std::string section;       // current rule name, empty outside [rule.*]
+  bool in_scan = false;      // inside the [scan] section
   int line_no = 0;
   auto fail = [&](const std::string& what) {
     *error = "line " + std::to_string(line_no) + ": " + what;
@@ -82,7 +98,7 @@ bool Config::Parse(const std::string& text, std::string* error) {
   };
   while (std::getline(in, raw)) {
     ++line_no;
-    const std::string line = Trim(StripComment(raw));
+    std::string line = Trim(StripComment(raw));
     if (line.empty()) {
       continue;
     }
@@ -91,11 +107,18 @@ bool Config::Parse(const std::string& text, std::string* error) {
         return fail("unterminated section header");
       }
       const std::string name = Trim(line.substr(1, line.size() - 2));
+      if (name == "scan") {
+        in_scan = true;
+        section.clear();
+        continue;
+      }
       const std::string kPrefix = "rule.";
       if (name.compare(0, kPrefix.size(), kPrefix) != 0 ||
           name.size() == kPrefix.size()) {
-        return fail("only [rule.<name>] sections are supported, got [" + name + "]");
+        return fail("only [rule.<name>] and [scan] sections are supported, got [" +
+                    name + "]");
       }
+      in_scan = false;
       section = name.substr(kPrefix.size());
       rules_[section];  // materialize even if the section body is empty
       continue;
@@ -104,22 +127,48 @@ bool Config::Parse(const std::string& text, std::string* error) {
     if (eq == std::string::npos) {
       return fail("expected key = value");
     }
-    if (section.empty()) {
-      return fail("key outside of a [rule.<name>] section");
+    if (section.empty() && !in_scan) {
+      return fail("key outside of a [rule.<name>] or [scan] section");
     }
     const std::string key = Trim(line.substr(0, eq));
-    const std::string value = line.substr(eq + 1);
+    std::string value = Trim(line.substr(eq + 1));
+    // Multi-line array: consume lines until the closing ']' arrives.
+    if (!value.empty() && value.front() == '[') {
+      while (value.back() != ']' && std::getline(in, raw)) {
+        ++line_no;
+        const std::string cont = Trim(StripComment(raw));
+        if (cont.empty()) {
+          continue;
+        }
+        value += " " + cont;
+      }
+      if (value.back() != ']') {
+        return fail("unterminated array");
+      }
+    }
     std::string what;
-    if (key == "allow") {
-      if (!ParseStringArray(value, &rules_[section].allow, &what)) {
-        return fail(what);
+    std::vector<std::string>* target = nullptr;
+    if (in_scan) {
+      if (key == "exclude") {
+        target = &scan_exclude_;
+      } else {
+        return fail("unknown [scan] key '" + key + "'");
       }
+    } else if (key == "allow") {
+      target = &rules_[section].allow;
     } else if (key == "rng_tokens") {
-      if (!ParseStringArray(value, &rules_[section].rng_tokens, &what)) {
-        return fail(what);
-      }
+      target = &rules_[section].rng_tokens;
+    } else if (key == "layers") {
+      target = &rules_[section].layers;
+    } else if (key == "paths") {
+      target = &rules_[section].paths;
+    } else if (key == "classes") {
+      target = &rules_[section].classes;
     } else {
       return fail("unknown key '" + key + "'");
+    }
+    if (!ParseStringArray(value, target, &what)) {
+      return fail(what);
     }
   }
   return true;
@@ -138,19 +187,12 @@ bool Config::Load(const std::string& path, std::string* error) {
 
 bool Config::IsPathAllowed(const std::string& rule, const std::string& rel_path) const {
   const auto it = rules_.find(rule);
-  if (it == rules_.end()) {
-    return false;
-  }
-  for (const std::string& entry : it->second.allow) {
-    if (!entry.empty() && entry.back() == '/') {
-      if (rel_path.compare(0, entry.size(), entry) == 0) {
-        return true;
-      }
-    } else if (rel_path == entry) {
-      return true;
-    }
-  }
-  return false;
+  return it != rules_.end() && PathMatches(it->second.allow, rel_path);
+}
+
+bool Config::IsPathInRuleSet(const std::string& rule, const std::string& rel_path) const {
+  const auto it = rules_.find(rule);
+  return it != rules_.end() && PathMatches(it->second.paths, rel_path);
 }
 
 const std::vector<std::string>& Config::RngTokens() const {
@@ -159,6 +201,16 @@ const std::vector<std::string>& Config::RngTokens() const {
     return it->second.rng_tokens;
   }
   return default_rng_tokens_;
+}
+
+const std::vector<std::string>& Config::Layers() const {
+  const auto it = rules_.find("subsystem-layering");
+  return it != rules_.end() ? it->second.layers : empty_;
+}
+
+const std::vector<std::string>& Config::PurityClasses() const {
+  const auto it = rules_.find("observational-purity");
+  return it != rules_.end() ? it->second.classes : empty_;
 }
 
 }  // namespace detlint

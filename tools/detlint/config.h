@@ -1,4 +1,4 @@
-// detlint configuration: a TOML-subset just big enough for per-rule allowlists.
+// detlint configuration: a TOML-subset just big enough for per-rule policy.
 //
 // Grammar accepted (anything else is a parse error, reported with a line number):
 //
@@ -7,12 +7,24 @@
 //   allow = ["path/prefix", "dir/"]     # path allowlist for this rule
 //   rng_tokens = ["Rng", "rng"]         # unseeded-shuffle: tokens that count as
 //                                       # a seeded project RNG argument
+//   layers = ["common", "mem topology"] # subsystem-layering: the layer DAG,
+//                                       # lowest first; one entry per rank,
+//                                       # space-separated src/ subdirs per rank
+//   paths = ["src/vm/", "src/x.h"]      # hot-path-alloc / observational-purity /
+//                                       # dead-symbol: the path set the rule
+//                                       # applies to (empty = rule inactive)
+//   classes = ["Machine"]               # observational-purity: watched classes
 //
-// Paths are repo-root-relative, '/'-separated. An entry ending in '/' allowlists
-// the whole directory subtree; otherwise the match is exact. Keeping the policy
-// in a checked-in file (tools/detlint/detlint.toml) rather than in the analyzer
-// means allowlisting bench wall-timing is a reviewed one-line diff, not a
-// rebuild.
+//   [scan]
+//   exclude = ["tools/detlint/fixtures/"]  # never collect these paths
+//
+// Arrays may span lines: a value whose `[` has no closing `]` on the same line
+// continues on following lines until the `]`. Paths are repo-root-relative,
+// '/'-separated. An entry ending in '/' matches the whole directory subtree;
+// otherwise the match is exact. Keeping the policy in a checked-in file
+// (tools/detlint/detlint.toml) rather than in the analyzer means allowlisting
+// bench wall-timing — or re-ranking a subsystem — is a reviewed one-line diff,
+// not a rebuild.
 
 #pragma once
 
@@ -25,6 +37,9 @@ namespace detlint {
 struct RuleConfig {
   std::vector<std::string> allow;       // path allowlist
   std::vector<std::string> rng_tokens;  // unseeded-shuffle only
+  std::vector<std::string> layers;      // subsystem-layering only
+  std::vector<std::string> paths;       // path set for path-scoped rules
+  std::vector<std::string> classes;     // observational-purity only
 };
 
 class Config {
@@ -39,15 +54,31 @@ class Config {
   // True when `rel_path` is allowlisted for `rule`.
   bool IsPathAllowed(const std::string& rule, const std::string& rel_path) const;
 
+  // True when `rel_path` falls inside `rule`'s declared `paths` set. Rules
+  // scoped this way (hot-path-alloc, observational-purity, dead-symbol) are
+  // inactive when the set is empty.
+  bool IsPathInRuleSet(const std::string& rule, const std::string& rel_path) const;
+
   // unseeded-shuffle RNG marker tokens; defaults to {"Rng", "rng"} when the
   // config does not override them.
   const std::vector<std::string>& RngTokens() const;
+
+  // subsystem-layering layer DAG, lowest rank first; empty = rule inactive.
+  const std::vector<std::string>& Layers() const;
+
+  // observational-purity watched class names; empty = rule inactive.
+  const std::vector<std::string>& PurityClasses() const;
+
+  // [scan] exclude prefixes (same matching as allowlists).
+  const std::vector<std::string>& ScanExcludes() const { return scan_exclude_; }
 
   const std::map<std::string, RuleConfig>& rules() const { return rules_; }
 
  private:
   std::map<std::string, RuleConfig> rules_;
+  std::vector<std::string> scan_exclude_;
   std::vector<std::string> default_rng_tokens_ = {"Rng", "rng"};
+  std::vector<std::string> empty_;
 };
 
 }  // namespace detlint

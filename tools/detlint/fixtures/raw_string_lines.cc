@@ -1,0 +1,10 @@
+// Lexer fixture: a raw string spanning lines must not desync the line counter
+// for rule sites after it.
+static const char* kQuery = R"sql(
+  SELECT vpn, hotness FROM pages;
+  SELECT tick FROM events;
+)sql";
+
+void AfterRawString() {
+  assert(kQuery != nullptr);
+}

@@ -1,0 +1,11 @@
+// DL013 fixture TU: defines both helpers, calls only one.
+#include "src/dead/api.h"
+
+namespace chronotier {
+
+int UsedHelper(int x) { return x + 1; }
+int OrphanHelper(int x) { return x - 1; }
+
+int Driver(int x) { return UsedHelper(x); }
+
+}  // namespace chronotier

@@ -1,0 +1,9 @@
+// DL013 fixture: one referenced function, one orphan declaration.
+#pragma once
+
+namespace chronotier {
+
+int UsedHelper(int x);
+int OrphanHelper(int x);
+
+}  // namespace chronotier

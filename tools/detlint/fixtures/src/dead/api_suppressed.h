@@ -1,0 +1,8 @@
+// DL013 suppressed fixture: the orphan is annotated as kept API surface.
+#pragma once
+
+namespace chronotier {
+
+int KeptOrphan(int x);  // detlint:allow(dead-symbol) public API kept for downstream experiments
+
+}  // namespace chronotier

@@ -1,0 +1,8 @@
+// DL010 fixture: a high-ranked (harness) header that lower layers must not include.
+#pragma once
+
+namespace chronotier {
+
+inline int HarnessLevelThing() { return 42; }
+
+}  // namespace chronotier

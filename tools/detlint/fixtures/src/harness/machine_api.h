@@ -1,0 +1,16 @@
+// DL012 fixture: a watched simulation class with one mutator and one const
+// accessor. The purity pass harvests Step() as a mutator from this body.
+#pragma once
+
+namespace chronotier {
+
+class Machine {
+ public:
+  void Step();
+  int ticks() const { return ticks_; }
+
+ private:
+  int ticks_ = 0;
+};
+
+}  // namespace chronotier

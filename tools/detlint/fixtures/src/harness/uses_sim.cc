@@ -1,0 +1,9 @@
+// DL010 clean fixture: harness (high rank) including sim (low rank) is the
+// direction the DAG allows.
+#include "src/sim/low.h"
+
+namespace chronotier {
+
+int HarnessUsesSim() { return SimLevelThing(); }
+
+}  // namespace chronotier

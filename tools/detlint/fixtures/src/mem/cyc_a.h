@@ -1,0 +1,10 @@
+// DL010 cycle fixture, half A: includes B, which includes A back.
+#pragma once
+
+#include "src/mem/cyc_b.h"
+
+namespace chronotier {
+
+inline int CycA() { return 1; }
+
+}  // namespace chronotier

@@ -1,0 +1,10 @@
+// DL010 cycle fixture, half B: includes A, closing the cycle.
+#pragma once
+
+#include "src/mem/cyc_a.h"
+
+namespace chronotier {
+
+inline int CycB() { return 2; }
+
+}  // namespace chronotier

@@ -1,0 +1,7 @@
+// DL010 fixture: src/rogue appears in no layer of the DAG.
+
+namespace chronotier {
+
+int RogueThing() { return 3; }
+
+}  // namespace chronotier

@@ -1,0 +1,8 @@
+// DL010 dirty fixture: sim (low rank) reaching up into harness (high rank).
+#include "src/harness/high.h"
+
+namespace chronotier {
+
+int SimUsesHarness() { return HarnessLevelThing(); }
+
+}  // namespace chronotier

@@ -1,0 +1,8 @@
+// DL010 suppressed fixture: the back-edge carries a justified inline allow.
+#include "src/harness/high.h"  // detlint:allow(subsystem-layering) transitional edge while the helper moves down
+
+namespace chronotier {
+
+int SimUsesHarnessForNow() { return HarnessLevelThing(); }
+
+}  // namespace chronotier

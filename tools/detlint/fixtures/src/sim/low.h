@@ -1,0 +1,8 @@
+// DL010 fixture: a low-ranked (sim) header anyone above may include.
+#pragma once
+
+namespace chronotier {
+
+inline int SimLevelThing() { return 7; }
+
+}  // namespace chronotier

@@ -1,0 +1,10 @@
+// DL012 clean fixture: observers may read const state all they like.
+#include "src/harness/machine_api.h"
+
+namespace chronotier {
+
+int SnapshotTick(const Machine& m) {
+  return m.ticks();
+}
+
+}  // namespace chronotier

@@ -1,0 +1,10 @@
+// DL012 dirty fixture: observer-side code steering the simulation.
+#include "src/harness/machine_api.h"
+
+namespace chronotier {
+
+void RecordTick(Machine& m) {
+  m.Step();
+}
+
+}  // namespace chronotier

@@ -1,0 +1,10 @@
+// DL012 suppressed fixture: a justified allow on the mutator call.
+#include "src/harness/machine_api.h"
+
+namespace chronotier {
+
+void ReplayTick(Machine& m) {
+  m.Step();  // detlint:allow(observational-purity) replay driver, not an observer; file is trace-side for its parsers
+}
+
+}  // namespace chronotier

@@ -1,0 +1,14 @@
+// DL011 clean fixture: references bind without constructing, reserve is not
+// growth, and indexing preallocated storage allocates nothing.
+#include <string>
+#include <vector>
+
+namespace chronotier {
+
+int Measure(const std::string& name, std::vector<int>& v) {
+  v.reserve(128);
+  v[0] = static_cast<int>(name.size());
+  return v[0];
+}
+
+}  // namespace chronotier

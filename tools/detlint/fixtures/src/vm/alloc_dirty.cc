@@ -1,0 +1,22 @@
+// DL011 dirty fixture: every allocation form the rule catches, in a hot-path file.
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chronotier {
+
+void Grow(std::vector<int>& v, int x) {
+  v.push_back(x);
+  v.resize(32);
+}
+
+int Allocate() {
+  auto p = std::make_unique<int>(3);
+  std::string label = "hot";
+  int* raw = new int(4);
+  const int sum = *p + *raw + static_cast<int>(label.size());
+  delete raw;
+  return sum;
+}
+
+}  // namespace chronotier

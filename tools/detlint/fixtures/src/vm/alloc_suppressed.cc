@@ -1,0 +1,12 @@
+// DL011 suppressed fixture: justified same-line and comment-above allows.
+#include <vector>
+
+namespace chronotier {
+
+void Setup(std::vector<int>& v, int x) {
+  v.push_back(x);  // detlint:allow(hot-path-alloc) setup-time, runs once before the access loop
+  // detlint:allow(hot-path-alloc) warmup growth, steady state never resizes
+  v.resize(64);
+}
+
+}  // namespace chronotier

@@ -1,0 +1,173 @@
+#include "tools/detlint/graph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace detlint {
+namespace {
+
+// `src/<dir>/...` -> `<dir>`; empty for anything else.
+std::string SubsystemOf(const std::string& path) {
+  const std::string kPrefix = "src/";
+  if (path.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return "";
+  }
+  const size_t slash = path.find('/', kPrefix.size());
+  if (slash == std::string::npos) {
+    return "";  // a file directly under src/ belongs to no subsystem
+  }
+  return path.substr(kPrefix.size(), slash - kPrefix.size());
+}
+
+// Splits a layer entry ("mem topology") into subsystem names.
+std::vector<std::string> SplitWords(const std::string& entry) {
+  std::vector<std::string> words;
+  std::istringstream in(entry);
+  std::string word;
+  while (in >> word) {
+    words.push_back(word);
+  }
+  return words;
+}
+
+}  // namespace
+
+IncludeGraph::IncludeGraph(const std::map<std::string, LexedFile>& files) {
+  for (const auto& [path, file] : files) {
+    std::vector<IncludeRef>& out = edges_[path];
+    for (const IncludeRef& inc : file.includes) {
+      if (files.count(inc.path) != 0) {
+        out.push_back(inc);
+      }
+    }
+  }
+}
+
+const std::vector<IncludeRef>& IncludeGraph::Edges(const std::string& path) const {
+  static const std::vector<IncludeRef> kNone;
+  const auto it = edges_.find(path);
+  return it != edges_.end() ? it->second : kNone;
+}
+
+std::vector<std::vector<std::string>> IncludeGraph::FindCycles() const {
+  // Iterative DFS with an explicit color map; a back-edge to a gray node closes
+  // a cycle, recovered from the current DFS stack. Each cycle is canonicalized
+  // (rotated to its smallest member) and deduplicated.
+  std::vector<std::vector<std::string>> cycles;
+  std::set<std::vector<std::string>> seen;
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  for (const auto& [start, unused] : edges_) {
+    if (color[start] != 0) {
+      continue;
+    }
+    // Stack of (node, next edge index); parallel path stack for cycle recovery.
+    std::vector<std::pair<std::string, size_t>> stack{{start, 0}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const std::vector<IncludeRef>& out = Edges(node);
+      if (next >= out.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const std::string& target = out[next].path;
+      ++next;
+      if (color[target] == 1) {
+        std::vector<std::string> cycle;
+        bool in_cycle = false;
+        for (const auto& [frame_node, unused2] : stack) {
+          if (frame_node == target) {
+            in_cycle = true;
+          }
+          if (in_cycle) {
+            cycle.push_back(frame_node);
+          }
+        }
+        const auto smallest = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), smallest, cycle.end());
+        if (seen.insert(cycle).second) {
+          cycles.push_back(cycle);
+        }
+      } else if (color[target] == 0) {
+        color[target] = 1;
+        stack.emplace_back(target, 0);
+      }
+    }
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+std::vector<Finding> CheckLayering(const std::map<std::string, LexedFile>& files,
+                                   const Config& config) {
+  std::vector<Finding> findings;
+  const std::vector<std::string>& layers = config.Layers();
+  if (layers.empty()) {
+    return findings;
+  }
+  const RuleInfo& rule = RuleById("DL010");
+  std::map<std::string, int> rank_of;
+  for (size_t rank = 0; rank < layers.size(); ++rank) {
+    for (const std::string& subsystem : SplitWords(layers[rank])) {
+      rank_of[subsystem] = static_cast<int>(rank);
+    }
+  }
+  const IncludeGraph graph(files);
+
+  for (const auto& [path, file] : files) {
+    const std::string subsystem = SubsystemOf(path);
+    const auto from_rank = rank_of.find(subsystem);
+    if (!subsystem.empty() && from_rank == rank_of.end()) {
+      ReportUnlessSuppressed(file, rule, 1,
+                             "subsystem 'src/" + subsystem +
+                                 "' is not ranked in the layer DAG "
+                                 "([rule.subsystem-layering] layers)",
+                             config, &findings);
+      continue;
+    }
+    if (subsystem.empty()) {
+      continue;  // bench/tests/examples/tools are unranked by design
+    }
+    for (const IncludeRef& inc : graph.Edges(path)) {
+      const std::string target_subsystem = SubsystemOf(inc.path);
+      const auto to_rank = rank_of.find(target_subsystem);
+      if (target_subsystem.empty() || to_rank == rank_of.end()) {
+        continue;  // unranked target: either non-src or reported at its own file
+      }
+      if (to_rank->second > from_rank->second) {
+        ReportUnlessSuppressed(
+            file, rule, inc.line,
+            "layering back-edge: src/" + subsystem + " (rank " +
+                std::to_string(from_rank->second) + ") includes " + inc.path +
+                " from src/" + target_subsystem + " (rank " +
+                std::to_string(to_rank->second) + ")",
+            config, &findings);
+      }
+    }
+  }
+
+  for (const std::vector<std::string>& cycle : graph.FindCycles()) {
+    // Anchor the finding to the smallest file's edge into the cycle.
+    const std::string& anchor = cycle.front();
+    const std::string& target = cycle.size() > 1 ? cycle[1] : cycle.front();
+    int line = 1;
+    for (const IncludeRef& inc : graph.Edges(anchor)) {
+      if (inc.path == target) {
+        line = inc.line;
+        break;
+      }
+    }
+    std::string chain;
+    for (const std::string& node : cycle) {
+      chain += node + " -> ";
+    }
+    chain += cycle.front();
+    ReportUnlessSuppressed(files.at(anchor), rule, line, "include cycle: " + chain,
+                           config, &findings);
+  }
+  return findings;
+}
+
+}  // namespace detlint

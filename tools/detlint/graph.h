@@ -1,0 +1,53 @@
+// detlint include-graph layer: the quoted-#include DAG over the analyzed file
+// set, and the DL010 subsystem-layering pass built on it.
+//
+// The layer DAG is declared in detlint.toml ([rule.subsystem-layering],
+// `layers`, lowest rank first; one entry per rank, space-separated src/
+// subdirectories per rank). Three finding shapes, all under DL010:
+//   * back-edge: a file in a lower-ranked subsystem includes a header from a
+//     higher-ranked one (same rank is allowed — mem and topology are mutually
+//     aware by design and share a rank);
+//   * cycle: the quoted-include graph contains a cycle (reported once, at the
+//     closing edge of the lexicographically smallest file on the cycle);
+//   * unranked subsystem: a src/<dir>/ file whose <dir> appears in no layer —
+//     new subsystems must be ranked before they can land.
+//
+// Edges into files outside the analyzed set (system headers, generated code)
+// are ignored; bench/tests/examples/tools are unranked on purpose and may
+// include anything.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/detlint/config.h"
+#include "tools/detlint/lexer.h"
+#include "tools/detlint/rules.h"
+
+namespace detlint {
+
+// The include graph over analyzed files: adjacency by repo-relative path,
+// restricted to quoted includes that resolve inside the analyzed set.
+class IncludeGraph {
+ public:
+  explicit IncludeGraph(const std::map<std::string, LexedFile>& files);
+
+  // Out-edges of `path` (include targets inside the analyzed set), with the
+  // line of the #include directive.
+  const std::vector<IncludeRef>& Edges(const std::string& path) const;
+
+  // Every cycle in the graph, each as the list of files on it (rotated so the
+  // lexicographically smallest file is first). Deterministic order.
+  std::vector<std::vector<std::string>> FindCycles() const;
+
+ private:
+  std::map<std::string, std::vector<IncludeRef>> edges_;
+};
+
+// DL010: layering back-edges, include cycles, unranked src/ subsystems.
+std::vector<Finding> CheckLayering(const std::map<std::string, LexedFile>& files,
+                                   const Config& config);
+
+}  // namespace detlint

@@ -219,7 +219,7 @@ class Lexer {
       if (q1 != std::string::npos) {
         const size_t q2 = text.find('"', q1 + 1);
         if (q2 != std::string::npos) {
-          file_.includes.push_back(text.substr(q1 + 1, q2 - q1 - 1));
+          file_.includes.push_back(IncludeRef{text.substr(q1 + 1, q2 - q1 - 1), start_line});
         }
       }
     }

@@ -48,11 +48,18 @@ struct Directive {
   int line = 0;
 };
 
+// One quoted-form #include, with the line it sits on (include-graph findings
+// anchor to the directive, not the file).
+struct IncludeRef {
+  std::string path;  // verbatim include path
+  int line = 0;
+};
+
 struct LexedFile {
   std::string path;  // display / repo-relative path
   std::vector<Token> tokens;
   std::vector<Directive> directives;
-  std::vector<std::string> includes;       // quoted-form include paths, verbatim
+  std::vector<IncludeRef> includes;        // quoted-form includes, in order
   std::map<int, Suppression> suppressions; // keyed by annotation line
   bool has_pragma_once = false;
 };

@@ -1,12 +1,16 @@
 // detlint CLI.
 //
 //   detlint [--config <file>] [--format=text|json] [--root <dir>] <paths...>
+//   detlint --list-rules
 //
 // Paths are files or directories relative to --root (default: the current
 // directory); directories are walked recursively for *.h / *.cc in sorted
-// order. Exit status: 0 clean, 1 findings, 2 usage/IO/config error — so a CI
-// wrapper can distinguish "the tree is dirty" from "the lint itself broke".
+// order. Exit status: 0 clean (warn-tier findings allowed), 1 error-tier
+// findings, 2 usage/IO/config error — including any DL000 io-error finding —
+// so a CI wrapper can distinguish "the tree is dirty" from "the lint itself
+// broke".
 
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,30 +22,52 @@
 namespace detlint {
 namespace {
 
+const char* TierName(Severity severity) {
+  return severity == Severity::kError ? "error" : "warn";
+}
+
 int Usage(std::ostream& out, int status) {
   out << "usage: detlint [--config <file>] [--format=text|json] [--root <dir>] "
          "<paths...>\n"
+         "       detlint --list-rules\n"
          "  Scans *.h / *.cc under each path for determinism & invariant\n"
          "  violations. Rules, IDs, and suppression syntax: DESIGN.md section 7.\n";
   return status;
 }
 
-void PrintText(const std::vector<Finding>& findings, size_t files_scanned) {
+// Emits the rule registry as the same markdown table DESIGN.md §7 carries; a
+// ctest diffs the two so the docs cannot drift from the analyzer.
+int ListRules() {
+  std::cout << "| ID | Name | Tier | Hint |\n";
+  std::cout << "|----|------|------|------|\n";
+  for (const RuleInfo& rule : AllRules()) {
+    std::cout << "| " << rule.id << " | " << rule.name << " | "
+              << TierName(rule.severity) << " | " << rule.hint << " |\n";
+  }
+  return 0;
+}
+
+void PrintText(const std::vector<Finding>& findings, size_t files_scanned,
+               size_t errors, size_t warnings) {
   for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": error: [" << f.rule->id << " "
+    const char* tier = f.rule->severity == Severity::kError ? "error" : "warning";
+    std::cout << f.file << ":" << f.line << ": " << tier << ": [" << f.rule->id << " "
               << f.rule->name << "] " << f.message << "\n    hint: " << f.rule->hint
               << "\n";
   }
-  std::cout << "detlint: " << findings.size() << " finding(s) in " << files_scanned
-            << " file(s)\n";
+  std::cout << "detlint: " << errors << " error(s), " << warnings << " warning(s) in "
+            << files_scanned << " file(s)\n";
 }
 
-void PrintJson(const std::vector<Finding>& findings, size_t files_scanned) {
+void PrintJson(const std::vector<Finding>& findings, size_t files_scanned,
+               size_t errors, size_t warnings) {
   chronotier::JsonWriter w(std::cout);
   w.set_pretty(true);
   w.BeginObject();
   w.Field("files_scanned", static_cast<uint64_t>(files_scanned));
   w.Field("findings_count", static_cast<uint64_t>(findings.size()));
+  w.Field("errors_count", static_cast<uint64_t>(errors));
+  w.Field("warnings_count", static_cast<uint64_t>(warnings));
   w.Key("findings");
   w.BeginArray();
   for (const Finding& f : findings) {
@@ -50,6 +76,7 @@ void PrintJson(const std::vector<Finding>& findings, size_t files_scanned) {
     w.Field("line", static_cast<int64_t>(f.line));
     w.Field("id", f.rule->id);
     w.Field("rule", f.rule->name);
+    w.Field("severity", TierName(f.rule->severity));
     w.Field("message", f.message);
     w.Field("hint", f.rule->hint);
     w.EndObject();
@@ -68,6 +95,9 @@ int Main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       return Usage(std::cout, 0);
+    }
+    if (arg == "--list-rules") {
+      return ListRules();
     }
     if (arg == "--config") {
       if (++i >= argc) {
@@ -107,24 +137,34 @@ int Main(int argc, char** argv) {
 
   std::vector<std::string> files;
   std::string error;
-  if (!CollectSourceFiles(root, paths, &files, &error)) {
+  if (!CollectSourceFiles(root, paths, config, &files, &error)) {
     std::cerr << "detlint: " << error << "\n";
     return 2;
   }
 
   std::vector<Finding> findings = AnalyzeFiles(root, files, config);
+  size_t errors = 0;
+  size_t warnings = 0;
+  bool io_error = false;
   for (const Finding& f : findings) {
-    if (f.rule == nullptr) {
-      std::cerr << "detlint: " << f.file << ": " << f.message << "\n";
-      return 2;
+    if (std::strcmp(f.rule->id, "DL000") == 0) {
+      io_error = true;
+    }
+    if (f.rule->severity == Severity::kError) {
+      ++errors;
+    } else {
+      ++warnings;
     }
   }
   if (format == "json") {
-    PrintJson(findings, files.size());
+    PrintJson(findings, files.size(), errors, warnings);
   } else {
-    PrintText(findings, files.size());
+    PrintText(findings, files.size(), errors, warnings);
   }
-  return findings.empty() ? 0 : 1;
+  if (io_error) {
+    return 2;  // the lint broke, not the tree
+  }
+  return errors == 0 ? 0 : 1;
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "tools/detlint/rules.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -9,112 +10,69 @@
 #include <sstream>
 #include <string>
 
+#include "tools/detlint/graph.h"
+#include "tools/detlint/symbols.h"
+#include "tools/detlint/tokens.h"
+
 namespace detlint {
 namespace {
 
+const RuleInfo kIoError = {
+    "DL000", "io-error", Severity::kError,
+    "a listed file could not be read — fix the path or permissions; detlint exits 2 "
+    "(lint broke) rather than 1 (tree dirty)"};
 const RuleInfo kWallClock = {
-    "DL001", "wall-clock",
+    "DL001", "wall-clock", Severity::kError,
     "all time must come from the simulated clock (src/common/time.h) and all randomness "
     "from a seeded Rng (src/common/rng.h); bench wall-timing belongs in the config "
     "allowlist"};
 const RuleInfo kAssert = {
-    "DL002", "assert",
+    "DL002", "assert", Severity::kError,
     "use CHECK/CHECK_EQ/... from src/common/check.h — assert() compiles out under NDEBUG"};
 const RuleInfo kUnorderedIter = {
-    "DL003", "unordered-iter",
+    "DL003", "unordered-iter", Severity::kError,
     "iterate a deterministically ordered copy (or a std::map keyed by a value), or "
     "annotate the line: // detlint:allow(unordered-iter) <why order cannot leak>"};
 const RuleInfo kPointerSort = {
-    "DL004", "pointer-sort",
+    "DL004", "pointer-sort", Severity::kError,
     "sort by a value key (vpn, id, tick) — pointer order differs from run to run"};
 const RuleInfo kUnseededShuffle = {
-    "DL005", "unseeded-shuffle",
+    "DL005", "unseeded-shuffle", Severity::kError,
     "pass a seeded project RNG (see rng_tokens in tools/detlint/detlint.toml)"};
 const RuleInfo kPragmaOnce = {
-    "DL006", "pragma-once", "add #pragma once as the first directive of the header"};
+    "DL006", "pragma-once", Severity::kError,
+    "add #pragma once as the first directive of the header"};
 const RuleInfo kUsingNamespaceHeader = {
-    "DL007", "using-namespace-header",
+    "DL007", "using-namespace-header", Severity::kError,
     "qualify the names or move the using-directive into a .cc file"};
 const RuleInfo kNakedNew = {
-    "DL008", "naked-new",
+    "DL008", "naked-new", Severity::kError,
     "use std::make_unique/containers; raw allocation files are allowlisted in "
     "tools/detlint/detlint.toml"};
 const RuleInfo kStdFunctionHotPath = {
-    "DL009", "std-function-hot-path",
+    "DL009", "std-function-hot-path", Severity::kError,
     "hot-path headers (src/vm, src/sim) must not traffic in std::function — every "
     "capture heap-allocates and every call is an indirect dispatch; use a template "
     "visitor or InlineFunction (src/common/inline_function.h)"};
-
-bool EndsWith(const std::string& s, const char* suffix) {
-  const size_t n = std::strlen(suffix);
-  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
-}
-
-bool IsHeaderPath(const std::string& path) { return EndsWith(path, ".h"); }
-
-// Token-stream cursor helpers. All bounds-checked; out-of-range reads return a
-// sentinel token that matches nothing.
-class Tokens {
- public:
-  explicit Tokens(const std::vector<Token>& tokens) : tokens_(tokens) {}
-
-  size_t size() const { return tokens_.size(); }
-
-  const Token& At(size_t i) const {
-    static const Token kNone{TokenKind::kPunct, "", 0};
-    return i < tokens_.size() ? tokens_[i] : kNone;
-  }
-
-  bool IsId(size_t i, const char* text) const {
-    const Token& t = At(i);
-    return t.kind == TokenKind::kIdentifier && t.text == text;
-  }
-
-  bool IsPunct(size_t i, char c) const {
-    const Token& t = At(i);
-    return t.kind == TokenKind::kPunct && t.text.size() == 1 && t.text[0] == c;
-  }
-
-  // `std :: <name>` starting at i; returns index of <name> or npos.
-  size_t MatchStdQualified(size_t i, const char* name) const {
-    if (IsId(i, "std") && IsPunct(i + 1, ':') && IsPunct(i + 2, ':') && IsId(i + 3, name)) {
-      return i + 3;
-    }
-    return kNpos;
-  }
-
-  // True when token i is preceded by `.` or `->` (member access).
-  bool IsMemberAccess(size_t i) const {
-    if (i == 0) {
-      return false;
-    }
-    if (IsPunct(i - 1, '.')) {
-      return true;
-    }
-    return i >= 2 && IsPunct(i - 1, '>') && IsPunct(i - 2, '-');
-  }
-
-  // Given the index of an opening bracket, returns the index of its matching
-  // closer, treating `open`/`close` as the only bracket pair. npos on overflow.
-  size_t MatchBalanced(size_t open_index, char open, char close) const {
-    int depth = 0;
-    for (size_t i = open_index; i < tokens_.size(); ++i) {
-      if (IsPunct(i, open)) {
-        ++depth;
-      } else if (IsPunct(i, close)) {
-        if (--depth == 0) {
-          return i;
-        }
-      }
-    }
-    return kNpos;
-  }
-
-  static constexpr size_t kNpos = static_cast<size_t>(-1);
-
- private:
-  const std::vector<Token>& tokens_;
-};
+const RuleInfo kSubsystemLayering = {
+    "DL010", "subsystem-layering", Severity::kError,
+    "includes must follow the layer DAG in tools/detlint/detlint.toml "
+    "([rule.subsystem-layering] layers, lowest first); invert the dependency, move the "
+    "shared type down a layer, or re-rank the subsystem in a reviewed config diff"};
+const RuleInfo kHotPathAlloc = {
+    "DL011", "hot-path-alloc", Severity::kError,
+    "declared hot-path files must not allocate: preallocate in setup (reserve/fixed "
+    "arrays), use SlotArena (src/common/slab.h) or InlineFunction; setup-only sites "
+    "take an inline allow with the justification"};
+const RuleInfo kObservationalPurity = {
+    "DL012", "observational-purity", Severity::kError,
+    "observer-side code (src/trace) must not call mutators of the simulation — take "
+    "const refs, copy into the trace ring, or move the logic to the simulation side; "
+    "this is the static twin of the trace on/off bitwise-identity proof"};
+const RuleInfo kDeadSymbol = {
+    "DL013", "dead-symbol", Severity::kWarn,
+    "delete the function or its declaration; if it is API surface kept on purpose, "
+    "annotate the declaration: // detlint:allow(dead-symbol) <why it stays>"};
 
 // Keywords that legitimately precede a call expression; any other identifier
 // directly before `name(` makes it a declaration (`SimTime time() const`), not
@@ -148,6 +106,7 @@ class RuleRunner {
     HeaderHygiene();
     NakedNew();
     StdFunctionHotPath();
+    HotPathAlloc();
     std::sort(findings_.begin(), findings_.end(), FindingLess);
     findings_.erase(std::unique(findings_.begin(), findings_.end(),
                                 [](const Finding& a, const Finding& b) {
@@ -160,13 +119,7 @@ class RuleRunner {
 
  private:
   void Report(const RuleInfo& rule, int line, std::string message) {
-    if (config_.IsPathAllowed(rule.name, file_.path)) {
-      return;
-    }
-    if (IsSuppressed(file_, line, rule.name)) {
-      return;
-    }
-    findings_.push_back(Finding{file_.path, line, &rule, std::move(message)});
+    ReportUnlessSuppressed(file_, rule, line, std::move(message), config_, &findings_);
   }
 
   // DL001: ambient time / entropy identifiers, and ambient-function calls.
@@ -472,6 +425,45 @@ class RuleRunner {
     }
   }
 
+  // DL011: allocation in a declared hot-path file ([rule.hot-path-alloc] paths):
+  // non-placement `new`, make_unique/make_shared, std::string construction (a
+  // `std::string` mention that is not a reference), and growing container calls
+  // (push_back / emplace_back / resize). PR 8 made these files allocation-free;
+  // this keeps them that way. Placement new is storage reuse, not allocation,
+  // and is skipped; `std::string&` binds without constructing and is skipped.
+  void HotPathAlloc() {
+    if (!config_.IsPathInRuleSet(kHotPathAlloc.name, file_.path)) {
+      return;
+    }
+    static const std::set<std::string> kGrowers = {"push_back", "emplace_back", "resize"};
+    for (size_t i = 0; i < t_.size(); ++i) {
+      if (t_.IsId(i, "new") && !t_.IsPunct(i + 1, '(') &&
+          !(i > 0 && t_.IsId(i - 1, "operator"))) {
+        Report(kHotPathAlloc, t_.At(i).line, "heap allocation (new) on a hot path");
+        continue;
+      }
+      const Token& tok = t_.At(i);
+      if (tok.kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      if ((tok.text == "make_unique" || tok.text == "make_shared") &&
+          t_.IsPunct(i + 1, '<')) {
+        Report(kHotPathAlloc, tok.line, "heap allocation (" + tok.text + ") on a hot path");
+        continue;
+      }
+      size_t name = t_.MatchStdQualified(i, "string");
+      if (name != Tokens::kNpos && !t_.IsPunct(name + 1, '&')) {
+        Report(kHotPathAlloc, tok.line,
+               "std::string construction on a hot path (references are fine)");
+        continue;
+      }
+      if (kGrowers.count(tok.text) != 0 && t_.IsPunct(i + 1, '(') && t_.IsMemberAccess(i)) {
+        Report(kHotPathAlloc, tok.line,
+               "growing container call '" + tok.text + "' on a hot path");
+      }
+    }
+  }
+
   const LexedFile& file_;
   const Config& config_;
   Tokens t_;
@@ -483,10 +475,22 @@ class RuleRunner {
 
 const std::vector<RuleInfo>& AllRules() {
   static const std::vector<RuleInfo> kRules = {
-      kWallClock,       kAssert,     kUnorderedIter,        kPointerSort,
-      kUnseededShuffle, kPragmaOnce, kUsingNamespaceHeader, kNakedNew,
-      kStdFunctionHotPath};
+      kIoError,          kWallClock,       kAssert,
+      kUnorderedIter,    kPointerSort,     kUnseededShuffle,
+      kPragmaOnce,       kUsingNamespaceHeader, kNakedNew,
+      kStdFunctionHotPath, kSubsystemLayering, kHotPathAlloc,
+      kObservationalPurity, kDeadSymbol};
   return kRules;
+}
+
+const RuleInfo& RuleById(const char* id) {
+  for (const RuleInfo& rule : AllRules()) {
+    if (std::strcmp(rule.id, id) == 0) {
+      return rule;
+    }
+  }
+  // Unreachable for registered IDs; a typo in a cross-TU pass fails loudly.
+  std::abort();
 }
 
 bool FindingLess(const Finding& a, const Finding& b) {
@@ -496,9 +500,19 @@ bool FindingLess(const Finding& a, const Finding& b) {
   if (a.line != b.line) {
     return a.line < b.line;
   }
-  const std::string id_a = a.rule != nullptr ? a.rule->id : "";
-  const std::string id_b = b.rule != nullptr ? b.rule->id : "";
-  return id_a < id_b;
+  return std::strcmp(a.rule->id, b.rule->id) < 0;
+}
+
+void ReportUnlessSuppressed(const LexedFile& file, const RuleInfo& rule, int line,
+                            std::string message, const Config& config,
+                            std::vector<Finding>* out) {
+  if (config.IsPathAllowed(rule.name, file.path)) {
+    return;
+  }
+  if (IsSuppressed(file, line, rule.name)) {
+    return;
+  }
+  out->push_back(Finding{file.path, line, &rule, std::move(message)});
 }
 
 std::vector<std::string> CollectUnorderedNames(const LexedFile& file) {
@@ -552,14 +566,29 @@ std::vector<Finding> RunRules(const LexedFile& file, const Config& config,
 }
 
 bool CollectSourceFiles(const std::string& root, const std::vector<std::string>& paths,
-                        std::vector<std::string>* files, std::string* error) {
+                        const Config& config, std::vector<std::string>* files,
+                        std::string* error) {
   namespace fs = std::filesystem;
   const fs::path root_path(root);
+  auto excluded = [&config](const std::string& rel) {
+    for (const std::string& entry : config.ScanExcludes()) {
+      if (!entry.empty() && entry.back() == '/') {
+        if (rel.compare(0, entry.size(), entry) == 0) {
+          return true;
+        }
+      } else if (rel == entry) {
+        return true;
+      }
+    }
+    return false;
+  };
   for (const std::string& rel : paths) {
     const fs::path full = root_path / rel;
     std::error_code ec;
     if (fs::is_regular_file(full, ec)) {
-      files->push_back(rel);
+      if (!excluded(rel)) {
+        files->push_back(rel);
+      }
       continue;
     }
     if (!fs::is_directory(full, ec)) {
@@ -579,7 +608,10 @@ bool CollectSourceFiles(const std::string& root, const std::vector<std::string>&
       if (ext != ".h" && ext != ".cc") {
         continue;
       }
-      files->push_back(fs::relative(it->path(), root_path).generic_string());
+      const std::string rel_path = fs::relative(it->path(), root_path).generic_string();
+      if (!excluded(rel_path)) {
+        files->push_back(rel_path);
+      }
     }
   }
   std::sort(files->begin(), files->end());
@@ -596,7 +628,7 @@ std::vector<Finding> AnalyzeFiles(const std::string& root,
   for (const std::string& rel : rel_paths) {
     std::ifstream in(root + "/" + rel, std::ios::binary);
     if (!in) {
-      findings.push_back(Finding{rel, 0, nullptr, "cannot read file"});
+      findings.push_back(Finding{rel, 0, &kIoError, "cannot read file"});
       continue;
     }
     std::ostringstream buf;
@@ -611,14 +643,20 @@ std::vector<Finding> AnalyzeFiles(const std::string& root,
     // Cross-seed container names from this file's directly included project
     // headers, so members declared in foo.h are known when foo.cc iterates.
     std::vector<std::string> extra;
-    for (const std::string& inc : file.includes) {
-      const auto it = header_names.find(inc);
+    for (const IncludeRef& inc : file.includes) {
+      const auto it = header_names.find(inc.path);
       if (it != header_names.end()) {
         extra.insert(extra.end(), it->second.begin(), it->second.end());
       }
     }
     std::vector<Finding> file_findings = RunRules(file, config, extra);
     findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+  // Cross-TU passes: the include graph and the symbol layer see every file in
+  // the batch at once.
+  for (auto* pass : {&CheckLayering, &CheckObservationalPurity, &CheckDeadSymbols}) {
+    std::vector<Finding> pass_findings = (*pass)(lexed, config);
+    findings.insert(findings.end(), pass_findings.begin(), pass_findings.end());
   }
   std::sort(findings.begin(), findings.end(), FindingLess);
   return findings;

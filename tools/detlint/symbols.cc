@@ -1,0 +1,437 @@
+#include "tools/detlint/symbols.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "tools/detlint/tokens.h"
+
+namespace detlint {
+namespace {
+
+// Scope kinds the boundary scanner distinguishes. Function bodies and
+// brace initializers are not scopes — they are skipped wholesale, because
+// nothing inside them declares a symbol this layer cares about.
+struct Scope {
+  size_t close;            // token index of the scope's closing '}'
+  std::string class_name;  // non-empty inside a class/struct/union body
+};
+
+// After a parameter list's ')', scans the declarator tail (const, noexcept(...),
+// override, trailing return type) and classifies what follows.
+enum class Tail {
+  kDefinition,   // '{' — a body follows
+  kDeclaration,  // ';' or '= 0;'
+  kStructural,   // '= default' / '= delete' — name is a decl site, not a symbol
+  kCtorInit,     // ':' — constructor member-init list, then a body
+  kNotAFunction, // ',' / ')' / initializer — a variable or an expression
+};
+
+Tail ClassifyTail(const Tokens& t, size_t after_params, size_t* body_open) {
+  size_t i = after_params;
+  while (i < t.size()) {
+    if (t.IsPunct(i, '{')) {
+      *body_open = i;
+      return Tail::kDefinition;
+    }
+    if (t.IsPunct(i, ';')) {
+      return Tail::kDeclaration;
+    }
+    if (t.IsPunct(i, ':')) {
+      // Distinguish ctor-init ':' from '::' in a trailing return type.
+      if (t.IsPunct(i + 1, ':') || (i > after_params && t.IsPunct(i - 1, ':'))) {
+        i += 1;
+        continue;
+      }
+      return Tail::kCtorInit;
+    }
+    if (t.IsPunct(i, '=')) {
+      if (t.IsId(i + 1, "default") || t.IsId(i + 1, "delete")) {
+        return Tail::kStructural;
+      }
+      if (t.At(i + 1).kind == TokenKind::kNumber) {
+        return Tail::kDeclaration;  // pure virtual '= 0;'
+      }
+      return Tail::kNotAFunction;  // an initializer: this was a variable
+    }
+    if (t.IsPunct(i, '(')) {  // noexcept(...) / attribute-ish
+      const size_t close = t.MatchBalanced(i, '(', ')');
+      if (close == Tokens::kNpos) {
+        return Tail::kNotAFunction;
+      }
+      i = close + 1;
+      continue;
+    }
+    if (t.IsAnyId(i) || t.IsPunct(i, '-') || t.IsPunct(i, '>') || t.IsPunct(i, '&') ||
+        t.IsPunct(i, '*') || t.IsPunct(i, '<')) {
+      i += 1;  // const / noexcept / override / trailing return type tokens
+      continue;
+    }
+    return Tail::kNotAFunction;  // ',' (declarator list), ')' (expression), ...
+  }
+  return Tail::kNotAFunction;
+}
+
+// From a ctor-init ':' scans forward to the body '{' at top level (member
+// initializers may contain parenthesized and braced expressions).
+size_t FindCtorBody(const Tokens& t, size_t colon) {
+  int paren = 0;
+  for (size_t i = colon; i < t.size(); ++i) {
+    if (t.IsPunct(i, '(')) {
+      ++paren;
+    } else if (t.IsPunct(i, ')')) {
+      --paren;
+    } else if (t.IsPunct(i, '{') && paren == 0) {
+      // A braced member initializer `member{...}` is preceded by an identifier
+      // or '>'; the body brace is preceded by ')' or '}' (end of the last
+      // initializer) — close enough: treat a '{' after ')' '}' or identifier
+      // ambiguously and rely on balanced skipping either way.
+      const size_t close = t.MatchBalanced(i, '{', '}');
+      if (close == Tokens::kNpos) {
+        return Tokens::kNpos;
+      }
+      // If the next non-'}' token continues the init list (','), keep going.
+      if (t.IsPunct(close + 1, ',')) {
+        i = close;
+        continue;
+      }
+      return i;
+    }
+  }
+  return Tokens::kNpos;
+}
+
+// True when the token before a candidate name can start a declaration: a type
+// tail (identifier, '>', '*', '&', '::') or the start of the file/scope.
+bool PrecededByType(const Tokens& t, size_t name_index) {
+  if (name_index == 0) {
+    return false;  // a bare call at the top of a file is not a declaration
+  }
+  const Token& prev = t.At(name_index - 1);
+  if (prev.kind == TokenKind::kIdentifier) {
+    return !IsCppKeyword(prev.text) || prev.text == "const" || prev.text == "constexpr" ||
+           prev.text == "noexcept";
+  }
+  return t.IsPunct(name_index - 1, '>') || t.IsPunct(name_index - 1, '*') ||
+         t.IsPunct(name_index - 1, '&');
+}
+
+// Heuristic: a parameter list that opens with a number or a string-ish token is
+// an expression (`bar(3)` is a variable initializer, not a declaration).
+bool ParamsLookLikeExpression(const Tokens& t, size_t open) {
+  const Token& first = t.At(open + 1);
+  return first.kind == TokenKind::kNumber;
+}
+
+}  // namespace
+
+FileSymbols ParseFunctions(const LexedFile& file) {
+  FileSymbols out;
+  const Tokens t(file.tokens);
+  std::vector<Scope> scopes;
+  size_t i = 0;
+  auto current_class = [&]() -> const std::string& {
+    static const std::string kNone;
+    return scopes.empty() ? kNone : scopes.back().class_name;
+  };
+  while (i < t.size()) {
+    while (!scopes.empty() && i >= scopes.back().close) {
+      scopes.pop_back();
+    }
+    // template <...> — skip the parameter list; the declaration follows.
+    if (t.IsId(i, "template") && t.IsPunct(i + 1, '<')) {
+      const size_t close = t.MatchBalanced(i + 1, '<', '>');
+      i = close == Tokens::kNpos ? i + 2 : close + 1;
+      continue;
+    }
+    if (t.IsId(i, "namespace")) {
+      size_t j = i + 1;
+      while (j < t.size() && !t.IsPunct(j, '{') && !t.IsPunct(j, ';') && !t.IsPunct(j, '=')) {
+        ++j;
+      }
+      if (t.IsPunct(j, '{')) {
+        const size_t close = t.MatchBalanced(j, '{', '}');
+        if (close != Tokens::kNpos) {
+          scopes.push_back(Scope{close, current_class()});  // transparent to class
+        }
+      }
+      i = j + 1;
+      continue;
+    }
+    if (t.IsId(i, "enum")) {  // enum [class|struct] Name [: type] { ... };
+      size_t j = i + 1;
+      while (j < t.size() && !t.IsPunct(j, '{') && !t.IsPunct(j, ';')) {
+        ++j;
+      }
+      if (t.IsPunct(j, '{')) {
+        const size_t close = t.MatchBalanced(j, '{', '}');
+        i = close == Tokens::kNpos ? j + 1 : close + 1;
+      } else {
+        i = j + 1;
+      }
+      continue;
+    }
+    if (t.IsId(i, "class") || t.IsId(i, "struct") || t.IsId(i, "union")) {
+      std::string name;
+      size_t j = i + 1;
+      int angle = 0;
+      while (j < t.size() && !t.IsPunct(j, ';') &&
+             !(angle == 0 && (t.IsPunct(j, '{') || t.IsPunct(j, '(')))) {
+        if (t.IsPunct(j, '<')) {
+          ++angle;
+        } else if (t.IsPunct(j, '>')) {
+          --angle;
+        } else if (angle == 0 && t.IsAnyId(j) && name.empty()) {
+          name = t.At(j).text;  // first identifier is the class name
+        } else if (angle == 0 && t.IsPunct(j, ':') && !t.IsPunct(j + 1, ':') &&
+                   !t.IsPunct(j - 1, ':')) {
+          // base clause — the name (if any) is already captured
+        }
+        ++j;
+      }
+      if (t.IsPunct(j, '{')) {
+        const size_t close = t.MatchBalanced(j, '{', '}');
+        if (close != Tokens::kNpos) {
+          scopes.push_back(Scope{close, name});
+          i = j + 1;
+          continue;
+        }
+      }
+      i = j + 1;
+      continue;
+    }
+    // Candidate: identifier followed by '('.
+    if (t.IsAnyId(i) && t.IsPunct(i + 1, '(') && !IsCppKeyword(t.At(i).text) &&
+        !t.IsMemberAccess(i)) {
+      const std::string& name = t.At(i).text;
+      const bool qualified = t.IsScopeQualified(i);
+      const bool is_dtor = i > 0 && t.IsPunct(i - 1, '~');
+      std::string qualifier = current_class();
+      if (qualified && i >= 3 && t.IsAnyId(i - 3)) {
+        qualifier = t.At(i - 3).text;
+      }
+      const bool is_ctor = !qualifier.empty() && name == qualifier;
+      const size_t params_close = t.MatchBalanced(i + 1, '(', ')');
+      if (params_close == Tokens::kNpos) {
+        ++i;
+        continue;
+      }
+      size_t body_open = Tokens::kNpos;
+      Tail tail = ClassifyTail(t, params_close + 1, &body_open);
+      if (tail == Tail::kCtorInit) {
+        body_open = FindCtorBody(t, params_close + 1);
+        tail = body_open == Tokens::kNpos ? Tail::kNotAFunction : Tail::kDefinition;
+      }
+      // Unqualified candidates need a type before the name to be declarations;
+      // qualified ones (`Class::name`) only count when a body follows.
+      const bool plausible =
+          !ParamsLookLikeExpression(t, i + 1) &&
+          ((qualified && tail == Tail::kDefinition) ||
+           (!qualified && !is_dtor && PrecededByType(t, i)) || is_dtor || is_ctor);
+      if (plausible && tail != Tail::kNotAFunction) {
+        out.decl_name_indexes.insert(i);
+        if (!is_ctor && !is_dtor && tail != Tail::kStructural && name != "main") {
+          FunctionSym sym;
+          sym.name = name;
+          sym.qualifier = qualifier;
+          sym.line = t.At(i).line;
+          sym.name_index = i;
+          sym.is_definition = tail == Tail::kDefinition;
+          out.functions.push_back(sym);
+        }
+        if (tail == Tail::kDefinition && body_open != Tokens::kNpos) {
+          const size_t body_close = t.MatchBalanced(body_open, '{', '}');
+          i = body_close == Tokens::kNpos ? body_open + 1 : body_close + 1;
+          continue;
+        }
+        i = params_close + 1;
+        continue;
+      }
+    }
+    ++i;
+  }
+  return out;
+}
+
+std::set<std::string> NonConstMethods(const LexedFile& file,
+                                      const std::string& class_name) {
+  std::set<std::string> methods;
+  const Tokens t(file.tokens);
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(t.IsId(i, "class") || t.IsId(i, "struct"))) {
+      continue;
+    }
+    if (!t.IsId(i + 1, class_name.c_str())) {
+      continue;
+    }
+    // Find the body '{' (skipping a base clause); stop at ';' (forward decl).
+    size_t open = i + 2;
+    while (open < t.size() && !t.IsPunct(open, '{') && !t.IsPunct(open, ';')) {
+      ++open;
+    }
+    if (!t.IsPunct(open, '{')) {
+      continue;
+    }
+    const size_t close = t.MatchBalanced(open, '{', '}');
+    if (close == Tokens::kNpos) {
+      continue;
+    }
+    // Walk the body at depth 1: method bodies, nested classes, and brace
+    // initializers are all skipped with one balanced jump.
+    size_t j = open + 1;
+    while (j < close) {
+      if (t.IsPunct(j, '{')) {
+        const size_t sub = t.MatchBalanced(j, '{', '}');
+        j = sub == Tokens::kNpos ? j + 1 : sub + 1;
+        continue;
+      }
+      if (t.IsAnyId(j) && t.IsPunct(j + 1, '(') && !IsCppKeyword(t.At(j).text) &&
+          !t.IsMemberAccess(j) && !t.IsPunct(j - 1, '~') &&
+          t.At(j).text != class_name) {
+        const size_t params_close = t.MatchBalanced(j + 1, '(', ')');
+        if (params_close != Tokens::kNpos && params_close < close) {
+          size_t body_open = Tokens::kNpos;
+          const Tail tail = ClassifyTail(t, params_close + 1, &body_open);
+          if ((tail == Tail::kDefinition || tail == Tail::kDeclaration) &&
+              PrecededByType(t, j) && !t.IsId(params_close + 1, "const")) {
+            methods.insert(t.At(j).text);
+          }
+          j = params_close + 1;
+          continue;
+        }
+      }
+      ++j;
+    }
+    i = close;
+  }
+  return methods;
+}
+
+std::vector<Finding> CheckObservationalPurity(
+    const std::map<std::string, LexedFile>& files, const Config& config) {
+  std::vector<Finding> findings;
+  const std::vector<std::string>& classes = config.PurityClasses();
+  if (classes.empty()) {
+    return findings;
+  }
+  const RuleInfo& rule = RuleById("DL012");
+  // Union the mutator sets of every watched class across all analyzed files.
+  std::map<std::string, std::string> mutator_of;  // method -> watched class
+  for (const auto& [path, file] : files) {
+    for (const std::string& cls : classes) {
+      for (const std::string& method : NonConstMethods(file, cls)) {
+        mutator_of.emplace(method, cls);
+      }
+    }
+  }
+  if (mutator_of.empty()) {
+    return findings;
+  }
+  std::set<std::string> class_set(classes.begin(), classes.end());
+  for (const auto& [path, file] : files) {
+    if (!config.IsPathInRuleSet(rule.name, path)) {
+      continue;
+    }
+    const Tokens t(file.tokens);
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!t.IsAnyId(i) || !t.IsPunct(i + 1, '(')) {
+        continue;
+      }
+      const auto it = mutator_of.find(t.At(i).text);
+      if (it == mutator_of.end()) {
+        continue;
+      }
+      const bool member_call = t.IsMemberAccess(i);
+      // `Class::method(...)` only counts when the qualifier IS a watched class
+      // (so `std::min(...)` can never collide).
+      const bool qualified_call = t.IsScopeQualified(i) && i >= 3 && t.IsAnyId(i - 3) &&
+                                  class_set.count(t.At(i - 3).text) != 0;
+      if (!member_call && !qualified_call) {
+        continue;
+      }
+      ReportUnlessSuppressed(file, rule, t.At(i).line,
+                             "call to non-const " + it->second + "::" + t.At(i).text +
+                                 "() from observer-side code",
+                             config, &findings);
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckDeadSymbols(const std::map<std::string, LexedFile>& files,
+                                      const Config& config) {
+  std::vector<Finding> findings;
+  const RuleInfo& rule = RuleById("DL013");
+  // Inactive without a declared paths set (keeps fixture batches pinned).
+  bool active = false;
+  for (const auto& [path, file] : files) {
+    if (IsHeaderPath(path) && config.IsPathInRuleSet(rule.name, path)) {
+      active = true;
+      break;
+    }
+  }
+  if (!active) {
+    return findings;
+  }
+  std::map<std::string, FileSymbols> symbols;
+  for (const auto& [path, file] : files) {
+    symbols.emplace(path, ParseFunctions(file));
+  }
+  // Candidates: functions declared in headers inside the rule's path set.
+  // first declaration site wins (deterministic: files map is ordered).
+  std::map<std::string, std::pair<std::string, int>> candidates;
+  for (const auto& [path, file] : files) {
+    if (!IsHeaderPath(path) || !config.IsPathInRuleSet(rule.name, path)) {
+      continue;
+    }
+    for (const FunctionSym& sym : symbols.at(path).functions) {
+      candidates.emplace(sym.name, std::make_pair(path, sym.line));
+    }
+  }
+  // References: any occurrence of the name that is not a declaration/definition
+  // name token, in any analyzed file — plus identifiers inside #define bodies
+  // (a macro-expanded call is a use the token stream never sees).
+  std::set<std::string> referenced;
+  for (const auto& [path, file] : files) {
+    const FileSymbols& syms = symbols.at(path);
+    for (size_t i = 0; i < file.tokens.size(); ++i) {
+      const Token& tok = file.tokens[i];
+      if (tok.kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      if (syms.decl_name_indexes.count(i) != 0) {
+        continue;
+      }
+      if (candidates.count(tok.text) != 0) {
+        referenced.insert(tok.text);
+      }
+    }
+    for (const Directive& d : file.directives) {
+      if (d.text.find("define") == std::string::npos) {
+        continue;
+      }
+      std::string word;
+      for (const char c : d.text + " ") {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+          word.push_back(c);
+        } else {
+          if (candidates.count(word) != 0) {
+            referenced.insert(word);
+          }
+          word.clear();
+        }
+      }
+    }
+  }
+  for (const auto& [name, site] : candidates) {
+    if (referenced.count(name) != 0) {
+      continue;
+    }
+    const LexedFile& file = files.at(site.first);
+    ReportUnlessSuppressed(file, rule, site.second,
+                           "function '" + name + "' is declared here but referenced by no TU",
+                           config, &findings);
+  }
+  return findings;
+}
+
+}  // namespace detlint

@@ -1,0 +1,112 @@
+// Shared token-stream cursor for detlint's rule and symbol passes.
+//
+// Extracted from rules.cc when the analyzer grew its cross-TU layer (graph.cc,
+// symbols.cc): every pass walks the same lexed token stream with the same
+// bounds-checked primitives, so they live here once. This is still not a
+// parser — callers match token sequences and balance brackets, nothing more.
+
+#pragma once
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/detlint/lexer.h"
+
+namespace detlint {
+
+inline bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+inline bool IsHeaderPath(const std::string& path) { return EndsWith(path, ".h"); }
+
+// True for C++ keywords that can directly precede a `(` without being a
+// function name (control flow, casts, operators-as-words). Used by the
+// function-boundary parser to avoid reading `if (` as a declaration of `if`.
+inline bool IsCppKeyword(const std::string& text) {
+  static const std::set<std::string> kKeywords = {
+      "alignas",   "alignof",  "and",      "assert",   "case",        "catch",
+      "co_await",  "co_return","co_yield", "const",    "constexpr",   "const_cast",
+      "decltype",  "default",  "delete",   "do",       "dynamic_cast","else",
+      "explicit",  "for",      "if",       "new",      "noexcept",    "not",
+      "operator",  "or",       "requires", "return",   "sizeof",      "static_assert",
+      "static_cast","switch",  "throw",    "try",      "typeid",      "while",
+      "reinterpret_cast"};
+  return kKeywords.count(text) != 0;
+}
+
+// Token-stream cursor helpers. All bounds-checked; out-of-range reads return a
+// sentinel token that matches nothing.
+class Tokens {
+ public:
+  explicit Tokens(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  size_t size() const { return tokens_.size(); }
+
+  const Token& At(size_t i) const {
+    static const Token kNone{TokenKind::kPunct, "", 0};
+    return i < tokens_.size() ? tokens_[i] : kNone;
+  }
+
+  bool IsId(size_t i, const char* text) const {
+    const Token& t = At(i);
+    return t.kind == TokenKind::kIdentifier && t.text == text;
+  }
+
+  bool IsAnyId(size_t i) const { return At(i).kind == TokenKind::kIdentifier; }
+
+  bool IsPunct(size_t i, char c) const {
+    const Token& t = At(i);
+    return t.kind == TokenKind::kPunct && t.text.size() == 1 && t.text[0] == c;
+  }
+
+  // `std :: <name>` starting at i; returns index of <name> or npos.
+  size_t MatchStdQualified(size_t i, const char* name) const {
+    if (IsId(i, "std") && IsPunct(i + 1, ':') && IsPunct(i + 2, ':') && IsId(i + 3, name)) {
+      return i + 3;
+    }
+    return kNpos;
+  }
+
+  // True when token i is preceded by `.` or `->` (member access).
+  bool IsMemberAccess(size_t i) const {
+    if (i == 0) {
+      return false;
+    }
+    if (IsPunct(i - 1, '.')) {
+      return true;
+    }
+    return i >= 2 && IsPunct(i - 1, '>') && IsPunct(i - 2, '-');
+  }
+
+  // True when token i is preceded by `::` (qualified name).
+  bool IsScopeQualified(size_t i) const {
+    return i >= 2 && IsPunct(i - 1, ':') && IsPunct(i - 2, ':');
+  }
+
+  // Given the index of an opening bracket, returns the index of its matching
+  // closer, treating `open`/`close` as the only bracket pair. npos on overflow.
+  size_t MatchBalanced(size_t open_index, char open, char close) const {
+    int depth = 0;
+    for (size_t i = open_index; i < tokens_.size(); ++i) {
+      if (IsPunct(i, open)) {
+        ++depth;
+      } else if (IsPunct(i, close)) {
+        if (--depth == 0) {
+          return i;
+        }
+      }
+    }
+    return kNpos;
+  }
+
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+ private:
+  const std::vector<Token>& tokens_;
+};
+
+}  // namespace detlint
